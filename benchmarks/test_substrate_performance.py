@@ -1,0 +1,58 @@
+"""Substrate micro-benchmarks: synthesis passes, mapping and QoR evaluation.
+
+Not a figure from the paper — these benchmarks track the cost of the
+underlying black box (one sequence evaluation = K operation applications +
+one LUT mapping), which is what determines how expensive each point of
+Figures 1 and 3 is to produce.  Useful for spotting performance
+regressions in the AIG engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.mapping import LutMapper
+from repro.qor import QoREvaluator
+from repro.synth.flows import resyn2
+from repro.synth.operations import apply_sequence, get_operation
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return get_circuit("adder", width=8)
+
+
+@pytest.fixture(scope="module")
+def multiplier():
+    return get_circuit("multiplier", width=6)
+
+
+@pytest.mark.parametrize("operation", ["rewrite", "balance", "refactor", "fraig", "dsdb"])
+def test_single_operation_speed(benchmark, multiplier, operation):
+    op = get_operation(operation)
+    result = benchmark(op, multiplier)
+    assert result.num_pos == multiplier.num_pos
+
+
+def test_resyn2_flow_speed(benchmark, adder):
+    result = benchmark(resyn2, adder)
+    assert result.num_pos == adder.num_pos
+
+
+def test_lut_mapping_speed(benchmark, multiplier):
+    mapper = LutMapper(lut_size=6)
+    result = benchmark(mapper.map, multiplier)
+    assert result.area > 0
+
+
+def test_full_sequence_evaluation_speed(benchmark, adder):
+    evaluator = QoREvaluator(adder, cache=False)
+    sequence = ["balance", "rewrite", "refactor", "resub", "fraig", "dsdb"]
+    record = benchmark(evaluator.evaluate, sequence)
+    assert record.area > 0
+
+
+def test_circuit_generation_speed(benchmark):
+    aig = benchmark(get_circuit, "multiplier", 8)
+    assert aig.num_ands > 0

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compare BOiLS against the paper's baselines on a few circuits.
+
+Reproduces a miniature version of Figure 3's top table: every method gets
+the same evaluation budget on the same circuits, and the script prints the
+per-circuit best QoR improvement plus the win counts.
+
+Run:  python examples/compare_optimisers.py            (quick, ~1 minute)
+      REPRO_BUDGET=60 REPRO_SEEDS=3 python examples/compare_optimisers.py
+"""
+
+import os
+
+from repro.experiments import ExperimentConfig, build_qor_table, run_experiment
+from repro.experiments.figures import render_figure3_table
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        budget=int(os.environ.get("REPRO_BUDGET", 12)),
+        num_seeds=int(os.environ.get("REPRO_SEEDS", 1)),
+        sequence_length=int(os.environ.get("REPRO_SEQ_LENGTH", 6)),
+        circuits=("adder", "sqrt", "multiplier"),
+        methods=("boils", "sbo", "rs", "greedy", "ga"),
+        method_overrides={
+            "boils": {"num_initial": 4, "local_search_queries": 100, "adam_steps": 3,
+                      "fit_every": 2},
+            "sbo": {"num_initial": 4, "adam_steps": 3, "fit_every": 2},
+        },
+    )
+
+    print(f"running {len(config.methods)} methods x {len(config.circuits)} circuits "
+          f"x {config.num_seeds} seeds, budget {config.budget} ...\n")
+    results = run_experiment(config, progress=lambda msg: print(f"  [{msg}]"))
+
+    table = build_qor_table(results)
+    print()
+    print(render_figure3_table(table))
+    print()
+    for method in table.methods:
+        print(f"{method:12s} wins on {table.wins(method)} / {len(table.circuits)} circuits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Optimise a custom objective: area-only synthesis of a user circuit.
+
+The paper notes that "BOiLS is not tied to a specific black-box and can be
+utilised with other quantities of interest, e.g. area or delay disjointly
+by simply modifying Equation (1)".  This example shows both extension
+points:
+
+* building your own circuit directly with the AIG API (instead of using a
+  bundled benchmark generator), and
+* wrapping a custom figure of merit (here: LUT count only, delay ignored)
+  as the black box that BOiLS optimises, by subclassing ``QoREvaluator``.
+
+Run:  python examples/custom_objective.py
+"""
+
+from repro.aig import AIG
+from repro.bo import BOiLS, SequenceSpace
+from repro.mapping import map_aig
+from repro.qor import QoREvaluator
+
+
+def build_priority_encoder(width: int = 12) -> AIG:
+    """A simple user circuit: 'index of the highest set bit' encoder."""
+    aig = AIG(name=f"priority_encoder_{width}")
+    inputs = [aig.add_pi(f"x{i}") for i in range(width)]
+    out_bits = max(1, (width - 1).bit_length())
+    index = [0] * out_bits      # constant-0 literals
+    found = 0
+    for position in range(width - 1, -1, -1):
+        is_here = aig.add_and(inputs[position], aig.add_not(found) if found else 1)
+        found = aig.add_or(found, inputs[position]) if found else inputs[position]
+        for bit in range(out_bits):
+            if (position >> bit) & 1:
+                index[bit] = aig.add_or(index[bit], is_here) if index[bit] else is_here
+    for bit, literal in enumerate(index):
+        aig.add_po(literal, name=f"idx{bit}")
+    aig.add_po(found, name="valid")
+    return aig
+
+
+class AreaOnlyEvaluator(QoREvaluator):
+    """Equation (1) with the delay term dropped: minimise LUT count only."""
+
+    def _qor(self, mapping) -> float:  # noqa: D401 - see QoREvaluator
+        return mapping.area / self.reference_area
+
+
+def main() -> None:
+    aig = build_priority_encoder(12)
+    print(f"user circuit: {aig.stats()}")
+    baseline = map_aig(aig)
+    print(f"unoptimised mapping: {baseline.area} LUTs, {baseline.delay} levels")
+
+    evaluator = AreaOnlyEvaluator(aig, lut_size=6)
+    print(f"resyn2 reference area: {evaluator.reference_area} LUTs")
+
+    optimiser = BOiLS(space=SequenceSpace(sequence_length=8), seed=1,
+                      num_initial=5, local_search_queries=120, fit_every=2)
+    result = optimiser.optimise(evaluator, budget=20)
+
+    print(f"\nbest sequence: {', '.join(result.best_sequence)}")
+    print(f"area-only QoR improvement vs resyn2: "
+          f"{(1.0 - result.best_qor) * 100:.2f}% fewer LUTs "
+          f"({result.best_area} LUTs, {result.best_delay} levels)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation artefacts end to end.
+
+Regenerates, at a configurable scale, every table and figure of the
+paper's Section IV:
+
+* Figure 3 (top):   QoR-improvement table over all circuits and methods,
+* Figure 1:         evaluations needed to reach 97.5 % of BOiLS's QoR,
+* Figure 3 (middle): convergence curves on the large circuits,
+* Figure 3 (bottom): area/delay Pareto fronts and %-on-front statistics,
+
+and writes everything to ``examples/output/``.
+
+Run (quick, a few minutes):
+    python examples/reproduce_qor_table.py
+
+Run closer to paper scale (hours; uses all ten circuits, K=20, 5 seeds):
+    REPRO_BUDGET=200 REPRO_SEEDS=5 REPRO_SEQ_LENGTH=20 \
+        python examples/reproduce_qor_table.py --full
+"""
+
+import argparse
+import os
+from pathlib import Path
+
+from repro.circuits.registry import LARGE_CIRCUITS
+from repro.experiments import (
+    ExperimentConfig,
+    build_qor_table,
+    run_experiment,
+    sample_efficiency_study,
+)
+from repro.experiments.convergence import build_convergence_curves
+from repro.experiments.figures import (
+    render_figure1,
+    render_figure3_convergence,
+    render_figure3_pareto,
+    render_figure3_table,
+)
+from repro.experiments.pareto import build_pareto_study
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def make_config(full: bool) -> ExperimentConfig:
+    if full:
+        circuits = ("adder", "bar", "div", "hyp", "log2", "max",
+                    "multiplier", "sin", "sqrt", "square")
+        methods = ("boils", "sbo", "rs", "greedy", "ga", "a2c", "ppo")
+    else:
+        circuits = ("adder", "sqrt", "multiplier", "max")
+        methods = ("boils", "sbo", "rs", "greedy", "ga")
+    return ExperimentConfig(
+        budget=int(os.environ.get("REPRO_BUDGET", 15)),
+        num_seeds=int(os.environ.get("REPRO_SEEDS", 1)),
+        sequence_length=int(os.environ.get("REPRO_SEQ_LENGTH", 8)),
+        circuits=circuits,
+        methods=methods,
+        method_overrides={
+            "boils": {"num_initial": 5, "local_search_queries": 150, "adam_steps": 3,
+                      "fit_every": 2},
+            "sbo": {"num_initial": 5, "adam_steps": 3, "fit_every": 2},
+        },
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use all ten circuits and all methods")
+    args = parser.parse_args()
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    config = make_config(args.full)
+
+    # ------------------------------------------------------------------
+    print("=== Figure 3 (top): QoR table ===")
+    results = run_experiment(config, progress=lambda m: print(f"  [{m}]"))
+    table = build_qor_table(results)
+    text = render_figure3_table(table)
+    print(text)
+    (OUTPUT_DIR / "fig3_top_table.txt").write_text(text)
+    (OUTPUT_DIR / "fig3_top_table.csv").write_text(table.to_csv())
+
+    # ------------------------------------------------------------------
+    print("\n=== Figure 3 (middle): convergence on large circuits ===")
+    large = [c for c in config.circuits if c in LARGE_CIRCUITS] or list(config.circuits)[:2]
+    large_results = [r for r in results if r.circuit in large]
+    curves = build_convergence_curves(large_results)
+    (OUTPUT_DIR / "fig3_middle_convergence.csv").write_text(curves.to_csv())
+    (OUTPUT_DIR / "fig3_middle_convergence.txt").write_text(
+        render_figure3_convergence(curves))
+    print(f"  wrote curves for {curves.circuits}")
+
+    # ------------------------------------------------------------------
+    print("\n=== Figure 3 (bottom): Pareto fronts ===")
+    pareto = build_pareto_study(large_results)
+    pareto_text = render_figure3_pareto(pareto)
+    print("\n".join(pareto_text.splitlines()[:8]))
+    (OUTPUT_DIR / "fig3_bottom_pareto.txt").write_text(pareto_text)
+    (OUTPUT_DIR / "fig3_bottom_pareto.csv").write_text(pareto.to_csv())
+
+    # ------------------------------------------------------------------
+    print("\n=== Figure 1: sample efficiency ===")
+    fig1_config = ExperimentConfig(
+        budget=config.budget, num_seeds=config.num_seeds,
+        sequence_length=config.sequence_length,
+        circuits=tuple(config.circuits[:2]),
+        methods=tuple(m for m in config.methods if m in ("boils", "sbo", "rs", "ga")),
+        method_overrides=config.method_overrides,
+    )
+    study = sample_efficiency_study(fig1_config, extended_budget=3 * config.budget)
+    fig1_text = render_figure1(study)
+    print(fig1_text)
+    (OUTPUT_DIR / "fig1_sample_efficiency.txt").write_text(fig1_text)
+
+    print(f"\nall artefacts written to {OUTPUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""And-Inverter Graph (AIG) substrate.
+
+This package provides the circuit representation used throughout the
+reproduction: an AIG with structural hashing, complemented edges, AIGER
+file I/O, bit-parallel simulation, k-feasible cut enumeration and
+truth-table utilities.  It plays the role that ABC's internal network
+representation plays for the original BOiLS paper.
+"""
+
+from repro.aig.graph import AIG, Literal, AigNode
+from repro.aig.aiger import read_aiger, write_aiger, read_aiger_string, write_aiger_string
+from repro.aig.simulation import simulate, simulate_words, random_simulation
+from repro.aig.cuts import Cut, enumerate_cuts, cut_truth_table
+from repro.aig.verilog import write_verilog, write_lut_verilog, verilog_module
+from repro.aig import truth
+
+__all__ = [
+    "AIG",
+    "Literal",
+    "AigNode",
+    "read_aiger",
+    "write_aiger",
+    "read_aiger_string",
+    "write_aiger_string",
+    "simulate",
+    "simulate_words",
+    "random_simulation",
+    "Cut",
+    "enumerate_cuts",
+    "cut_truth_table",
+    "write_verilog",
+    "write_lut_verilog",
+    "verilog_module",
+    "truth",
+]

@@ -1,0 +1,195 @@
+"""k-feasible cut enumeration over AIGs.
+
+Cuts are the workhorse of both the technology mapper (``if -K 6``
+equivalent) and the rewriting/refactoring passes.  A *cut* of a node is a
+set of variables (leaves) such that every path from a PI to the node
+passes through a leaf.  We use the classic bottom-up priority-cut
+enumeration: the cut set of an AND node is the pairwise merge of the cut
+sets of its fanins, pruned to cuts of at most ``k`` leaves and limited to
+the ``max_cuts`` best cuts per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.graph import AIG, Literal, lit_var, lit_is_compl
+from repro.aig import truth
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut: an ordered tuple of leaf variable indices."""
+
+    leaves: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True when this cut's leaves are a subset of the other's."""
+        return set(self.leaves).issubset(other.leaves)
+
+    def merge(self, other: "Cut", k: int) -> Optional["Cut"]:
+        """Union of two cuts, or ``None`` when it exceeds ``k`` leaves."""
+        union = tuple(sorted(set(self.leaves) | set(other.leaves)))
+        if len(union) > k:
+            return None
+        return Cut(union)
+
+
+def _filter_dominated(cuts: List[Cut]) -> List[Cut]:
+    """Remove cuts dominated by (i.e. supersets of) another cut."""
+    result: List[Cut] = []
+    for cut in sorted(cuts, key=lambda c: c.size):
+        if any(existing.dominates(cut) for existing in result):
+            continue
+        result.append(cut)
+    return result
+
+
+def enumerate_cuts(
+    aig: AIG,
+    k: int = 6,
+    max_cuts: int = 8,
+    include_trivial: bool = True,
+    depths: Optional[Sequence[int]] = None,
+) -> Dict[int, List[Cut]]:
+    """Enumerate up to ``max_cuts`` k-feasible cuts for every variable.
+
+    Parameters
+    ----------
+    aig:
+        Graph to process.
+    k:
+        Maximum number of leaves per cut.
+    max_cuts:
+        Priority-cut limit per node (keeps enumeration polynomial).
+    include_trivial:
+        Whether the trivial cut ``{node}`` is included in each node's list
+        (required for mapping; rewriting usually skips it).
+    depths:
+        Optional per-variable arrival times.  When given, cuts are
+        prioritised by the depth they would give the node (then by size),
+        which is what a delay-oriented mapper needs; without it cuts are
+        prioritised by size (what the rewriting passes want).
+
+    Returns
+    -------
+    Mapping from variable index to its list of cuts; the trivial cut, when
+    present, is always first.
+    """
+    cuts: Dict[int, List[Cut]] = {0: [Cut((0,))]}
+    for var in aig.pis:
+        cuts[var] = [Cut((var,))]
+
+    if depths is not None:
+
+        def priority(cut: Cut):
+            arrival = 1 + max(depths[leaf] for leaf in cut.leaves)
+            return (arrival, cut.size, cut.leaves)
+
+    else:
+
+        def priority(cut: Cut):
+            return (cut.size, cut.leaves)
+
+    # ``merge_base`` always contains the trivial cut of every node so that
+    # deep nodes keep at least their structural cut available for merging;
+    # ``include_trivial`` only controls whether the trivial cut is returned.
+    merge_base: Dict[int, List[Cut]] = {0: [Cut((0,))]}
+    for var in aig.pis:
+        merge_base[var] = [Cut((var,))]
+
+    for node in aig.nodes():
+        if not node.is_and:
+            continue
+        assert node.fanin0 is not None and node.fanin1 is not None
+        v0 = lit_var(node.fanin0)
+        v1 = lit_var(node.fanin1)
+        merged: List[Cut] = []
+        for c0 in merge_base.get(v0, [Cut((v0,))]):
+            for c1 in merge_base.get(v1, [Cut((v1,))]):
+                combined = c0.merge(c1, k)
+                if combined is not None:
+                    merged.append(combined)
+        merged = _filter_dominated(merged)
+        merged.sort(key=priority)
+        merged = merged[:max_cuts]
+        merge_base[node.var] = [Cut((node.var,))] + merged
+        node_cuts = [Cut((node.var,))] if include_trivial else []
+        node_cuts.extend(c for c in merged if c.leaves != (node.var,))
+        cuts[node.var] = node_cuts
+    return cuts
+
+
+def cut_cone_vars(aig: AIG, root: int, cut: Cut) -> List[int]:
+    """Variables strictly inside the cone between ``root`` and the cut leaves.
+
+    Returned in topological order (leaves excluded, root included).
+    """
+    leaves = set(cut.leaves)
+    visited: Dict[int, bool] = {}
+    order: List[int] = []
+
+    def visit(var: int) -> None:
+        if var in visited or var in leaves:
+            return
+        visited[var] = True
+        node = aig.node(var)
+        if node.is_and:
+            assert node.fanin0 is not None and node.fanin1 is not None
+            visit(lit_var(node.fanin0))
+            visit(lit_var(node.fanin1))
+        order.append(var)
+
+    visit(root)
+    return order
+
+
+def cut_truth_table(aig: AIG, root: int, cut: Cut) -> int:
+    """Truth table of ``root`` expressed over the cut leaves.
+
+    Leaf ``i`` of the cut corresponds to truth-table variable ``i``.  The
+    result has ``2 ** cut.size`` bits.
+    """
+    n = cut.size
+    leaf_index = {leaf: i for i, leaf in enumerate(cut.leaves)}
+    tables: Dict[int, int] = {}
+    for leaf, idx in leaf_index.items():
+        tables[leaf] = truth.var_table(idx, n)
+    tables[0] = 0  # constant node
+
+    for var in cut_cone_vars(aig, root, cut):
+        node = aig.node(var)
+        if not node.is_and:
+            # A PI inside the cone that is not a leaf cannot happen for a
+            # valid cut; guard defensively.
+            if var not in tables:
+                raise ValueError(f"cut {cut.leaves} does not cover node {root}")
+            continue
+        assert node.fanin0 is not None and node.fanin1 is not None
+        t0 = _fanin_table(tables, node.fanin0, n)
+        t1 = _fanin_table(tables, node.fanin1, n)
+        tables[var] = t0 & t1
+
+    if root not in tables:
+        raise ValueError(f"cut {cut.leaves} does not cover node {root}")
+    return tables[root]
+
+
+def _fanin_table(tables: Dict[int, int], fanin: Literal, num_vars: int) -> int:
+    var = lit_var(fanin)
+    if var not in tables:
+        raise ValueError(f"fanin variable {var} missing from cut cone")
+    table = tables[var]
+    if lit_is_compl(fanin):
+        table = truth.tt_not(table, num_vars)
+    return table
+
+
+def cut_volume(aig: AIG, root: int, cut: Cut) -> int:
+    """Number of AND nodes strictly inside the cut cone (the MFFC-ish volume)."""
+    return sum(1 for var in cut_cone_vars(aig, root, cut) if aig.is_and(var))

@@ -1,0 +1,399 @@
+"""Core And-Inverter Graph data structure.
+
+An AIG represents a combinational logic network using only two-input AND
+nodes and inverters encoded as edge attributes (complemented edges).  The
+encoding follows the AIGER convention:
+
+* every node has an integer *variable index* ``var >= 0``,
+* a *literal* is ``2 * var + complement`` where ``complement`` is 0 or 1,
+* variable 0 is the constant node, literal 0 is constant false and
+  literal 1 is constant true,
+* primary inputs and AND nodes occupy variables ``1 .. num_vars - 1``,
+* primary outputs are literals referring to any node.
+
+The class maintains structural hashing (no two AND nodes share the same
+ordered fanin pair), fanout counts and levels.  All synthesis operations in
+:mod:`repro.synth` are expressed in terms of this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+Literal = int
+"""Type alias for an AIGER-style literal (``2 * var + complement``)."""
+
+CONST0: Literal = 0
+CONST1: Literal = 1
+
+
+def lit(var: int, complement: bool = False) -> Literal:
+    """Build a literal from a variable index and a complement flag."""
+    return 2 * var + int(bool(complement))
+
+
+def lit_var(literal: Literal) -> int:
+    """Return the variable index of a literal."""
+    return literal >> 1
+
+
+def lit_is_compl(literal: Literal) -> bool:
+    """Return ``True`` when the literal is complemented."""
+    return bool(literal & 1)
+
+
+def lit_not(literal: Literal) -> Literal:
+    """Return the complement of a literal."""
+    return literal ^ 1
+
+
+def lit_regular(literal: Literal) -> Literal:
+    """Return the non-complemented version of a literal."""
+    return literal & ~1
+
+
+@dataclass(frozen=True)
+class AigNode:
+    """Immutable record describing one AIG node.
+
+    Attributes
+    ----------
+    var:
+        Variable index of the node.
+    kind:
+        One of ``"const"``, ``"pi"`` or ``"and"``.
+    fanin0, fanin1:
+        Fanin literals for AND nodes (``None`` for constants and PIs).
+    name:
+        Optional symbolic name (used for PIs/POs round-tripped from AIGER).
+    """
+
+    var: int
+    kind: str
+    fanin0: Optional[Literal] = None
+    fanin1: Optional[Literal] = None
+    name: Optional[str] = None
+
+    @property
+    def is_and(self) -> bool:
+        return self.kind == "and"
+
+    @property
+    def is_pi(self) -> bool:
+        return self.kind == "pi"
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind == "const"
+
+
+class AIG:
+    """A combinational And-Inverter Graph with structural hashing.
+
+    The graph is append-only: nodes are created through :meth:`add_pi` and
+    :meth:`add_and` and never mutated in place.  Synthesis operations build
+    a new :class:`AIG` rather than editing an existing one, which keeps the
+    data structure simple and makes reasoning about transformations easy
+    (this mirrors how most Python logic-synthesis experiments drive ABC:
+    each pass produces a new network).
+    """
+
+    def __init__(self, name: str = "aig") -> None:
+        self.name = name
+        # Node storage indexed by variable number.  Index 0 is the constant.
+        self._nodes: List[AigNode] = [AigNode(var=0, kind="const")]
+        self._pis: List[int] = []           # variable indices of PIs
+        self._pos: List[Literal] = []        # output literals
+        self._po_names: List[Optional[str]] = []
+        # Structural hashing: (fanin0, fanin1) -> var of existing AND node.
+        self._strash: Dict[Tuple[Literal, Literal], int] = {}
+        # Cached levels, invalidated on mutation.
+        self._levels: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_pi(self, name: Optional[str] = None) -> Literal:
+        """Create a primary input and return its (positive) literal."""
+        var = len(self._nodes)
+        self._nodes.append(AigNode(var=var, kind="pi", name=name))
+        self._pis.append(var)
+        self._levels = None
+        return lit(var)
+
+    def add_and(self, a: Literal, b: Literal) -> Literal:
+        """Create (or reuse) an AND node over literals ``a`` and ``b``.
+
+        Performs constant propagation and structural hashing, so the
+        returned literal may refer to an existing node, a fanin or a
+        constant.
+        """
+        self._check_literal(a)
+        self._check_literal(b)
+        # Normalise operand order for structural hashing.
+        if a > b:
+            a, b = b, a
+        # Constant / trivial cases.
+        if a == CONST0:
+            return CONST0
+        if a == CONST1:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return CONST0
+        key = (a, b)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return lit(existing)
+        var = len(self._nodes)
+        self._nodes.append(AigNode(var=var, kind="and", fanin0=a, fanin1=b))
+        self._strash[key] = var
+        self._levels = None
+        return lit(var)
+
+    def add_po(self, literal: Literal, name: Optional[str] = None) -> int:
+        """Register ``literal`` as a primary output; return the output index."""
+        self._check_literal(literal)
+        self._pos.append(literal)
+        self._po_names.append(name)
+        return len(self._pos) - 1
+
+    def set_po(self, index: int, literal: Literal) -> None:
+        """Redirect an existing primary output to a new literal."""
+        self._check_literal(literal)
+        self._pos[index] = literal
+
+    # ------------------------------------------------------------------
+    # Derived logic helpers (convenience constructors used by generators)
+    # ------------------------------------------------------------------
+    def add_not(self, a: Literal) -> Literal:
+        return lit_not(a)
+
+    def add_or(self, a: Literal, b: Literal) -> Literal:
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_nand(self, a: Literal, b: Literal) -> Literal:
+        return lit_not(self.add_and(a, b))
+
+    def add_nor(self, a: Literal, b: Literal) -> Literal:
+        return self.add_and(lit_not(a), lit_not(b))
+
+    def add_xor(self, a: Literal, b: Literal) -> Literal:
+        # a ^ b = (a & ~b) | (~a & b)
+        t0 = self.add_and(a, lit_not(b))
+        t1 = self.add_and(lit_not(a), b)
+        return self.add_or(t0, t1)
+
+    def add_xnor(self, a: Literal, b: Literal) -> Literal:
+        return lit_not(self.add_xor(a, b))
+
+    def add_mux(self, sel: Literal, then_lit: Literal, else_lit: Literal) -> Literal:
+        """Return ``sel ? then_lit : else_lit``."""
+        t0 = self.add_and(sel, then_lit)
+        t1 = self.add_and(lit_not(sel), else_lit)
+        return self.add_or(t0, t1)
+
+    def add_maj(self, a: Literal, b: Literal, c: Literal) -> Literal:
+        """Majority-of-three, used by adder generators."""
+        ab = self.add_and(a, b)
+        ac = self.add_and(a, c)
+        bc = self.add_and(b, c)
+        return self.add_or(self.add_or(ab, ac), bc)
+
+    def add_and_multi(self, literals: Sequence[Literal]) -> Literal:
+        """Balanced AND over an arbitrary number of literals."""
+        items = list(literals)
+        if not items:
+            return CONST1
+        while len(items) > 1:
+            nxt = []
+            for i in range(0, len(items) - 1, 2):
+                nxt.append(self.add_and(items[i], items[i + 1]))
+            if len(items) % 2:
+                nxt.append(items[-1])
+            items = nxt
+        return items[0]
+
+    def add_or_multi(self, literals: Sequence[Literal]) -> Literal:
+        return lit_not(self.add_and_multi([lit_not(x) for x in literals]))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_pis(self) -> int:
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        return len(self._pos)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._nodes) - 1 - len(self._pis)
+
+    @property
+    def pis(self) -> List[int]:
+        """Variable indices of primary inputs, in creation order."""
+        return list(self._pis)
+
+    @property
+    def pos(self) -> List[Literal]:
+        """Output literals, in creation order."""
+        return list(self._pos)
+
+    @property
+    def po_names(self) -> List[Optional[str]]:
+        return list(self._po_names)
+
+    def node(self, var: int) -> AigNode:
+        return self._nodes[var]
+
+    def nodes(self) -> Iterator[AigNode]:
+        """Iterate over all nodes in topological (creation) order."""
+        return iter(self._nodes)
+
+    def and_nodes(self) -> Iterator[AigNode]:
+        for node in self._nodes:
+            if node.is_and:
+                yield node
+
+    def is_pi(self, var: int) -> bool:
+        return self._nodes[var].is_pi
+
+    def is_and(self, var: int) -> bool:
+        return self._nodes[var].is_and
+
+    def fanins(self, var: int) -> Tuple[Literal, Literal]:
+        node = self._nodes[var]
+        if not node.is_and:
+            raise ValueError(f"node {var} is not an AND node")
+        assert node.fanin0 is not None and node.fanin1 is not None
+        return node.fanin0, node.fanin1
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def levels(self) -> List[int]:
+        """Return the level (AND-depth from PIs) of every variable."""
+        if self._levels is None:
+            levels = [0] * len(self._nodes)
+            for node in self._nodes:
+                if node.is_and:
+                    assert node.fanin0 is not None and node.fanin1 is not None
+                    levels[node.var] = 1 + max(
+                        levels[lit_var(node.fanin0)], levels[lit_var(node.fanin1)]
+                    )
+            self._levels = levels
+        return list(self._levels)
+
+    def depth(self) -> int:
+        """Maximum AND-level over all primary outputs."""
+        if not self._pos:
+            return 0
+        levels = self.levels()
+        return max(levels[lit_var(po)] for po in self._pos)
+
+    def fanout_counts(self) -> List[int]:
+        """Number of fanout references (including PO references) per variable."""
+        counts = [0] * len(self._nodes)
+        for node in self._nodes:
+            if node.is_and:
+                assert node.fanin0 is not None and node.fanin1 is not None
+                counts[lit_var(node.fanin0)] += 1
+                counts[lit_var(node.fanin1)] += 1
+        for po in self._pos:
+            counts[lit_var(po)] += 1
+        return counts
+
+    def reachable_vars(self) -> List[int]:
+        """Variables in the transitive fanin of the primary outputs."""
+        seen = [False] * len(self._nodes)
+        stack = [lit_var(po) for po in self._pos]
+        while stack:
+            var = stack.pop()
+            if seen[var]:
+                continue
+            seen[var] = True
+            node = self._nodes[var]
+            if node.is_and:
+                assert node.fanin0 is not None and node.fanin1 is not None
+                stack.append(lit_var(node.fanin0))
+                stack.append(lit_var(node.fanin1))
+        return [v for v in range(len(self._nodes)) if seen[v]]
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics comparable to ABC's ``print_stats``."""
+        return {
+            "pis": self.num_pis,
+            "pos": self.num_pos,
+            "ands": self.num_ands,
+            "levels": self.depth(),
+        }
+
+    # ------------------------------------------------------------------
+    # Cleanup / copying
+    # ------------------------------------------------------------------
+    def cleanup(self) -> "AIG":
+        """Return a copy with dangling (unreachable) AND nodes removed."""
+        return self.copy_with()
+
+    def copy_with(self, po_map=None) -> "AIG":
+        """Structurally copy the reachable part of the graph.
+
+        Parameters
+        ----------
+        po_map:
+            Optional callable mapping ``(old_aig, old_literal, translate)``
+            to a new literal; used by transformation passes to substitute
+            logic while copying.  ``translate`` is a function converting an
+            old literal to a literal in the new AIG.
+        """
+        new = AIG(name=self.name)
+        mapping: Dict[int, Literal] = {0: CONST0}
+        for pi_var in self._pis:
+            node = self._nodes[pi_var]
+            mapping[pi_var] = new.add_pi(name=node.name)
+
+        def translate(old_lit: Literal) -> Literal:
+            base = mapping[lit_var(old_lit)]
+            return base ^ (old_lit & 1)
+
+        reachable = set(self.reachable_vars())
+        for node in self._nodes:
+            if node.is_and and node.var in reachable:
+                assert node.fanin0 is not None and node.fanin1 is not None
+                mapping[node.var] = new.add_and(
+                    translate(node.fanin0), translate(node.fanin1)
+                )
+        for po_lit, po_name in zip(self._pos, self._po_names):
+            if po_map is not None:
+                new_lit = po_map(self, po_lit, translate)
+            else:
+                new_lit = translate(po_lit)
+            new.add_po(new_lit, name=po_name)
+        return new
+
+    def copy(self) -> "AIG":
+        """Deep copy preserving all reachable structure."""
+        return self.copy_with()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_literal(self, literal: Literal) -> None:
+        if literal < 0 or lit_var(literal) >= len(self._nodes):
+            raise ValueError(f"literal {literal} refers to an unknown node")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AIG(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"ands={self.num_ands}, levels={self.depth()})"
+        )

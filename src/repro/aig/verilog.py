@@ -1,0 +1,176 @@
+"""Structural Verilog export.
+
+Two writers are provided so optimisation results can leave the Python
+world and enter a conventional FPGA/ASIC flow:
+
+* :func:`write_verilog` — gate-level Verilog of the AIG itself (two-input
+  ``and`` gates plus inverters expressed with ``assign`` statements), and
+* :func:`write_lut_verilog` — a LUT-level netlist of a
+  :class:`repro.mapping.MappingResult`, with each LUT emitted as an
+  ``assign`` over its leaf signals using the cut's truth table.
+
+Both emit plain synthesisable Verilog-2001 with no vendor primitives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.aig.cuts import Cut, cut_truth_table
+from repro.aig.graph import AIG, Literal, lit_is_compl, lit_var
+from repro.mapping.lut_mapper import MappingResult
+
+
+def _sanitise(name: str) -> str:
+    """Make an arbitrary symbol name a legal Verilog identifier."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "n_" + cleaned
+    return cleaned
+
+
+def _signal_names(aig: AIG) -> Dict[int, str]:
+    """Stable net name per variable: PI names when present, ``n<var>`` else."""
+    names: Dict[int, str] = {0: "const0"}
+    used = set(names.values())
+    for index, pi_var in enumerate(aig.pis):
+        raw = aig.node(pi_var).name or f"pi{index}"
+        name = _sanitise(raw)
+        while name in used:
+            name += "_"
+        names[pi_var] = name
+        used.add(name)
+    for node in aig.and_nodes():
+        names[node.var] = f"n{node.var}"
+    return names
+
+
+def _literal_expr(literal: Literal, names: Dict[int, str]) -> str:
+    if literal == 0:
+        return "1'b0"
+    if literal == 1:
+        return "1'b1"
+    base = names[lit_var(literal)]
+    return f"~{base}" if lit_is_compl(literal) else base
+
+
+def verilog_module(aig: AIG, module_name: Optional[str] = None) -> str:
+    """Render the AIG as a gate-level Verilog module (returned as a string)."""
+    module_name = _sanitise(module_name or aig.name or "aig")
+    clean = aig.cleanup()
+    names = _signal_names(clean)
+
+    input_ports = [names[pi] for pi in clean.pis]
+    output_ports = []
+    for index, po_name in enumerate(clean.po_names):
+        raw = po_name or f"po{index}"
+        port = _sanitise(raw)
+        while port in set(input_ports) | set(output_ports):
+            port += "_"
+        output_ports.append(port)
+
+    lines: List[str] = []
+    lines.append(f"module {module_name} (")
+    ports = [f"  input  wire {p}" for p in input_ports] + \
+            [f"  output wire {p}" for p in output_ports]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("")
+    and_vars = [node.var for node in clean.and_nodes()]
+    if and_vars:
+        wires = ", ".join(names[var] for var in and_vars)
+        lines.append(f"  wire {wires};")
+        lines.append("")
+    for var in and_vars:
+        f0, f1 = clean.fanins(var)
+        lines.append(
+            f"  assign {names[var]} = {_literal_expr(f0, names)} & "
+            f"{_literal_expr(f1, names)};"
+        )
+    lines.append("")
+    for port, po_lit in zip(output_ports, clean.pos):
+        lines.append(f"  assign {port} = {_literal_expr(po_lit, names)};")
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog(aig: AIG, path: Union[str, Path],
+                  module_name: Optional[str] = None) -> None:
+    """Write :func:`verilog_module` output to ``path``."""
+    Path(path).write_text(verilog_module(aig, module_name=module_name))
+
+
+# ----------------------------------------------------------------------
+# LUT-level netlist
+# ----------------------------------------------------------------------
+def lut_verilog_module(aig: AIG, mapping: MappingResult,
+                       module_name: Optional[str] = None) -> str:
+    """Render a mapped LUT netlist as Verilog.
+
+    Each selected LUT becomes one ``assign`` whose right-hand side is the
+    sum-of-minterms of the cut function over the LUT's leaf signals —
+    functionally exact and vendor-neutral (synthesis tools re-map it onto
+    their own LUT primitives).
+    """
+    module_name = _sanitise((module_name or aig.name or "aig") + "_luts")
+    names = _signal_names(aig)
+
+    input_ports = [names[pi] for pi in aig.pis]
+    output_ports = []
+    for index, po_name in enumerate(aig.po_names):
+        raw = po_name or f"po{index}"
+        port = _sanitise(raw)
+        while port in set(input_ports) | set(output_ports):
+            port += "_"
+        output_ports.append(port)
+
+    lines: List[str] = [f"module {module_name} ("]
+    ports = [f"  input  wire {p}" for p in input_ports] + \
+            [f"  output wire {p}" for p in output_ports]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("")
+    lut_roots = [lut.root for lut in mapping.luts]
+    if lut_roots:
+        lines.append("  wire " + ", ".join(names[root] for root in lut_roots) + ";")
+        lines.append("")
+    for lut in mapping.luts:
+        table = cut_truth_table(aig, lut.root, Cut(lut.leaves))
+        expr = _sop_expression(table, [names[leaf] for leaf in lut.leaves])
+        lines.append(f"  assign {names[lut.root]} = {expr};")
+    lines.append("")
+    for port, po_lit in zip(output_ports, aig.pos):
+        lines.append(f"  assign {port} = {_literal_expr(po_lit, names)};")
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _sop_expression(table: int, leaf_names: List[str]) -> str:
+    """Sum-of-minterms Verilog expression of a truth table over named leaves."""
+    num_vars = len(leaf_names)
+    num_minterms = 1 << num_vars
+    if table == 0:
+        return "1'b0"
+    if table == (1 << num_minterms) - 1:
+        return "1'b1"
+    terms = []
+    for minterm in range(num_minterms):
+        if not (table >> minterm) & 1:
+            continue
+        factors = []
+        for var in range(num_vars):
+            if (minterm >> var) & 1:
+                factors.append(leaf_names[var])
+            else:
+                factors.append(f"~{leaf_names[var]}")
+        terms.append("(" + " & ".join(factors) + ")")
+    return " | ".join(terms)
+
+
+def write_lut_verilog(aig: AIG, mapping: MappingResult, path: Union[str, Path],
+                      module_name: Optional[str] = None) -> None:
+    """Write :func:`lut_verilog_module` output to ``path``."""
+    Path(path).write_text(lut_verilog_module(aig, mapping, module_name=module_name))

@@ -1,0 +1,25 @@
+"""Baseline optimisers the paper compares BOiLS against.
+
+* :class:`RandomSearch` — Latin-hypercube categorical sampling (the paper's
+  RS baseline, built on pymoo's LHS in the original).
+* :class:`GreedySearch` — builds one sequence position by position, always
+  appending the operation with the best immediate QoR.
+* :class:`GeneticAlgorithm` — tournament selection, uniform crossover and
+  per-position mutation (the paper uses the ``geneticalgorithm2`` package).
+* :mod:`repro.baselines.rl` — DRiLLS-style deep RL (A2C and PPO) and a
+  Graph-RL variant with structural AIG features.
+"""
+
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.greedy import GreedySearch
+from repro.baselines.genetic import GeneticAlgorithm
+from repro.baselines.rl import A2COptimiser, PPOOptimiser, GraphRLOptimiser
+
+__all__ = [
+    "RandomSearch",
+    "GreedySearch",
+    "GeneticAlgorithm",
+    "A2COptimiser",
+    "PPOOptimiser",
+    "GraphRLOptimiser",
+]

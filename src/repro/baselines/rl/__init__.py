@@ -1,0 +1,28 @@
+"""Reinforcement-learning baselines (DRiLLS-style A2C/PPO and Graph-RL).
+
+The paper benchmarks against DRiLLS (Hosny et al., ASP-DAC 2020) with both
+A2C and PPO policy updates, and against the graph-based RL of Haaswijk et
+al.  These reproductions keep the same Markov decision process — the state
+is a vector of statistics of the partially-optimised AIG, an action picks
+the next synthesis operation, an episode is one complete K-operation
+sequence — with small NumPy multilayer-perceptron policy/value networks
+trained by the corresponding update rules.  The networks are deliberately
+small: the paper's point is about the *sample complexity of the method
+class*, which is governed by the MDP formulation and the on-policy update
+rules, not by network capacity.
+"""
+
+from repro.baselines.rl.a2c import A2COptimiser
+from repro.baselines.rl.ppo import PPOOptimiser
+from repro.baselines.rl.graph_rl import GraphRLOptimiser
+from repro.baselines.rl.env import SynthesisEnvironment
+from repro.baselines.rl.networks import MLP, PolicyValueNetwork
+
+__all__ = [
+    "A2COptimiser",
+    "PPOOptimiser",
+    "GraphRLOptimiser",
+    "SynthesisEnvironment",
+    "MLP",
+    "PolicyValueNetwork",
+]

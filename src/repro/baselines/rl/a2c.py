@@ -1,0 +1,94 @@
+"""Advantage actor-critic (A2C) baseline — DRiLLS with the A2C update rule."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.rl.env import SynthesisEnvironment
+from repro.baselines.rl.networks import PolicyValueNetwork
+from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.space import SequenceSpace
+from repro.qor.evaluator import QoREvaluator
+
+
+class A2COptimiser(SequenceOptimiser):
+    """On-policy actor-critic over the synthesis MDP.
+
+    Every episode is one tested sequence; the optimiser keeps collecting
+    episodes, updating the policy/value networks after each one, until the
+    evaluation budget (in tested sequences) is exhausted.
+    """
+
+    name = "DRiLLS (A2C)"
+
+    def __init__(
+        self,
+        space: Optional[SequenceSpace] = None,
+        seed: int = 0,
+        hidden_dim: int = 32,
+        learning_rate: float = 3e-3,
+        discount: float = 0.99,
+        entropy_coefficient: float = 0.01,
+        use_graph_features: bool = False,
+    ) -> None:
+        super().__init__(space=space, seed=seed)
+        self.hidden_dim = hidden_dim
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.entropy_coefficient = entropy_coefficient
+        self.use_graph_features = use_graph_features
+
+    # ------------------------------------------------------------------
+    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
+        """Collect episodes until ``budget`` sequences have been tested."""
+        env = SynthesisEnvironment(evaluator, space=self.space,
+                                   use_graph_features=self.use_graph_features)
+        network = PolicyValueNetwork(
+            state_dim=env.state_dim,
+            num_actions=env.num_actions,
+            hidden_dim=self.hidden_dim,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+        )
+        episode_returns: List[float] = []
+        while evaluator.num_evaluations < budget:
+            states, actions, rewards = self._rollout(env, network)
+            returns = self._discounted_returns(rewards)
+            values = np.array([network.state_value(s) for s in states])
+            advantages = returns - values
+            if np.std(advantages) > 1e-8:
+                advantages = (advantages - advantages.mean()) / advantages.std()
+            network.policy_gradient_step(
+                np.array(states), np.array(actions), advantages,
+                entropy_coefficient=self.entropy_coefficient,
+            )
+            network.value_step(np.array(states), returns)
+            episode_returns.append(float(np.sum(rewards)))
+
+        result = self._build_result(evaluator, evaluator.aig.name)
+        result.metadata["episode_returns"] = episode_returns
+        return result
+
+    # ------------------------------------------------------------------
+    def _rollout(self, env: SynthesisEnvironment, network: PolicyValueNetwork):
+        states, actions, rewards = [], [], []
+        state = env.reset()
+        done = False
+        while not done:
+            action = network.sample_action(state, self.rng)
+            next_state, reward, done = env.step(action)
+            states.append(state)
+            actions.append(action)
+            rewards.append(reward)
+            state = next_state
+        return states, actions, rewards
+
+    def _discounted_returns(self, rewards: List[float]) -> np.ndarray:
+        returns = np.zeros(len(rewards))
+        running = 0.0
+        for index in reversed(range(len(rewards))):
+            running = rewards[index] + self.discount * running
+            returns[index] = running
+        return returns

@@ -1,0 +1,175 @@
+"""Small NumPy neural networks with manual backpropagation.
+
+Only what the RL baselines need: a two-hidden-layer MLP with tanh
+activations, a softmax policy head and a scalar value head, trained with
+Adam.  Gradients are computed analytically (no autodiff dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class MLP:
+    """Two-hidden-layer tanh MLP mapping feature vectors to a linear output."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, output_dim: int,
+                 rng: np.random.Generator) -> None:
+        scale1 = np.sqrt(2.0 / input_dim)
+        scale2 = np.sqrt(2.0 / hidden_dim)
+        self.params: Dict[str, np.ndarray] = {
+            "W1": rng.normal(0.0, scale1, size=(input_dim, hidden_dim)),
+            "b1": np.zeros(hidden_dim),
+            "W2": rng.normal(0.0, scale2, size=(hidden_dim, hidden_dim)),
+            "b2": np.zeros(hidden_dim),
+            "W3": rng.normal(0.0, scale2, size=(hidden_dim, output_dim)),
+            "b3": np.zeros(output_dim),
+        }
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Forward pass; returns the output and a cache for backprop."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        z1 = x @ self.params["W1"] + self.params["b1"]
+        h1 = np.tanh(z1)
+        z2 = h1 @ self.params["W2"] + self.params["b2"]
+        h2 = np.tanh(z2)
+        out = h2 @ self.params["W3"] + self.params["b3"]
+        cache = {"x": x, "h1": h1, "h2": h2}
+        return out, cache
+
+    def backward(self, grad_out: np.ndarray, cache: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Backprop a gradient w.r.t. the output; returns parameter grads."""
+        x, h1, h2 = cache["x"], cache["h1"], cache["h2"]
+        grads: Dict[str, np.ndarray] = {}
+        grads["W3"] = h2.T @ grad_out
+        grads["b3"] = grad_out.sum(axis=0)
+        dh2 = grad_out @ self.params["W3"].T
+        dz2 = dh2 * (1.0 - h2 ** 2)
+        grads["W2"] = h1.T @ dz2
+        grads["b2"] = dz2.sum(axis=0)
+        dh1 = dz2 @ self.params["W2"].T
+        dz1 = dh1 * (1.0 - h1 ** 2)
+        grads["W1"] = x.T @ dz1
+        grads["b1"] = dz1.sum(axis=0)
+        return grads
+
+
+class AdamState:
+    """Per-parameter Adam moment estimates."""
+
+    def __init__(self, params: Dict[str, np.ndarray], learning_rate: float = 3e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, epsilon: float = 1e-8) -> None:
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = {name: np.zeros_like(value) for name, value in params.items()}
+        self._v = {name: np.zeros_like(value) for name, value in params.items()}
+        self._t = 0
+
+    def update(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """In-place Adam update (gradient *descent*)."""
+        self._t += 1
+        for name, grad in grads.items():
+            self._m[name] = self.beta1 * self._m[name] + (1 - self.beta1) * grad
+            self._v[name] = self.beta2 * self._v[name] + (1 - self.beta2) * grad ** 2
+            m_hat = self._m[name] / (1 - self.beta1 ** self._t)
+            v_hat = self._v[name] / (1 - self.beta2 ** self._t)
+            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class PolicyValueNetwork:
+    """Actor-critic pair: a policy MLP and a value MLP over the same state."""
+
+    def __init__(self, state_dim: int, num_actions: int, hidden_dim: int = 32,
+                 learning_rate: float = 3e-3, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.num_actions = num_actions
+        self.policy = MLP(state_dim, hidden_dim, num_actions, rng)
+        self.value = MLP(state_dim, hidden_dim, 1, rng)
+        self.policy_opt = AdamState(self.policy.params, learning_rate=learning_rate)
+        self.value_opt = AdamState(self.value.params, learning_rate=learning_rate)
+
+    # ------------------------------------------------------------------
+    def action_probabilities(self, state: np.ndarray) -> np.ndarray:
+        logits, _ = self.policy.forward(state)
+        return softmax(logits)[0]
+
+    def state_value(self, state: np.ndarray) -> float:
+        value, _ = self.value.forward(state)
+        return float(value[0, 0])
+
+    def sample_action(self, state: np.ndarray, rng: np.random.Generator) -> int:
+        probs = self.action_probabilities(state)
+        return int(rng.choice(self.num_actions, p=probs))
+
+    # ------------------------------------------------------------------
+    def policy_gradient_step(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        advantages: np.ndarray,
+        entropy_coefficient: float = 0.01,
+        old_probs: Optional[np.ndarray] = None,
+        clip_epsilon: Optional[float] = None,
+    ) -> float:
+        """One gradient step on the policy loss.
+
+        Without ``clip_epsilon`` this is the vanilla advantage-weighted
+        policy-gradient (A2C) loss; with it, the PPO clipped surrogate.
+        Returns the (pre-update) loss value for logging.
+        """
+        states = np.atleast_2d(states)
+        actions = np.asarray(actions, dtype=int)
+        advantages = np.asarray(advantages, dtype=float)
+        n = states.shape[0]
+
+        logits, cache = self.policy.forward(states)
+        probs = softmax(logits)
+        chosen = probs[np.arange(n), actions]
+
+        if clip_epsilon is not None and old_probs is not None:
+            ratio = chosen / np.maximum(old_probs, 1e-12)
+            clipped = np.clip(ratio, 1.0 - clip_epsilon, 1.0 + clip_epsilon)
+            use_unclipped = (ratio * advantages) <= (clipped * advantages)
+            # Gradient of the surrogate w.r.t. log-prob of the chosen action:
+            # zero where the clipped branch is active.
+            weight = np.where(use_unclipped, ratio * advantages, 0.0)
+            loss = -float(np.mean(np.minimum(ratio * advantages, clipped * advantages)))
+        else:
+            weight = advantages
+            loss = -float(np.mean(np.log(np.maximum(chosen, 1e-12)) * advantages))
+
+        # d loss / d logits for softmax policy gradient with entropy bonus.
+        one_hot = np.zeros_like(probs)
+        one_hot[np.arange(n), actions] = 1.0
+        grad_logits = -(one_hot - probs) * weight[:, None] / n
+        entropy_grad = probs * (np.log(np.maximum(probs, 1e-12)) + 1.0)
+        grad_logits += entropy_coefficient * entropy_grad / n
+
+        grads = self.policy.backward(grad_logits, cache)
+        self.policy_opt.update(self.policy.params, grads)
+        return loss
+
+    def value_step(self, states: np.ndarray, returns: np.ndarray) -> float:
+        """One MSE gradient step on the value network; returns the loss."""
+        states = np.atleast_2d(states)
+        returns = np.asarray(returns, dtype=float).reshape(-1, 1)
+        predictions, cache = self.value.forward(states)
+        error = predictions - returns
+        loss = float(np.mean(error ** 2))
+        grad = 2.0 * error / states.shape[0]
+        grads = self.value.backward(grad, cache)
+        self.value_opt.update(self.value.params, grads)
+        return loss

@@ -1,0 +1,122 @@
+"""Proximal policy optimisation (PPO) baseline — DRiLLS with PPO updates."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.rl.env import SynthesisEnvironment
+from repro.baselines.rl.networks import PolicyValueNetwork
+from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.space import SequenceSpace
+from repro.qor.evaluator import QoREvaluator
+
+
+class PPOOptimiser(SequenceOptimiser):
+    """Clipped-surrogate PPO over the synthesis MDP.
+
+    Episodes are collected in small batches; each batch is reused for a few
+    epochs of clipped policy updates, which is PPO's defining difference
+    from A2C.
+    """
+
+    name = "DRiLLS (PPO)"
+
+    def __init__(
+        self,
+        space: Optional[SequenceSpace] = None,
+        seed: int = 0,
+        hidden_dim: int = 32,
+        learning_rate: float = 3e-3,
+        discount: float = 0.99,
+        clip_epsilon: float = 0.2,
+        update_epochs: int = 4,
+        episodes_per_batch: int = 2,
+        entropy_coefficient: float = 0.01,
+        use_graph_features: bool = False,
+    ) -> None:
+        super().__init__(space=space, seed=seed)
+        self.hidden_dim = hidden_dim
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.clip_epsilon = clip_epsilon
+        self.update_epochs = update_epochs
+        self.episodes_per_batch = max(1, episodes_per_batch)
+        self.entropy_coefficient = entropy_coefficient
+        self.use_graph_features = use_graph_features
+
+    # ------------------------------------------------------------------
+    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
+        """Collect PPO batches until ``budget`` sequences have been tested."""
+        env = SynthesisEnvironment(evaluator, space=self.space,
+                                   use_graph_features=self.use_graph_features)
+        network = PolicyValueNetwork(
+            state_dim=env.state_dim,
+            num_actions=env.num_actions,
+            hidden_dim=self.hidden_dim,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+        )
+        episode_returns: List[float] = []
+        while evaluator.num_evaluations < budget:
+            batch_states: List[np.ndarray] = []
+            batch_actions: List[int] = []
+            batch_returns: List[float] = []
+            batch_old_probs: List[float] = []
+            for _ in range(self.episodes_per_batch):
+                if evaluator.num_evaluations >= budget:
+                    break
+                states, actions, rewards, old_probs = self._rollout(env, network)
+                returns = self._discounted_returns(rewards)
+                batch_states.extend(states)
+                batch_actions.extend(actions)
+                batch_returns.extend(returns.tolist())
+                batch_old_probs.extend(old_probs)
+                episode_returns.append(float(np.sum(rewards)))
+            if not batch_states:
+                break
+            states_arr = np.array(batch_states)
+            actions_arr = np.array(batch_actions, dtype=int)
+            returns_arr = np.array(batch_returns)
+            old_probs_arr = np.array(batch_old_probs)
+            values = np.array([network.state_value(s) for s in batch_states])
+            advantages = returns_arr - values
+            if np.std(advantages) > 1e-8:
+                advantages = (advantages - advantages.mean()) / advantages.std()
+            for _ in range(self.update_epochs):
+                network.policy_gradient_step(
+                    states_arr, actions_arr, advantages,
+                    entropy_coefficient=self.entropy_coefficient,
+                    old_probs=old_probs_arr,
+                    clip_epsilon=self.clip_epsilon,
+                )
+                network.value_step(states_arr, returns_arr)
+
+        result = self._build_result(evaluator, evaluator.aig.name)
+        result.metadata["episode_returns"] = episode_returns
+        return result
+
+    # ------------------------------------------------------------------
+    def _rollout(self, env: SynthesisEnvironment, network: PolicyValueNetwork):
+        states, actions, rewards, old_probs = [], [], [], []
+        state = env.reset()
+        done = False
+        while not done:
+            probs = network.action_probabilities(state)
+            action = int(self.rng.choice(env.num_actions, p=probs))
+            next_state, reward, done = env.step(action)
+            states.append(state)
+            actions.append(action)
+            rewards.append(reward)
+            old_probs.append(float(probs[action]))
+            state = next_state
+        return states, actions, rewards, old_probs
+
+    def _discounted_returns(self, rewards: List[float]) -> np.ndarray:
+        returns = np.zeros(len(rewards))
+        running = 0.0
+        for index in reversed(range(len(rewards))):
+            running = rewards[index] + self.discount * running
+            returns[index] = running
+        return returns

@@ -1,0 +1,21 @@
+"""Bayesian-optimisation solvers: BOiLS (the paper's contribution) and SBO."""
+
+from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.space import SequenceSpace
+from repro.bo.acquisition import expected_improvement, probability_of_improvement, ucb
+from repro.bo.trust_region import TrustRegion, TrustRegionLocalSearch
+from repro.bo.boils import BOiLS
+from repro.bo.sbo import StandardBO
+
+__all__ = [
+    "OptimisationResult",
+    "SequenceOptimiser",
+    "SequenceSpace",
+    "expected_improvement",
+    "probability_of_improvement",
+    "ucb",
+    "TrustRegion",
+    "TrustRegionLocalSearch",
+    "BOiLS",
+    "StandardBO",
+]

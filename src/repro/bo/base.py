@@ -1,0 +1,106 @@
+"""Common interface shared by every sequence optimiser in the repo.
+
+BOiLS, SBO and all the baselines (random search, greedy, GA, RL) implement
+the same contract: given a :class:`repro.qor.QoREvaluator` and an
+evaluation budget, run and return an :class:`OptimisationResult`.  This is
+what lets the experiment runners treat every method uniformly when
+regenerating the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bo.space import SequenceSpace
+from repro.qor.evaluator import QoREvaluator
+
+
+@dataclass
+class OptimisationResult:
+    """Outcome of one optimisation run on one circuit.
+
+    Attributes
+    ----------
+    best_sequence:
+        Best sequence found, as operation names.
+    best_qor:
+        Its QoR value (lower is better, Equation 1).
+    best_improvement:
+        Relative improvement over ``resyn2`` in percent — the number
+        reported in the paper's Figure 3 table.
+    best_area, best_delay:
+        LUT count and LUT levels of the best sequence's mapping.
+    num_evaluations:
+        Distinct black-box evaluations consumed.
+    history:
+        Per-evaluation QoR improvement values, in evaluation order.
+    best_trajectory:
+        Best-so-far improvement after each evaluation (convergence curves).
+    evaluated_points:
+        ``(area, delay)`` pairs of every evaluated sequence (Pareto plots).
+    metadata:
+        Free-form extras recorded by individual optimisers.
+    """
+
+    method: str
+    circuit: str
+    seed: int
+    best_sequence: Tuple[str, ...]
+    best_qor: float
+    best_improvement: float
+    best_area: int
+    best_delay: int
+    num_evaluations: int
+    history: List[float] = field(default_factory=list)
+    best_trajectory: List[float] = field(default_factory=list)
+    evaluated_points: List[Tuple[int, int]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class SequenceOptimiser(ABC):
+    """Base class: one optimiser instance encapsulates its own settings."""
+
+    #: Human-readable method name used in result tables.
+    name: str = "optimiser"
+
+    def __init__(self, space: Optional[SequenceSpace] = None, seed: int = 0) -> None:
+        self.space = space if space is not None else SequenceSpace()
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
+        """Run the optimiser for ``budget`` black-box evaluations."""
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, evaluator: QoREvaluator, indices: Sequence[int]) -> float:
+        """Evaluate an integer-encoded sequence; returns the QoR value."""
+        names = self.space.to_names(indices)
+        return evaluator.qor(names)
+
+    def _build_result(self, evaluator: QoREvaluator, circuit_name: str) -> OptimisationResult:
+        """Package the evaluator's history into an :class:`OptimisationResult`."""
+        best = evaluator.best_so_far()
+        if best is None:
+            raise RuntimeError("optimiser finished without evaluating any sequence")
+        history = [record.qor_improvement for record in evaluator.history]
+        points = [(record.area, record.delay) for record in evaluator.history]
+        return OptimisationResult(
+            method=self.name,
+            circuit=circuit_name,
+            seed=self.seed,
+            best_sequence=best.sequence,
+            best_qor=best.qor,
+            best_improvement=best.qor_improvement,
+            best_area=best.area,
+            best_delay=best.delay,
+            num_evaluations=evaluator.num_evaluations,
+            history=history,
+            best_trajectory=evaluator.best_trajectory(),
+            evaluated_points=points,
+        )

@@ -1,0 +1,168 @@
+"""Trust-region constrained local-search acquisition maximisation.
+
+Section III-B2 of the paper: the acquisition is maximised only inside a
+Hamming ball ``TR(ŝeq_t, ρ_t)`` centred at the best sequence found so far.
+The radius follows the paper's schedule — grow by one after three
+improving evaluations in a row, shrink by one after twenty non-improving
+evaluations in a row, restart from a fresh random centre when it reaches
+zero — and the maximisation itself is the simple stochastic hill-climbing
+local search of Wan et al. (reference [16]): start from a random point in
+the trust region and repeatedly move to random Hamming-distance-1
+neighbours when they improve the acquisition, until the query budget is
+exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bo.space import SequenceSpace
+
+
+@dataclass
+class TrustRegionConfig:
+    """Tunables of the paper's trust-region schedule."""
+
+    success_streak_to_grow: int = 3
+    failure_streak_to_shrink: int = 20
+    initial_radius: Optional[int] = None  # defaults to K (the whole space)
+    min_radius: int = 0
+
+
+class TrustRegion:
+    """Adaptive Hamming-ball trust region around the incumbent sequence."""
+
+    def __init__(self, space: SequenceSpace, config: Optional[TrustRegionConfig] = None) -> None:
+        self.space = space
+        self.config = config if config is not None else TrustRegionConfig()
+        initial = self.config.initial_radius
+        self.radius = space.sequence_length if initial is None else int(initial)
+        self._success_streak = 0
+        self._failure_streak = 0
+        self.num_restarts = 0
+
+    # ------------------------------------------------------------------
+    def contains(self, centre: np.ndarray, candidate: np.ndarray) -> bool:
+        """Whether ``candidate`` lies inside the current trust region."""
+        return self.space.hamming_distance(centre, candidate) <= self.radius
+
+    def update(self, improved: bool) -> None:
+        """Apply the paper's radius schedule after one evaluation.
+
+        * three improving evaluations in a row → radius + 1,
+        * twenty non-improving evaluations in a row → radius − 1,
+        * otherwise unchanged.
+        """
+        if improved:
+            self._success_streak += 1
+            self._failure_streak = 0
+            if self._success_streak >= self.config.success_streak_to_grow:
+                self.radius = min(self.space.sequence_length, self.radius + 1)
+                self._success_streak = 0
+        else:
+            self._failure_streak += 1
+            self._success_streak = 0
+            if self._failure_streak >= self.config.failure_streak_to_shrink:
+                self.radius = max(self.config.min_radius, self.radius - 1)
+                self._failure_streak = 0
+
+    @property
+    def needs_restart(self) -> bool:
+        """True when the region has collapsed to radius zero."""
+        return self.radius <= 0
+
+    def restart(self) -> None:
+        """Reset the radius after the algorithm re-centres elsewhere."""
+        initial = self.config.initial_radius
+        self.radius = self.space.sequence_length if initial is None else int(initial)
+        self._success_streak = 0
+        self._failure_streak = 0
+        self.num_restarts += 1
+
+
+class TrustRegionLocalSearch:
+    """Stochastic hill climbing of an acquisition inside a trust region.
+
+    Parameters
+    ----------
+    space:
+        The sequence space.
+    num_queries:
+        Acquisition-evaluation budget per maximisation call.
+    num_restarts:
+        Number of independent hill-climbing starts (the best result over
+        all starts is returned); each start consumes part of the query
+        budget.
+    """
+
+    def __init__(self, space: SequenceSpace, num_queries: int = 500,
+                 num_restarts: int = 5) -> None:
+        self.space = space
+        self.num_queries = num_queries
+        self.num_restarts = max(1, num_restarts)
+
+    def maximise(
+        self,
+        acquisition: Callable[[np.ndarray], np.ndarray],
+        centre: np.ndarray,
+        radius: int,
+        rng: np.random.Generator,
+        exclude: Optional[set] = None,
+    ) -> Tuple[np.ndarray, float]:
+        """Return the best sequence found inside ``TR(centre, radius)``.
+
+        Parameters
+        ----------
+        acquisition:
+            Vectorised acquisition: maps an ``(m, K)`` integer array to an
+            ``(m,)`` score array.
+        exclude:
+            Optional set of sequence tuples that must not be returned
+            (already-evaluated sequences); they may still be visited during
+            the walk.
+        """
+        centre = np.asarray(centre, dtype=int)
+        exclude = exclude if exclude is not None else set()
+        queries_per_restart = max(2, self.num_queries // self.num_restarts)
+        best_candidate: Optional[np.ndarray] = None
+        best_score = -np.inf
+
+        for _ in range(self.num_restarts):
+            current = self.space.random_point_in_hamming_ball(centre, radius, rng)
+            current_score = float(acquisition(current[None, :])[0])
+            budget = queries_per_restart - 1
+            while budget > 0:
+                # Batch a handful of random Hamming-1 neighbours that stay
+                # inside the trust region; scoring them together amortises
+                # the GP posterior call.
+                batch_size = min(budget, 10)
+                neighbours = []
+                for _ in range(batch_size):
+                    neighbour = self.space.random_neighbour(current, rng)
+                    if self.space.hamming_distance(centre, neighbour) <= radius:
+                        neighbours.append(neighbour)
+                budget -= batch_size
+                if not neighbours:
+                    continue
+                neighbours = np.array(neighbours, dtype=int)
+                scores = np.asarray(acquisition(neighbours), dtype=float)
+                best_idx = int(np.argmax(scores))
+                if scores[best_idx] > current_score:
+                    current = neighbours[best_idx]
+                    current_score = float(scores[best_idx])
+                if current_score > best_score and tuple(current.tolist()) not in exclude:
+                    best_candidate = current.copy()
+                    best_score = current_score
+            if best_candidate is None and tuple(current.tolist()) not in exclude:
+                best_candidate = current.copy()
+                best_score = current_score
+
+        if best_candidate is None:
+            # Everything inside the region was already evaluated; fall back
+            # to a random in-region point so the optimiser can keep going.
+            best_candidate = self.space.random_point_in_hamming_ball(centre, radius, rng)
+            best_score = float(acquisition(best_candidate[None, :])[0])
+        return best_candidate, best_score

@@ -1,0 +1,63 @@
+"""EPFL-style arithmetic benchmark circuits as AIG generators.
+
+The original BOiLS experiments run on the ten EPFL arithmetic benchmarks
+(adder, barrel shifter, divisor, hypotenuse, log2, max, multiplier, sine,
+square-root, square).  The benchmark files themselves are not bundled, so
+this package provides structural generators that construct the same
+arithmetic functions at configurable bit-widths.  The default widths are
+chosen so that a pure-Python synthesis/mapping stack can evaluate hundreds
+of sequences in minutes; pass larger widths to approach paper-scale
+instances.
+"""
+
+from repro.circuits.blocks import (
+    ripple_carry_adder,
+    ripple_borrow_subtractor,
+    comparator_greater_equal,
+    barrel_shifter_block,
+    array_multiplier,
+)
+from repro.circuits.generators import (
+    make_adder,
+    make_barrel_shifter,
+    make_divisor,
+    make_hypotenuse,
+    make_log2,
+    make_max,
+    make_multiplier,
+    make_sine,
+    make_square,
+    make_square_root,
+)
+from repro.circuits.registry import (
+    CIRCUIT_NAMES,
+    LARGE_CIRCUITS,
+    CircuitSpec,
+    get_circuit,
+    get_circuit_spec,
+    list_circuits,
+)
+
+__all__ = [
+    "ripple_carry_adder",
+    "ripple_borrow_subtractor",
+    "comparator_greater_equal",
+    "barrel_shifter_block",
+    "array_multiplier",
+    "make_adder",
+    "make_barrel_shifter",
+    "make_divisor",
+    "make_hypotenuse",
+    "make_log2",
+    "make_max",
+    "make_multiplier",
+    "make_sine",
+    "make_square",
+    "make_square_root",
+    "CIRCUIT_NAMES",
+    "LARGE_CIRCUITS",
+    "CircuitSpec",
+    "get_circuit",
+    "get_circuit_spec",
+    "list_circuits",
+]

@@ -1,0 +1,164 @@
+"""Reusable word-level building blocks for the circuit generators.
+
+All blocks operate on *bit vectors*: Python lists of AIG literals with the
+least-significant bit first.  They only use the :class:`repro.aig.AIG`
+constructor API, so every generated circuit is a plain structurally-hashed
+AIG ready for synthesis and mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aig.graph import AIG, CONST0, CONST1, Literal, lit_not
+
+BitVector = List[Literal]
+
+
+def constant_vector(value: int, width: int) -> BitVector:
+    """Bit vector of a compile-time constant (LSB first)."""
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def full_adder(aig: AIG, a: Literal, b: Literal, cin: Literal) -> Tuple[Literal, Literal]:
+    """One-bit full adder; returns ``(sum, carry_out)``."""
+    axb = aig.add_xor(a, b)
+    s = aig.add_xor(axb, cin)
+    carry = aig.add_maj(a, b, cin)
+    return s, carry
+
+
+def ripple_carry_adder(
+    aig: AIG, a: Sequence[Literal], b: Sequence[Literal], cin: Literal = CONST0
+) -> Tuple[BitVector, Literal]:
+    """Add two equal-width vectors; returns ``(sum_bits, carry_out)``."""
+    if len(a) != len(b):
+        raise ValueError("operand widths must match")
+    sums: BitVector = []
+    carry = cin
+    for bit_a, bit_b in zip(a, b):
+        s, carry = full_adder(aig, bit_a, bit_b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def ripple_borrow_subtractor(
+    aig: AIG, a: Sequence[Literal], b: Sequence[Literal]
+) -> Tuple[BitVector, Literal]:
+    """Compute ``a - b``; returns ``(difference_bits, no_borrow)``.
+
+    ``no_borrow`` is 1 when ``a >= b`` (i.e. the subtraction did not wrap),
+    which is exactly the condition restoring dividers and square-root units
+    need.
+    """
+    if len(a) != len(b):
+        raise ValueError("operand widths must match")
+    # a - b = a + ~b + 1
+    b_inverted = [lit_not(bit) for bit in b]
+    diff, carry = ripple_carry_adder(aig, list(a), b_inverted, cin=CONST1)
+    return diff, carry
+
+
+def comparator_greater_equal(aig: AIG, a: Sequence[Literal], b: Sequence[Literal]) -> Literal:
+    """Return a literal that is 1 iff the unsigned value ``a >= b``."""
+    _, no_borrow = ripple_borrow_subtractor(aig, a, b)
+    return no_borrow
+
+
+def mux_vector(aig: AIG, sel: Literal, then_vec: Sequence[Literal],
+               else_vec: Sequence[Literal]) -> BitVector:
+    """Bitwise 2:1 multiplexer over two equal-width vectors."""
+    if len(then_vec) != len(else_vec):
+        raise ValueError("mux operand widths must match")
+    return [aig.add_mux(sel, t, e) for t, e in zip(then_vec, else_vec)]
+
+
+def barrel_shifter_block(
+    aig: AIG, data: Sequence[Literal], shift: Sequence[Literal], left: bool = True,
+    rotate: bool = False,
+) -> BitVector:
+    """Logarithmic barrel shifter (shift or rotate by a variable amount)."""
+    current = list(data)
+    width = len(current)
+    for stage, sel in enumerate(shift):
+        amount = 1 << stage
+        if amount >= width and not rotate:
+            shifted = [CONST0] * width
+        else:
+            amount %= width if width else 1
+            if left:
+                shifted = [
+                    current[(i - amount) % width] if (rotate or i >= amount) else CONST0
+                    for i in range(width)
+                ]
+            else:
+                shifted = [
+                    current[(i + amount) % width] if (rotate or i + amount < width) else CONST0
+                    for i in range(width)
+                ]
+        current = mux_vector(aig, sel, shifted, current)
+    return current
+
+
+def array_multiplier(aig: AIG, a: Sequence[Literal], b: Sequence[Literal]) -> BitVector:
+    """Unsigned array multiplier; result width is ``len(a) + len(b)``."""
+    wa, wb = len(a), len(b)
+    result_width = wa + wb
+    accumulator = constant_vector(0, result_width)
+    for j, b_bit in enumerate(b):
+        partial = constant_vector(0, result_width)
+        for i, a_bit in enumerate(a):
+            if i + j < result_width:
+                partial[i + j] = aig.add_and(a_bit, b_bit)
+        accumulator, _ = ripple_carry_adder(aig, accumulator, partial)
+    return accumulator
+
+
+def zero_extend(vec: Sequence[Literal], width: int) -> BitVector:
+    """Pad a vector with constant-zero bits up to ``width``."""
+    result = list(vec)
+    while len(result) < width:
+        result.append(CONST0)
+    return result[:width]
+
+
+def shift_left_const(vec: Sequence[Literal], amount: int, width: int) -> BitVector:
+    """Shift a vector left by a constant amount within ``width`` bits."""
+    result = [CONST0] * width
+    for i, bit in enumerate(vec):
+        if 0 <= i + amount < width:
+            result[i + amount] = bit
+    return result
+
+
+def shift_right_const(vec: Sequence[Literal], amount: int) -> BitVector:
+    """Logical right shift by a constant amount (width preserved)."""
+    width = len(vec)
+    result = [CONST0] * width
+    for i in range(width):
+        if i + amount < width:
+            result[i] = vec[i + amount]
+    return result
+
+
+def shift_right_arith_const(vec: Sequence[Literal], amount: int) -> BitVector:
+    """Arithmetic (sign-extending) right shift by a constant amount.
+
+    Needed wherever a two's-complement accumulator can go negative (e.g.
+    the CORDIC y accumulator in the sine generator): the vacated high bits
+    are filled with the sign bit instead of zero.
+    """
+    width = len(vec)
+    if width == 0:
+        return []
+    sign = vec[-1]
+    result = [sign] * width
+    for i in range(width):
+        if i + amount < width:
+            result[i] = vec[i + amount]
+    return result
+
+
+def reduce_or(aig: AIG, vec: Sequence[Literal]) -> Literal:
+    """OR-reduce a vector to a single literal."""
+    return aig.add_or_multi(list(vec)) if vec else CONST0

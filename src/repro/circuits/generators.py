@@ -1,0 +1,288 @@
+"""Generators for the ten EPFL-style arithmetic benchmark circuits.
+
+Each ``make_*`` function returns an :class:`repro.aig.AIG` implementing the
+named arithmetic function at a configurable bit-width.  The functions mirror
+the EPFL arithmetic suite used by the BOiLS paper: adder, barrel shifter,
+divisor, hypotenuse, log2, max, multiplier, sine, square-root and square.
+The default widths are reduced relative to the original suite (which uses
+64–256-bit datapaths) so that the pure-Python synthesis stack can evaluate
+full optimisation runs quickly; the structure — carry chains, partial
+product arrays, shift/subtract iterations — is the same, which is what the
+synthesis operations interact with.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aig.graph import AIG, CONST0, CONST1, Literal, lit_not
+from repro.circuits import blocks
+from repro.circuits.blocks import (
+    BitVector,
+    array_multiplier,
+    barrel_shifter_block,
+    comparator_greater_equal,
+    constant_vector,
+    mux_vector,
+    ripple_borrow_subtractor,
+    ripple_carry_adder,
+    shift_left_const,
+    zero_extend,
+)
+
+
+def _input_vector(aig: AIG, prefix: str, width: int) -> BitVector:
+    return [aig.add_pi(name=f"{prefix}{i}") for i in range(width)]
+
+
+def _output_vector(aig: AIG, prefix: str, bits: BitVector) -> None:
+    for i, bit in enumerate(bits):
+        aig.add_po(bit, name=f"{prefix}{i}")
+
+
+# ----------------------------------------------------------------------
+# 1. Adder
+# ----------------------------------------------------------------------
+def make_adder(width: int = 16) -> AIG:
+    """Ripple-carry adder of two ``width``-bit operands (EPFL ``adder``)."""
+    aig = AIG(name=f"adder_{width}")
+    a = _input_vector(aig, "a", width)
+    b = _input_vector(aig, "b", width)
+    total, carry = ripple_carry_adder(aig, a, b)
+    _output_vector(aig, "s", total)
+    aig.add_po(carry, name="cout")
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 2. Barrel shifter
+# ----------------------------------------------------------------------
+def make_barrel_shifter(width: int = 16) -> AIG:
+    """Logarithmic barrel shifter (EPFL ``bar``): rotate ``width`` bits left."""
+    if width < 2:
+        raise ValueError("barrel shifter needs width >= 2")
+    shift_bits = max(1, (width - 1).bit_length())
+    aig = AIG(name=f"bar_{width}")
+    data = _input_vector(aig, "d", width)
+    shift = _input_vector(aig, "s", shift_bits)
+    result = barrel_shifter_block(aig, data, shift, left=True, rotate=True)
+    _output_vector(aig, "q", result)
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 3. Divisor
+# ----------------------------------------------------------------------
+def make_divisor(width: int = 8) -> AIG:
+    """Restoring array divider (EPFL ``div``): quotient and remainder."""
+    aig = AIG(name=f"div_{width}")
+    dividend = _input_vector(aig, "n", width)
+    divisor = _input_vector(aig, "d", width)
+
+    remainder: BitVector = constant_vector(0, width)
+    quotient: List[Literal] = [CONST0] * width
+    # Classic restoring division: shift in dividend bits MSB-first, compare
+    # the partial remainder with the divisor, subtract when possible.
+    for step in range(width - 1, -1, -1):
+        shifted = [dividend[step]] + remainder[:-1]
+        difference, no_borrow = ripple_borrow_subtractor(aig, shifted, divisor)
+        quotient[step] = no_borrow
+        remainder = mux_vector(aig, no_borrow, difference, shifted)
+
+    _output_vector(aig, "q", quotient)
+    _output_vector(aig, "r", remainder)
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 4. Hypotenuse
+# ----------------------------------------------------------------------
+def make_hypotenuse(width: int = 6) -> AIG:
+    """Hypotenuse unit (EPFL ``hyp``): ``floor(sqrt(a^2 + b^2))``."""
+    aig = AIG(name=f"hyp_{width}")
+    a = _input_vector(aig, "a", width)
+    b = _input_vector(aig, "b", width)
+    a_squared = array_multiplier(aig, a, a)
+    b_squared = array_multiplier(aig, b, b)
+    total, carry = ripple_carry_adder(aig, a_squared, b_squared)
+    total = total + [carry]
+    root = _integer_square_root(aig, total)
+    _output_vector(aig, "h", root)
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 5. Log2
+# ----------------------------------------------------------------------
+def make_log2(width: int = 12, frac_bits: int = 4) -> AIG:
+    """Fixed-point base-2 logarithm (EPFL ``log2``).
+
+    Produces ``floor(log2(x))`` as the integer part plus ``frac_bits``
+    fractional bits obtained by iterative squaring of the normalised
+    mantissa — the standard shift-and-square digit-recurrence algorithm.
+    """
+    aig = AIG(name=f"log2_{width}")
+    x = _input_vector(aig, "x", width)
+
+    int_bits = max(1, (width - 1).bit_length())
+    # Integer part: index of the most significant set bit (priority encoder).
+    msb_index: BitVector = constant_vector(0, int_bits)
+    found = CONST0
+    for position in range(width - 1, -1, -1):
+        is_here = aig.add_and(x[position], lit_not(found))
+        found = aig.add_or(found, x[position])
+        position_bits = constant_vector(position, int_bits)
+        msb_index = mux_vector(aig, is_here, position_bits, msb_index)
+
+    # Normalised mantissa: x shifted left so the MSB sits at the top bit.
+    # Implemented with a barrel shifter driven by (width - 1 - msb_index).
+    width_minus_one = constant_vector(width - 1, int_bits)
+    shift_amount, _ = ripple_borrow_subtractor(aig, width_minus_one, msb_index)
+    mantissa = barrel_shifter_block(aig, x, shift_amount, left=True, rotate=False)
+
+    # Fractional bits by repeated squaring of the top mantissa bits.
+    frac: List[Literal] = []
+    current = mantissa[-max(4, frac_bits + 2):]  # keep a few guard bits
+    for _ in range(frac_bits):
+        squared = array_multiplier(aig, current, current)
+        # If the square's top bit (>= 2.0 in fixed point) is set, the next
+        # log digit is 1 and we renormalise by taking the upper half,
+        # otherwise the digit is 0 and we drop one bit of headroom.
+        top = squared[-1]
+        frac.append(top)
+        upper = squared[len(current):]
+        lower = squared[len(current) - 1:-1]
+        current = mux_vector(aig, top, upper, lower)
+
+    _output_vector(aig, "int", msb_index)
+    _output_vector(aig, "frac", list(reversed(frac)))
+    aig.add_po(found, name="valid")
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 6. Max
+# ----------------------------------------------------------------------
+def make_max(width: int = 16, num_words: int = 4) -> AIG:
+    """Maximum of ``num_words`` unsigned words (EPFL ``max``)."""
+    aig = AIG(name=f"max_{width}x{num_words}")
+    words = [_input_vector(aig, f"w{j}_", width) for j in range(num_words)]
+    current = words[0]
+    for candidate in words[1:]:
+        is_ge = comparator_greater_equal(aig, current, candidate)
+        current = mux_vector(aig, is_ge, current, candidate)
+    _output_vector(aig, "m", current)
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 7. Multiplier
+# ----------------------------------------------------------------------
+def make_multiplier(width: int = 8) -> AIG:
+    """Unsigned array multiplier (EPFL ``multiplier``)."""
+    aig = AIG(name=f"mult_{width}")
+    a = _input_vector(aig, "a", width)
+    b = _input_vector(aig, "b", width)
+    product = array_multiplier(aig, a, b)
+    _output_vector(aig, "p", product)
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 8. Sine
+# ----------------------------------------------------------------------
+def make_sine(width: int = 8, iterations: int = 6) -> AIG:
+    """CORDIC-style sine approximation (EPFL ``sin``).
+
+    Performs ``iterations`` CORDIC rotation stages in fixed point: each
+    stage conditionally adds or subtracts an arctangent constant from the
+    residual angle and cross-couples shifted copies of the (x, y)
+    accumulators.  The output is the y accumulator (proportional to
+    ``sin(angle)``).
+    """
+    aig = AIG(name=f"sin_{width}")
+    angle = _input_vector(aig, "a", width)
+
+    acc_width = width + 2
+    # Arctangent constants in fixed point (angle scaled so that the full
+    # input range maps onto [0, pi/2)).
+    import math
+
+    scale = (1 << width) / (math.pi / 2)
+    x_vec: BitVector = constant_vector(int(0.607252935 * (1 << width)), acc_width)
+    y_vec: BitVector = constant_vector(0, acc_width)
+    z_vec: BitVector = zero_extend(angle, acc_width)
+
+    for i in range(iterations):
+        angle_constant = int(round(math.atan(2.0 ** -i) * scale)) & ((1 << acc_width) - 1)
+        const_vec = constant_vector(angle_constant, acc_width)
+        # Rotation direction: sign of the residual angle (two's complement MSB).
+        negative = z_vec[-1]
+        # Arithmetic shifts: the y accumulator can transiently go negative
+        # when the rotation overshoots near the top of the input range.
+        x_shift = blocks.shift_right_arith_const(x_vec, i)
+        y_shift = blocks.shift_right_arith_const(y_vec, i)
+
+        x_plus, _ = ripple_carry_adder(aig, x_vec, y_shift)
+        x_minus, _ = ripple_borrow_subtractor(aig, x_vec, y_shift)
+        y_plus, _ = ripple_carry_adder(aig, y_vec, x_shift)
+        y_minus, _ = ripple_borrow_subtractor(aig, y_vec, x_shift)
+        z_plus, _ = ripple_carry_adder(aig, z_vec, const_vec)
+        z_minus, _ = ripple_borrow_subtractor(aig, z_vec, const_vec)
+
+        # If the residual angle is negative rotate clockwise, else
+        # counter-clockwise.
+        x_vec = mux_vector(aig, negative, x_plus, x_minus)
+        y_vec = mux_vector(aig, negative, y_minus, y_plus)
+        z_vec = mux_vector(aig, negative, z_plus, z_minus)
+
+    _output_vector(aig, "sin", y_vec[:width])
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 9. Square root
+# ----------------------------------------------------------------------
+def _integer_square_root(aig: AIG, value: BitVector) -> BitVector:
+    """Digit-recurrence (restoring) integer square root of a bit vector."""
+    in_width = len(value)
+    out_width = (in_width + 1) // 2
+    root: BitVector = constant_vector(0, out_width)
+    # Remainder needs room for the radicand plus the trial subtrahend.
+    rem_width = in_width + 2
+    remainder: BitVector = constant_vector(0, rem_width)
+
+    for step in range(out_width - 1, -1, -1):
+        # Shift in the next two radicand bits (MSB first).
+        bit_high = value[2 * step + 1] if 2 * step + 1 < in_width else CONST0
+        bit_low = value[2 * step]
+        remainder = [bit_low, bit_high] + remainder[:-2]
+        # Trial subtrahend: (root << 2) | 1, aligned in remainder width.
+        trial = shift_left_const(root, 2, rem_width)
+        trial[0] = CONST1
+        difference, no_borrow = ripple_borrow_subtractor(aig, remainder, trial)
+        remainder = mux_vector(aig, no_borrow, difference, remainder)
+        root = shift_left_const(root, 1, out_width)
+        root[0] = no_borrow
+    return root
+
+
+def make_square_root(width: int = 10) -> AIG:
+    """Restoring integer square root (EPFL ``sqrt``)."""
+    aig = AIG(name=f"sqrt_{width}")
+    x = _input_vector(aig, "x", width)
+    root = _integer_square_root(aig, x)
+    _output_vector(aig, "r", root)
+    return aig
+
+
+# ----------------------------------------------------------------------
+# 10. Square
+# ----------------------------------------------------------------------
+def make_square(width: int = 8) -> AIG:
+    """Squarer (EPFL ``square``): ``x * x`` via the partial-product array."""
+    aig = AIG(name=f"square_{width}")
+    x = _input_vector(aig, "x", width)
+    product = array_multiplier(aig, x, x)
+    _output_vector(aig, "p", product)
+    return aig

@@ -1,0 +1,121 @@
+"""Named registry of the ten benchmark circuits.
+
+The registry maps the circuit names used throughout the paper's tables
+(``adder``, ``bar``, ``div``, ``hyp``, ``log2``, ``max``, ``multiplier``,
+``sin``, ``sqrt``, ``square``) to generator functions and default
+parameters, and offers a width-scale knob so experiments can trade run
+time for instance size uniformly across the suite.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.aig.graph import AIG
+from repro.circuits import generators
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Description of a benchmark circuit.
+
+    Attributes
+    ----------
+    name:
+        Canonical short name (matches the EPFL suite naming).
+    display_name:
+        Human-readable name used in tables (matches the paper's rows).
+    generator:
+        Callable producing the AIG given a width.
+    default_width:
+        Bit-width used when none is requested.
+    paper_width:
+        Approximate datapath width of the original EPFL instance, recorded
+        for documentation purposes.
+    large:
+        Whether the circuit belongs to the "large" subset used in the
+        paper's Figure 3 middle/bottom rows.
+    """
+
+    name: str
+    display_name: str
+    generator: Callable[[int], AIG]
+    default_width: int
+    paper_width: int
+    large: bool = False
+
+
+_SPECS: List[CircuitSpec] = [
+    CircuitSpec("adder", "Adder", generators.make_adder, 16, 128),
+    CircuitSpec("bar", "Barrel Shifter", generators.make_barrel_shifter, 16, 128),
+    CircuitSpec("div", "Divisor", generators.make_divisor, 8, 64, large=True),
+    CircuitSpec("hyp", "Hypotenuse", generators.make_hypotenuse, 6, 128, large=True),
+    CircuitSpec("log2", "Log2", generators.make_log2, 12, 32, large=True),
+    CircuitSpec("max", "Max", generators.make_max, 16, 128),
+    CircuitSpec("multiplier", "Multiplier", generators.make_multiplier, 8, 64, large=True),
+    CircuitSpec("sin", "Sine", generators.make_sine, 8, 24),
+    CircuitSpec("sqrt", "Square-root", generators.make_square_root, 10, 128),
+    CircuitSpec("square", "Square", generators.make_square, 8, 64),
+]
+
+_BY_NAME: Dict[str, CircuitSpec] = {spec.name: spec for spec in _SPECS}
+# Aliases matching the paper's display names and common variations.
+_ALIASES: Dict[str, str] = {
+    "barrel shifter": "bar",
+    "barrel_shifter": "bar",
+    "divisor": "div",
+    "hypotenuse": "hyp",
+    "hyp.": "hyp",
+    "sine": "sin",
+    "square-root": "sqrt",
+    "square root": "sqrt",
+    "mult": "multiplier",
+}
+
+CIRCUIT_NAMES: List[str] = [spec.name for spec in _SPECS]
+"""Canonical circuit names, in the paper's table order."""
+
+LARGE_CIRCUITS: List[str] = [spec.name for spec in _SPECS if spec.large]
+"""The four large circuits used in Figure 3's middle and bottom rows."""
+
+
+def list_circuits() -> List[CircuitSpec]:
+    """All circuit specifications in canonical order."""
+    return list(_SPECS)
+
+
+def get_circuit_spec(name: str) -> CircuitSpec:
+    """Look up a circuit spec by canonical name, display name or alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _BY_NAME:
+        raise KeyError(f"unknown circuit {name!r}; available: {CIRCUIT_NAMES}")
+    return _BY_NAME[key]
+
+
+def _width_scale() -> float:
+    """Global width multiplier, controlled by ``REPRO_WIDTH_SCALE``."""
+    raw = os.environ.get("REPRO_WIDTH_SCALE", "1.0")
+    try:
+        return max(0.1, float(raw))
+    except ValueError:
+        return 1.0
+
+
+def get_circuit(name: str, width: Optional[int] = None) -> AIG:
+    """Instantiate a benchmark circuit.
+
+    Parameters
+    ----------
+    name:
+        Canonical name, display name or alias.
+    width:
+        Bit-width override; defaults to ``spec.default_width`` scaled by the
+        ``REPRO_WIDTH_SCALE`` environment variable.
+    """
+    spec = get_circuit_spec(name)
+    if width is None:
+        width = max(2, int(round(spec.default_width * _width_scale())))
+    return spec.generator(width)

@@ -1,0 +1,196 @@
+"""Command-line interface for the BOiLS reproduction.
+
+Provides the handful of operations a user wants without writing Python:
+
+* ``list-circuits`` / ``list-methods`` — what is available,
+* ``stats`` — generate a circuit and print its AIG / mapping statistics,
+* ``evaluate`` — score one synthesis sequence (Equation 1),
+* ``optimise`` — run any registered optimiser on a circuit,
+* ``table`` — run a small method × circuit grid and print the Figure-3-style
+  QoR table.
+
+Examples
+--------
+::
+
+    python -m repro.cli list-circuits
+    python -m repro.cli stats --circuit multiplier --width 6
+    python -m repro.cli evaluate --circuit adder --sequence RwRfBlFr
+    python -m repro.cli optimise --circuit sqrt --method boils --budget 20
+    python -m repro.cli table --circuits adder,sqrt --methods boils,rs --budget 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bo.space import SequenceSpace
+from repro.circuits import get_circuit, list_circuits
+from repro.experiments import (
+    ExperimentConfig,
+    available_methods,
+    build_qor_table,
+    make_optimiser,
+    run_experiment,
+)
+from repro.experiments.figures import render_figure3_table
+from repro.mapping import map_aig
+from repro.qor import QoREvaluator
+from repro.synth.operations import sequence_to_string, string_to_sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BOiLS reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-circuits", help="list the bundled benchmark circuits")
+    sub.add_parser("list-methods", help="list the registered optimisation methods")
+
+    stats = sub.add_parser("stats", help="print AIG and mapping statistics of a circuit")
+    stats.add_argument("--circuit", required=True)
+    stats.add_argument("--width", type=int, default=None)
+    stats.add_argument("--lut-size", type=int, default=6)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate one synthesis sequence")
+    evaluate.add_argument("--circuit", required=True)
+    evaluate.add_argument("--width", type=int, default=None)
+    evaluate.add_argument("--lut-size", type=int, default=6)
+    evaluate.add_argument(
+        "--sequence", required=True,
+        help="mnemonic string (RwRfBl...) or comma-separated operation names")
+
+    optimise = sub.add_parser("optimise", help="run an optimiser on a circuit")
+    optimise.add_argument("--circuit", required=True)
+    optimise.add_argument("--width", type=int, default=None)
+    optimise.add_argument("--method", default="boils", choices=available_methods())
+    optimise.add_argument("--budget", type=int, default=20)
+    optimise.add_argument("--sequence-length", type=int, default=8)
+    optimise.add_argument("--seed", type=int, default=0)
+    optimise.add_argument("--lut-size", type=int, default=6)
+
+    table = sub.add_parser("table", help="run a grid and print the QoR table")
+    table.add_argument("--circuits", default="adder,sqrt",
+                       help="comma-separated circuit names")
+    table.add_argument("--methods", default="boils,rs",
+                       help="comma-separated method keys")
+    table.add_argument("--budget", type=int, default=10)
+    table.add_argument("--seeds", type=int, default=1)
+    table.add_argument("--sequence-length", type=int, default=6)
+    return parser
+
+
+def _parse_sequence(text: str) -> List[str]:
+    """Accept either a mnemonic string or comma-separated operation names."""
+    if "," in text:
+        return [item.strip() for item in text.split(",") if item.strip()]
+    return string_to_sequence(text)
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_list_circuits(_args) -> int:
+    print(f"{'name':12s}{'display name':18s}{'default width':>14s}{'paper width':>12s}")
+    for spec in list_circuits():
+        print(f"{spec.name:12s}{spec.display_name:18s}"
+              f"{spec.default_width:>14d}{spec.paper_width:>12d}"
+              + ("   [large]" if spec.large else ""))
+    return 0
+
+
+def _cmd_list_methods(_args) -> int:
+    for key in available_methods():
+        print(key)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    aig = get_circuit(args.circuit, width=args.width)
+    mapping = map_aig(aig, lut_size=args.lut_size)
+    stats = aig.stats()
+    print(f"circuit      : {aig.name}")
+    print(f"inputs       : {stats['pis']}")
+    print(f"outputs      : {stats['pos']}")
+    print(f"AND nodes    : {stats['ands']}")
+    print(f"AIG levels   : {stats['levels']}")
+    print(f"LUT-{args.lut_size} area   : {mapping.area}")
+    print(f"LUT-{args.lut_size} levels : {mapping.delay}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    sequence = _parse_sequence(args.sequence)
+    aig = get_circuit(args.circuit, width=args.width)
+    evaluator = QoREvaluator(aig, lut_size=args.lut_size)
+    record = evaluator.evaluate(sequence)
+    print(f"sequence          : {sequence_to_string(record.sequence)} "
+          f"({', '.join(record.sequence)})")
+    print(f"area (LUTs)       : {record.area}")
+    print(f"delay (levels)    : {record.delay}")
+    print(f"QoR               : {record.qor:.4f}")
+    print(f"improvement vs resyn2 : {record.qor_improvement:.2f}%")
+    return 0
+
+
+def _cmd_optimise(args) -> int:
+    aig = get_circuit(args.circuit, width=args.width)
+    evaluator = QoREvaluator(aig, lut_size=args.lut_size)
+    space = SequenceSpace(sequence_length=args.sequence_length)
+    optimiser = make_optimiser(args.method, space=space, seed=args.seed)
+    print(f"running {optimiser.name} on {aig.name} "
+          f"(budget {args.budget}, K={args.sequence_length}, seed {args.seed}) ...")
+    result = optimiser.optimise(evaluator, budget=args.budget)
+    print(f"best sequence     : {sequence_to_string(result.best_sequence)}")
+    for op in result.best_sequence:
+        print(f"   - {op}")
+    print(f"area / delay      : {result.best_area} LUTs / {result.best_delay} levels")
+    print(f"QoR improvement   : {result.best_improvement:.2f}% over resyn2")
+    print(f"evaluations used  : {result.num_evaluations}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    config = ExperimentConfig(
+        budget=args.budget,
+        num_seeds=args.seeds,
+        sequence_length=args.sequence_length,
+        circuits=tuple(c.strip() for c in args.circuits.split(",") if c.strip()),
+        methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
+        method_overrides={
+            "boils": {"num_initial": 4, "local_search_queries": 100, "adam_steps": 3,
+                      "fit_every": 2},
+            "sbo": {"num_initial": 4, "adam_steps": 3, "fit_every": 2},
+        },
+    )
+    results = run_experiment(config, progress=lambda msg: print(f"  [{msg}]",
+                                                                file=sys.stderr))
+    print(render_figure3_table(build_qor_table(results)))
+    return 0
+
+
+_COMMANDS = {
+    "list-circuits": _cmd_list_circuits,
+    "list-methods": _cmd_list_methods,
+    "stats": _cmd_stats,
+    "evaluate": _cmd_evaluate,
+    "optimise": _cmd_optimise,
+    "table": _cmd_table,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

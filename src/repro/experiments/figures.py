@@ -1,0 +1,126 @@
+"""Plain-text / CSV rendering helpers for the regenerated figures.
+
+The repository has no plotting dependency (matplotlib is not part of the
+offline environment), so every figure is emitted in two machine- and
+human-readable forms: a CSV of the underlying series and an ASCII
+rendering suitable for terminal inspection.  The benchmark harnesses under
+``benchmarks/`` write these artefacts next to their timing output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.convergence import ConvergenceCurves
+from repro.experiments.pareto import ParetoStudy
+from repro.experiments.qor_table import QoRTable
+from repro.experiments.sample_efficiency import SampleEfficiencyResult
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render named series as a crude ASCII line chart.
+
+    Each series is resampled to ``width`` columns; rows are value buckets.
+    Good enough to eyeball convergence behaviour in a terminal or log file.
+    """
+    if not series:
+        return title
+    all_values = [v for values in series.values() for v in values if np.isfinite(v)]
+    if not all_values:
+        return title
+    lo, hi = min(all_values), max(all_values)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+o x#@%&"
+    for idx, (name, values) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        values = list(values)
+        if not values:
+            continue
+        for col in range(width):
+            # Nearest-sample resampling onto the chart width.
+            src = min(len(values) - 1, int(round(col / max(1, width - 1) * (len(values) - 1))))
+            value = values[src]
+            if not np.isfinite(value):
+                continue
+            row = int(round((value - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={hi:.3f}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append(f"min={lo:.3f}")
+    legend = "  ".join(
+        f"{markers[idx % len(markers)]}={name}" for idx, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_figure1(result: SampleEfficiencyResult) -> str:
+    """Figure 1: average evaluations-to-target per method."""
+    lines = [
+        "Figure 1 — evaluations needed to reach "
+        f"{result.target_fraction:.1%} of {result.reference_method}'s QoR",
+        f"(extended budget {result.extended_budget})",
+        "",
+        f"{'method':22s}{'avg. evaluations':>18s}{'ratio vs ref':>14s}",
+    ]
+    reference = result.average_evaluations.get(result.reference_method, float("nan"))
+    for method, value in sorted(result.average_evaluations.items(), key=lambda kv: kv[1]):
+        ratio = value / reference if reference else float("nan")
+        lines.append(f"{method:22s}{value:18.1f}{ratio:14.2f}")
+    return "\n".join(lines)
+
+
+def render_figure3_table(table: QoRTable) -> str:
+    """Figure 3 (top row): the QoR improvement table."""
+    return "Figure 3 (top) — QoR improvement (%) vs resyn2\n" + table.to_text()
+
+
+def render_figure3_convergence(curves: ConvergenceCurves) -> str:
+    """Figure 3 (middle row): per-circuit convergence charts."""
+    blocks = []
+    for circuit in curves.circuits:
+        blocks.append(
+            ascii_line_chart(
+                curves.curves[circuit],
+                title=f"Figure 3 (middle) — {circuit}: best QoR improvement vs evaluations",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_figure3_pareto(study: ParetoStudy) -> str:
+    """Figure 3 (bottom row): Pareto membership summary."""
+    lines = ["Figure 3 (bottom) — fraction of best solutions on the area/delay Pareto front"]
+    for method, pct in sorted(study.on_front_percentages().items(),
+                              key=lambda kv: -kv[1]):
+        lines.append(f"  {method:22s}{pct:6.1f}%")
+    for circuit in study.circuits:
+        lines.append(f"\n{circuit}: front = {study.fronts.get(circuit)}")
+        for method in study.methods:
+            points = study.best_points.get(circuit, {}).get(method, [])
+            lines.append(f"  {method:22s}{points}")
+    return "\n".join(lines)
+
+
+def render_figure2(x: Sequence[float], prior_samples: np.ndarray,
+                   posterior_samples: np.ndarray) -> str:
+    """Figure 2: GP prior and posterior sample functions."""
+    prior = {f"prior {i}": prior_samples[i] for i in range(min(3, len(prior_samples)))}
+    posterior = {f"post {i}": posterior_samples[i] for i in range(min(3, len(posterior_samples)))}
+    return (
+        ascii_line_chart(prior, title="Figure 2 (left) — samples from the GP prior (SE kernel)")
+        + "\n\n"
+        + ascii_line_chart(posterior, title="Figure 2 (right) — samples from the GP posterior")
+    )

@@ -1,0 +1,187 @@
+"""Shared experiment machinery: method registry, per-run driver, grids.
+
+The paper's evaluation protocol is a grid: {method} × {circuit} × {seed},
+each cell a budget-limited optimisation run returning the best QoR
+improvement over ``resyn2``.  This module provides that grid runner plus
+environment-variable knobs (``REPRO_BUDGET``, ``REPRO_SEEDS``,
+``REPRO_WIDTH_SCALE``) so the same code drives both the fast CI-scale
+defaults and paper-scale reproductions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    A2COptimiser,
+    GeneticAlgorithm,
+    GraphRLOptimiser,
+    GreedySearch,
+    PPOOptimiser,
+    RandomSearch,
+)
+from repro.bo import BOiLS, SequenceSpace, StandardBO
+from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.circuits import get_circuit
+from repro.qor import QoREvaluator
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named optimiser constructor with default keyword arguments."""
+
+    key: str
+    display_name: str
+    factory: Callable[..., SequenceOptimiser]
+    defaults: Dict[str, object] = field(default_factory=dict)
+
+
+_METHODS: List[MethodSpec] = [
+    MethodSpec("boils", "BOiLS", BOiLS,
+               {"num_initial": 5, "local_search_queries": 200, "adam_steps": 5,
+                "fit_every": 2}),
+    MethodSpec("sbo", "SBO", StandardBO, {"num_initial": 5, "adam_steps": 5, "fit_every": 2}),
+    MethodSpec("rs", "RS", RandomSearch, {}),
+    MethodSpec("greedy", "Greedy", GreedySearch, {}),
+    MethodSpec("ga", "GA", GeneticAlgorithm, {}),
+    MethodSpec("a2c", "DRiLLS (A2C)", A2COptimiser, {}),
+    MethodSpec("ppo", "DRiLLS (PPO)", PPOOptimiser, {}),
+    MethodSpec("graph-rl", "Graph-RL", GraphRLOptimiser, {}),
+]
+
+_METHODS_BY_KEY: Dict[str, MethodSpec] = {spec.key: spec for spec in _METHODS}
+
+
+def available_methods() -> List[str]:
+    """Keys of all registered optimisation methods."""
+    return [spec.key for spec in _METHODS]
+
+
+def make_optimiser(
+    key: str,
+    space: Optional[SequenceSpace] = None,
+    seed: int = 0,
+    **overrides: object,
+) -> SequenceOptimiser:
+    """Instantiate an optimiser from its registry key."""
+    if key not in _METHODS_BY_KEY:
+        raise KeyError(f"unknown method {key!r}; available: {available_methods()}")
+    spec = _METHODS_BY_KEY[key]
+    kwargs = dict(spec.defaults)
+    kwargs.update(overrides)
+    return spec.factory(space=space, seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Experiment configuration
+# ----------------------------------------------------------------------
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except (TypeError, ValueError):
+        return default
+
+
+@dataclass
+class ExperimentConfig:
+    """Grid configuration shared by all experiment entry points.
+
+    The paper's setting is ``budget=200`` (``1000`` for the extended
+    sample-efficiency study), ``num_seeds=5``, ``sequence_length=20`` on
+    the full-size EPFL circuits; the defaults here are scaled down so the
+    benchmark suite completes quickly, and are overridable both in code and
+    through environment variables (``REPRO_BUDGET``, ``REPRO_SEEDS``,
+    ``REPRO_SEQ_LENGTH``, ``REPRO_CIRCUIT_WIDTH``).
+    """
+
+    # Environment overrides are read at *instantiation* time (not import
+    # time), so setting REPRO_BUDGET before building a config always works.
+    budget: int = field(default_factory=lambda: _env_int("REPRO_BUDGET", 12))
+    num_seeds: int = field(default_factory=lambda: _env_int("REPRO_SEEDS", 2))
+    sequence_length: int = field(default_factory=lambda: _env_int("REPRO_SEQ_LENGTH", 8))
+    circuit_width: Optional[int] = field(
+        default_factory=lambda: _env_int("REPRO_CIRCUIT_WIDTH", 0) or None
+    )
+    methods: Sequence[str] = ("boils", "sbo", "ga", "rs", "greedy", "a2c")
+    circuits: Sequence[str] = ("adder", "bar", "div", "hyp", "log2", "max",
+                               "multiplier", "sin", "sqrt", "square")
+    lut_size: int = 6
+    method_overrides: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def space(self) -> SequenceSpace:
+        return SequenceSpace(sequence_length=self.sequence_length)
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The configuration matching the paper's protocol."""
+        return cls(budget=200, num_seeds=5, sequence_length=20, circuit_width=None)
+
+    @classmethod
+    def quick(cls, circuits: Sequence[str] = ("adder", "sqrt"),
+              methods: Sequence[str] = ("boils", "rs")) -> "ExperimentConfig":
+        """A minimal configuration used by tests and CI benchmarks."""
+        return cls(budget=8, num_seeds=1, sequence_length=5, circuit_width=None,
+                   circuits=circuits, methods=methods)
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def run_method_on_circuit(
+    method_key: str,
+    circuit_name: str,
+    config: ExperimentConfig,
+    seed: int,
+    evaluator: Optional[QoREvaluator] = None,
+) -> OptimisationResult:
+    """Run one (method, circuit, seed) cell of the grid."""
+    if evaluator is None:
+        aig = get_circuit(circuit_name, width=config.circuit_width)
+        evaluator = QoREvaluator(aig, lut_size=config.lut_size)
+    else:
+        evaluator.reset_history()
+    overrides = dict(config.method_overrides.get(method_key, {}))
+    optimiser = make_optimiser(method_key, space=config.space(), seed=seed, **overrides)
+    result = optimiser.optimise(evaluator, budget=config.budget)
+    result.circuit = circuit_name
+    return result
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[OptimisationResult]:
+    """Run the full (method × circuit × seed) grid described by ``config``.
+
+    Evaluators are shared across methods and seeds for a given circuit so
+    that the (expensive) ``resyn2`` reference mapping is computed once and
+    the QoR cache benefits every optimiser equally.
+    """
+    results: List[OptimisationResult] = []
+    for circuit_name in config.circuits:
+        aig = get_circuit(circuit_name, width=config.circuit_width)
+        evaluator = QoREvaluator(aig, lut_size=config.lut_size)
+        for method_key in config.methods:
+            spec = _METHODS_BY_KEY[method_key]
+            for seed in range(config.num_seeds):
+                if progress is not None:
+                    progress(f"{spec.display_name} / {circuit_name} / seed {seed}")
+                evaluator.reset_history()
+                optimiser = make_optimiser(
+                    method_key, space=config.space(), seed=seed,
+                    **dict(config.method_overrides.get(method_key, {})),
+                )
+                result = optimiser.optimise(evaluator, budget=config.budget)
+                result.circuit = circuit_name
+                results.append(result)
+    return results
+
+
+def group_results(results: Sequence[OptimisationResult]) -> Dict[str, Dict[str, List[OptimisationResult]]]:
+    """Group run results as ``{method: {circuit: [runs across seeds]}}``."""
+    grouped: Dict[str, Dict[str, List[OptimisationResult]]] = {}
+    for result in results:
+        grouped.setdefault(result.method, {}).setdefault(result.circuit, []).append(result)
+    return grouped

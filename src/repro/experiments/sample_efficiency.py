@@ -1,0 +1,161 @@
+"""Figure 1: sample efficiency — evaluations needed to match BOiLS.
+
+The paper's protocol: run BOiLS for 200 evaluations; then, for every other
+method, keep evaluating (up to 1000 sequences) until it reaches 97.5 % of
+the QoR improvement BOiLS achieved, and report how many tested sequences
+that took.  Figure 1 plots the average over the ten circuits; the middle
+row of Figure 3 shows the underlying convergence curves for the four large
+circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bo.base import OptimisationResult
+from repro.experiments.runner import (
+    ExperimentConfig,
+    group_results,
+    make_optimiser,
+)
+from repro.circuits import get_circuit
+from repro.qor import QoREvaluator
+
+
+@dataclass
+class SampleEfficiencyResult:
+    """Evaluations-to-target per method, plus the underlying targets.
+
+    ``evaluations_to_target[method][circuit]`` is the mean (over seeds)
+    number of tested sequences the method needed to reach the 97.5 % target
+    of BOiLS's improvement on that circuit; runs that never reach it count
+    as the full extended budget (the paper terminates them at 1000).
+    """
+
+    target_fraction: float
+    reference_method: str
+    extended_budget: int
+    targets: Dict[str, float]
+    evaluations_to_target: Dict[str, Dict[str, float]]
+    average_evaluations: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, method: str) -> float:
+        """Ratio of a method's average evaluations to the reference's."""
+        reference = self.average_evaluations.get(self.reference_method)
+        other = self.average_evaluations.get(method)
+        if not reference or not other:
+            return float("nan")
+        return other / reference
+
+    def to_text(self) -> str:
+        lines = [
+            f"Sample efficiency (target = {self.target_fraction:.1%} of "
+            f"{self.reference_method} improvement)",
+            "method            avg. evaluations to target",
+        ]
+        for method, value in sorted(self.average_evaluations.items(), key=lambda kv: kv[1]):
+            lines.append(f"{method:18s}{value:10.1f}")
+        return "\n".join(lines)
+
+
+def _evaluations_to_reach(trajectory: Sequence[float], target: float,
+                          fallback: int) -> int:
+    """First evaluation index (1-based) at which the trajectory ≥ target."""
+    for index, value in enumerate(trajectory, start=1):
+        if value >= target:
+            return index
+    return fallback
+
+
+def sample_efficiency_study(
+    config: Optional[ExperimentConfig] = None,
+    reference_method: str = "boils",
+    target_fraction: float = 0.975,
+    extended_budget: Optional[int] = None,
+    progress=None,
+) -> SampleEfficiencyResult:
+    """Run the Figure 1 study.
+
+    Parameters
+    ----------
+    config:
+        Grid configuration; ``config.budget`` is the reference method's
+        budget (200 in the paper).
+    reference_method:
+        Method whose final improvement defines the target (BOiLS).
+    target_fraction:
+        Fraction of the reference improvement to reach (97.5 % in the
+        paper).
+    extended_budget:
+        Budget allowed to the other methods (1000 in the paper); defaults
+        to ``5 × config.budget``.
+    """
+    config = config if config is not None else ExperimentConfig()
+    extended = extended_budget if extended_budget is not None else 5 * config.budget
+    reference_display = None
+
+    targets: Dict[str, float] = {}
+    evaluations: Dict[str, Dict[str, List[float]]] = {}
+
+    for circuit_name in config.circuits:
+        aig = get_circuit(circuit_name, width=config.circuit_width)
+        evaluator = QoREvaluator(aig, lut_size=config.lut_size)
+
+        # Reference runs define the target for this circuit.
+        reference_improvements = []
+        reference_counts = []
+        for seed in range(config.num_seeds):
+            if progress is not None:
+                progress(f"[fig1] {reference_method} / {circuit_name} / seed {seed}")
+            evaluator.reset_history()
+            optimiser = make_optimiser(
+                reference_method, space=config.space(), seed=seed,
+                **dict(config.method_overrides.get(reference_method, {})),
+            )
+            result = optimiser.optimise(evaluator, budget=config.budget)
+            reference_display = result.method
+            reference_improvements.append(result.best_improvement)
+            reference_counts.append(float(result.num_evaluations))
+        target = target_fraction * float(np.mean(reference_improvements))
+        targets[circuit_name] = target
+        evaluations.setdefault(reference_display, {}).setdefault(circuit_name, []).extend(
+            reference_counts
+        )
+
+        # Other methods run with the extended budget until they hit the target.
+        for method_key in config.methods:
+            if method_key == reference_method:
+                continue
+            for seed in range(config.num_seeds):
+                if progress is not None:
+                    progress(f"[fig1] {method_key} / {circuit_name} / seed {seed}")
+                evaluator.reset_history()
+                optimiser = make_optimiser(
+                    method_key, space=config.space(), seed=seed,
+                    **dict(config.method_overrides.get(method_key, {})),
+                )
+                result = optimiser.optimise(evaluator, budget=extended)
+                count = _evaluations_to_reach(result.best_trajectory, target, extended)
+                evaluations.setdefault(result.method, {}).setdefault(
+                    circuit_name, []
+                ).append(float(count))
+
+    evaluations_mean: Dict[str, Dict[str, float]] = {}
+    averages: Dict[str, float] = {}
+    for method, per_circuit in evaluations.items():
+        evaluations_mean[method] = {
+            circuit: float(np.mean(counts)) for circuit, counts in per_circuit.items()
+        }
+        averages[method] = float(np.mean(list(evaluations_mean[method].values())))
+
+    return SampleEfficiencyResult(
+        target_fraction=target_fraction,
+        reference_method=reference_display or reference_method,
+        extended_budget=extended,
+        targets=targets,
+        evaluations_to_target=evaluations_mean,
+        average_evaluations=averages,
+    )

@@ -1,0 +1,23 @@
+"""Gaussian-process machinery used by BOiLS and the SBO baseline."""
+
+from repro.gp.gp import GaussianProcess
+from repro.gp.optim import ProjectedAdam
+from repro.gp.kernels import (
+    Kernel,
+    SquaredExponentialKernel,
+    Matern52Kernel,
+    OverlapKernel,
+    TransformedOverlapKernel,
+    SubsequenceStringKernel,
+)
+
+__all__ = [
+    "GaussianProcess",
+    "ProjectedAdam",
+    "Kernel",
+    "SquaredExponentialKernel",
+    "Matern52Kernel",
+    "OverlapKernel",
+    "TransformedOverlapKernel",
+    "SubsequenceStringKernel",
+]

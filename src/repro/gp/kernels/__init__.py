@@ -1,0 +1,26 @@
+"""Covariance kernels.
+
+Two families are provided:
+
+* continuous kernels over real vectors (squared exponential with ARD,
+  Matérn 5/2) — used by the SBO baseline on one-hot encodings and by the
+  Figure 2 GP illustration;
+* categorical / sequence kernels over integer-encoded operation sequences
+  (overlap, transformed overlap, and the sub-sequence string kernel that
+  is the heart of BOiLS).
+"""
+
+from repro.gp.kernels.base import Kernel
+from repro.gp.kernels.continuous import Matern52Kernel, SquaredExponentialKernel
+from repro.gp.kernels.categorical import OverlapKernel, TransformedOverlapKernel
+from repro.gp.kernels.ssk import SubsequenceStringKernel, subsequence_contribution
+
+__all__ = [
+    "Kernel",
+    "SquaredExponentialKernel",
+    "Matern52Kernel",
+    "OverlapKernel",
+    "TransformedOverlapKernel",
+    "SubsequenceStringKernel",
+    "subsequence_contribution",
+]

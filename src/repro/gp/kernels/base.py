@@ -1,0 +1,86 @@
+"""Kernel interface shared by all covariance functions."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class Kernel(ABC):
+    """Abstract covariance function.
+
+    A kernel owns a flat dictionary of named hyperparameters together with
+    box bounds for each; gradient-free and gradient-based fitters both work
+    through :meth:`get_params` / :meth:`set_params`, which keeps the
+    fitting code independent of the specific kernel family.
+    """
+
+    def __init__(self) -> None:
+        self._params: Dict[str, float] = {}
+        self._bounds: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Hyperparameter management
+    # ------------------------------------------------------------------
+    def register_param(self, name: str, value: float, bounds: tuple) -> None:
+        """Register a scalar hyperparameter with box bounds ``(low, high)``."""
+        low, high = bounds
+        self._params[name] = float(np.clip(value, low, high))
+        self._bounds[name] = (float(low), float(high))
+
+    def get_params(self) -> Dict[str, float]:
+        """Current hyperparameter values."""
+        return dict(self._params)
+
+    def set_params(self, **values: float) -> None:
+        """Update hyperparameters, clipping each to its registered bounds."""
+        for name, value in values.items():
+            if name not in self._params:
+                raise KeyError(f"unknown hyperparameter {name!r}")
+            low, high = self._bounds[name]
+            self._params[name] = float(np.clip(value, low, high))
+
+    def param_bounds(self) -> Dict[str, tuple]:
+        """Box bounds per hyperparameter."""
+        return dict(self._bounds)
+
+    def param_names(self) -> List[str]:
+        return list(self._params)
+
+    def param_vector(self) -> np.ndarray:
+        """Hyperparameters as a vector (ordered by :meth:`param_names`)."""
+        return np.array([self._params[name] for name in self._params], dtype=float)
+
+    def set_param_vector(self, vector: np.ndarray) -> None:
+        """Set hyperparameters from a vector ordered like :meth:`param_names`."""
+        names = self.param_names()
+        if len(vector) != len(names):
+            raise ValueError("hyperparameter vector has the wrong length")
+        self.set_params(**{name: float(v) for name, v in zip(names, vector)})
+
+    def bounds_arrays(self) -> tuple:
+        """Lower/upper bound vectors matching :meth:`param_vector` order."""
+        names = self.param_names()
+        lows = np.array([self._bounds[name][0] for name in names], dtype=float)
+        highs = np.array([self._bounds[name][1] for name in names], dtype=float)
+        return lows, highs
+
+    # ------------------------------------------------------------------
+    # Covariance computation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Covariance matrix between rows of ``X`` and rows of ``Y``.
+
+        ``Y=None`` means ``Y=X`` (the symmetric Gram matrix).
+        """
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Diagonal of the Gram matrix (defaults to the full computation)."""
+        return np.diag(self(X))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        params = ", ".join(f"{k}={v:.4g}" for k, v in self._params.items())
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,11 @@
+"""FPGA technology mapping (ABC ``if -K 6`` analogue).
+
+The mapper covers the AIG with K-input LUTs using priority-cut,
+depth-oriented mapping followed by area recovery, and reports the two
+quantities the BOiLS QoR metric is built from: LUT count (area) and LUT
+levels (delay).
+"""
+
+from repro.mapping.lut_mapper import LutMapper, MappingResult, map_aig
+
+__all__ = ["LutMapper", "MappingResult", "map_aig"]

@@ -1,0 +1,232 @@
+"""Priority-cut K-LUT technology mapping.
+
+This is the reproduction's stand-in for ABC's ``if -K 6`` command followed
+by ``print_stats``: it covers the AIG with K-input lookup tables and
+reports LUT count (the paper's *area*) and LUT depth (the paper's
+*delay* / *levels*).
+
+The algorithm is the standard two-phase FPGA mapper:
+
+1. **Delay-oriented covering** — for every node, among its K-feasible cuts
+   select the one minimising arrival time (ties broken by area flow), which
+   yields the minimum-depth cover achievable with the enumerated cuts.
+2. **Area recovery** — with node depths fixed to their required times,
+   re-select cuts for off-critical nodes minimising *area flow* and then
+   *exact local area*, which removes LUT duplication that the delay phase
+   introduced.
+
+The mapping is produced by a final top-down traversal from the POs that
+materialises the selected cuts into LUTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.cuts import Cut, enumerate_cuts
+from repro.aig.graph import AIG, lit_var
+
+
+@dataclass(frozen=True)
+class Lut:
+    """One mapped LUT: a root variable and its leaf variables."""
+
+    root: int
+    leaves: Tuple[int, ...]
+
+
+@dataclass
+class MappingResult:
+    """Outcome of technology mapping.
+
+    Attributes
+    ----------
+    area:
+        Number of LUTs in the cover (the paper's LUT-count / ``Area``).
+    delay:
+        Depth of the LUT network in levels (the paper's ``Levels`` /
+        ``Delay``).
+    luts:
+        The selected LUTs, topologically ordered.
+    lut_size:
+        The K used for mapping.
+    """
+
+    area: int
+    delay: int
+    luts: List[Lut] = field(default_factory=list)
+    lut_size: int = 6
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"area": self.area, "delay": self.delay, "lut_size": self.lut_size}
+
+
+class LutMapper:
+    """Reusable K-LUT mapper with configurable cut enumeration effort."""
+
+    def __init__(self, lut_size: int = 6, max_cuts: int = 8, area_iterations: int = 2) -> None:
+        if lut_size < 2:
+            raise ValueError("lut_size must be at least 2")
+        self.lut_size = lut_size
+        self.max_cuts = max_cuts
+        self.area_iterations = area_iterations
+
+    # ------------------------------------------------------------------
+    def map(self, aig: AIG) -> MappingResult:
+        """Map an AIG and return area/delay statistics plus the LUT cover."""
+        if aig.num_ands == 0:
+            # Outputs are PIs or constants: zero LUTs, zero levels.
+            return MappingResult(area=0, delay=0, luts=[], lut_size=self.lut_size)
+
+        cuts = enumerate_cuts(aig, k=self.lut_size, max_cuts=self.max_cuts,
+                              include_trivial=False, depths=aig.levels())
+        po_vars = {lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))}
+        and_vars = [n.var for n in aig.and_nodes()]
+        fanouts = aig.fanout_counts()
+
+        # Phase 1: depth-oriented cut selection.
+        best_cut: Dict[int, Cut] = {}
+        arrival: Dict[int, int] = {0: 0}
+        for pi in aig.pis:
+            arrival[pi] = 0
+        area_flow: Dict[int, float] = {0: 0.0}
+        for pi in aig.pis:
+            area_flow[pi] = 0.0
+
+        for var in and_vars:
+            node_cuts = cuts.get(var) or [Cut(tuple(sorted(
+                {lit_var(f) for f in aig.fanins(var)})))]
+            best = None
+            for cut in node_cuts:
+                arr = 1 + max(arrival.get(leaf, 0) for leaf in cut.leaves)
+                flow = 1.0 + sum(
+                    area_flow.get(leaf, 0.0) / max(1, fanouts[leaf]) for leaf in cut.leaves
+                )
+                key = (arr, flow, cut.size, cut.leaves)
+                if best is None or key < best[0]:
+                    best = (key, cut)
+            assert best is not None
+            (arr, flow, _, _), cut = best
+            best_cut[var] = cut
+            arrival[var] = arr
+            area_flow[var] = flow
+
+        delay = max((arrival.get(lit_var(po), 0) for po in aig.pos), default=0)
+
+        # Phase 2: area recovery under the fixed required times.
+        required = self._required_times(aig, and_vars, best_cut, arrival, delay)
+        for _ in range(self.area_iterations):
+            refs = self._mapping_references(aig, and_vars, best_cut)
+            for var in and_vars:
+                node_cuts = cuts.get(var, [])
+                if not node_cuts:
+                    continue
+                best = None
+                for cut in node_cuts:
+                    arr = 1 + max(arrival.get(leaf, 0) for leaf in cut.leaves)
+                    if arr > required[var]:
+                        continue
+                    # Exact-ish local area: LUTs that would become
+                    # unreferenced count as savings.
+                    area_cost = 1.0 + sum(
+                        0.0 if (not aig.is_and(leaf)) or refs.get(leaf, 0) > 0
+                        else area_flow.get(leaf, 1.0)
+                        for leaf in cut.leaves
+                    )
+                    key = (area_cost, arr, cut.size, cut.leaves)
+                    if best is None or key < best[0]:
+                        best = (key, cut)
+                if best is not None:
+                    best_cut[var] = best[1]
+                    arrival[var] = 1 + max(arrival.get(leaf, 0) for leaf in best[1].leaves)
+            required = self._required_times(aig, and_vars, best_cut, arrival, delay)
+
+        luts = self._materialise(aig, best_cut)
+        lut_delay = self._cover_depth(aig, luts)
+        return MappingResult(area=len(luts), delay=lut_delay, luts=luts,
+                             lut_size=self.lut_size)
+
+    # ------------------------------------------------------------------
+    def _required_times(
+        self,
+        aig: AIG,
+        and_vars: Sequence[int],
+        best_cut: Dict[int, Cut],
+        arrival: Dict[int, int],
+        delay: int,
+    ) -> Dict[int, int]:
+        required = {var: delay for var in and_vars}
+        for pi in aig.pis:
+            required[pi] = delay
+        required[0] = delay
+        for po in aig.pos:
+            var = lit_var(po)
+            if var in required:
+                required[var] = min(required[var], delay)
+        for var in reversed(list(and_vars)):
+            cut = best_cut.get(var)
+            if cut is None:
+                continue
+            for leaf in cut.leaves:
+                if leaf in required:
+                    required[leaf] = min(required[leaf], required[var] - 1)
+        return required
+
+    def _mapping_references(
+        self, aig: AIG, and_vars: Sequence[int], best_cut: Dict[int, Cut]
+    ) -> Dict[int, int]:
+        """How many selected LUTs / POs reference each variable as a leaf."""
+        refs: Dict[int, int] = {}
+        stack = [lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))]
+        visited = set()
+        while stack:
+            var = stack.pop()
+            if var in visited:
+                continue
+            visited.add(var)
+            cut = best_cut.get(var)
+            if cut is None:
+                continue
+            for leaf in cut.leaves:
+                refs[leaf] = refs.get(leaf, 0) + 1
+                if aig.is_and(leaf) and leaf not in visited:
+                    stack.append(leaf)
+        for po in aig.pos:
+            var = lit_var(po)
+            refs[var] = refs.get(var, 0) + 1
+        return refs
+
+    def _materialise(self, aig: AIG, best_cut: Dict[int, Cut]) -> List[Lut]:
+        """Top-down cover extraction from the POs."""
+        selected: Dict[int, Lut] = {}
+        stack = [lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))]
+        while stack:
+            var = stack.pop()
+            if var in selected:
+                continue
+            cut = best_cut.get(var)
+            if cut is None:
+                # Shouldn't happen; map the node with its structural cut.
+                f0, f1 = aig.fanins(var)
+                cut = Cut(tuple(sorted({lit_var(f0), lit_var(f1)})))
+            selected[var] = Lut(root=var, leaves=cut.leaves)
+            for leaf in cut.leaves:
+                if aig.is_and(leaf) and leaf not in selected:
+                    stack.append(leaf)
+        # Topological order by AIG variable index (valid because cuts only
+        # reference lower (earlier) variables).
+        return [selected[var] for var in sorted(selected)]
+
+    def _cover_depth(self, aig: AIG, luts: List[Lut]) -> int:
+        depth: Dict[int, int] = {0: 0}
+        for pi in aig.pis:
+            depth[pi] = 0
+        for lut in luts:
+            depth[lut.root] = 1 + max(depth.get(leaf, 0) for leaf in lut.leaves)
+        return max((depth.get(lit_var(po), 0) for po in aig.pos), default=0)
+
+
+def map_aig(aig: AIG, lut_size: int = 6, max_cuts: int = 8) -> MappingResult:
+    """Convenience wrapper: map ``aig`` with a K-input LUT mapper."""
+    return LutMapper(lut_size=lut_size, max_cuts=max_cuts).map(aig)

@@ -1,0 +1,5 @@
+"""Quality-of-results evaluation (Equation 1 of the paper)."""
+
+from repro.qor.evaluator import QoREvaluator, QoRResult, SequenceEvaluation
+
+__all__ = ["QoREvaluator", "QoRResult", "SequenceEvaluation"]

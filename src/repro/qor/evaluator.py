@@ -1,0 +1,160 @@
+"""The QoR black box that all optimisers query.
+
+Implements Equation (1) of the paper:
+
+    QoR_C(seq) = Area_C(seq) / Area_C(ref) + Delay_C(seq) / Delay_C(ref)
+
+where Area is the LUT count and Delay the LUT level count after K-LUT
+mapping, and the reference is the ``resyn2`` flow.  The evaluator memoises
+sequence evaluations because several optimisers (GA with elitism, trust
+region restarts, greedy) re-visit sequences, and the paper counts *distinct
+tested sequences* as the sample-complexity unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.aig.graph import AIG
+from repro.mapping.lut_mapper import LutMapper, MappingResult
+from repro.synth.flows import RESYN2_SEQUENCE
+from repro.synth.operations import apply_sequence, sequence_to_names
+
+
+@dataclass(frozen=True)
+class QoRResult:
+    """Area/delay/QoR of one mapped network."""
+
+    area: int
+    delay: int
+    qor: float
+
+
+@dataclass
+class SequenceEvaluation:
+    """Full record of one black-box evaluation."""
+
+    sequence: Tuple[str, ...]
+    area: int
+    delay: int
+    qor: float
+    qor_improvement: float
+    """Relative improvement over the reference flow, in percent
+    (``(QoR(ref_as_seq) - QoR(seq)) / QoR(ref_as_seq) * 100``); matches the
+    numbers reported in the paper's Figure 3 table."""
+
+
+class QoREvaluator:
+    """Black-box QoR evaluator for a fixed circuit.
+
+    Parameters
+    ----------
+    aig:
+        The initial (unoptimised) circuit.
+    lut_size:
+        LUT input count used for mapping (the paper uses ``if -K 6``).
+    reference_sequence:
+        The reference flow defining the QoR denominators; defaults to
+        ``resyn2`` as in the paper.
+    cache:
+        Whether to memoise evaluations by sequence.
+    """
+
+    def __init__(
+        self,
+        aig: AIG,
+        lut_size: int = 6,
+        reference_sequence: Optional[Sequence[str]] = None,
+        cache: bool = True,
+    ) -> None:
+        self.aig = aig
+        self.mapper = LutMapper(lut_size=lut_size)
+        self.reference_sequence = tuple(
+            reference_sequence if reference_sequence is not None else RESYN2_SEQUENCE
+        )
+        self._cache_enabled = cache
+        self._cache: Dict[Tuple[str, ...], SequenceEvaluation] = {}
+        self._num_evaluations = 0
+        self.history: List[SequenceEvaluation] = []
+
+        # Reference area/delay (denominators of Equation 1).
+        reference_aig = apply_sequence(aig, self.reference_sequence)
+        reference_mapping = self.mapper.map(reference_aig)
+        self.reference_area = max(1, reference_mapping.area)
+        self.reference_delay = max(1, reference_mapping.delay)
+        # QoR of the reference itself is 2.0 by construction; the paper's
+        # "% improvement over resyn2" is measured against this value.
+        self.reference_qor = 2.0
+
+        # Mapping of the unoptimised circuit, for Pareto plots ("init").
+        initial_mapping = self.mapper.map(aig)
+        self.initial_result = QoRResult(
+            area=initial_mapping.area,
+            delay=initial_mapping.delay,
+            qor=self._qor(initial_mapping),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_evaluations(self) -> int:
+        """Number of distinct black-box evaluations performed so far."""
+        return self._num_evaluations
+
+    def _qor(self, mapping: MappingResult) -> float:
+        return mapping.area / self.reference_area + mapping.delay / self.reference_delay
+
+    def evaluate(self, sequence: Sequence[Union[str, int]]) -> SequenceEvaluation:
+        """Evaluate a synthesis sequence; returns the full QoR record."""
+        names = tuple(sequence_to_names(sequence))
+        if self._cache_enabled and names in self._cache:
+            return self._cache[names]
+        optimised = apply_sequence(self.aig, names)
+        mapping = self.mapper.map(optimised)
+        qor = self._qor(mapping)
+        improvement = (self.reference_qor - qor) / self.reference_qor * 100.0
+        record = SequenceEvaluation(
+            sequence=names,
+            area=mapping.area,
+            delay=mapping.delay,
+            qor=qor,
+            qor_improvement=improvement,
+        )
+        self._num_evaluations += 1
+        self.history.append(record)
+        if self._cache_enabled:
+            self._cache[names] = record
+        return record
+
+    def qor(self, sequence: Sequence[Union[str, int]]) -> float:
+        """QoR value of a sequence (the quantity BOiLS minimises)."""
+        return self.evaluate(sequence).qor
+
+    def negative_qor(self, sequence: Sequence[Union[str, int]]) -> float:
+        """``-QoR`` — the quantity the GP surrogate models (maximisation)."""
+        return -self.evaluate(sequence).qor
+
+    def improvement(self, sequence: Sequence[Union[str, int]]) -> float:
+        """Relative QoR improvement over the reference flow, in percent."""
+        return self.evaluate(sequence).qor_improvement
+
+    # ------------------------------------------------------------------
+    def best_so_far(self) -> Optional[SequenceEvaluation]:
+        """Best (lowest-QoR) evaluation seen so far, if any."""
+        if not self.history:
+            return None
+        return min(self.history, key=lambda record: record.qor)
+
+    def best_trajectory(self) -> List[float]:
+        """Best-so-far QoR improvement after each evaluation (for curves)."""
+        best = float("-inf")
+        trajectory = []
+        for record in self.history:
+            best = max(best, record.qor_improvement)
+            trajectory.append(best)
+        return trajectory
+
+    def reset_history(self) -> None:
+        """Clear the evaluation history and counters (cache is kept)."""
+        self.history = []
+        self._num_evaluations = 0

@@ -1,0 +1,32 @@
+"""Logic-synthesis transformation passes (ABC operation analogues).
+
+Every pass is a pure function ``AIG -> AIG`` registered in
+:mod:`repro.synth.operations`; the registry exposes the eleven-operation
+alphabet used by the BOiLS paper:
+
+``rewrite, rewrite -z, refactor, refactor -z, resub, resub -z, balance,
+fraig, sopb, blut, dsdb``
+
+plus the ``resyn2`` reference flow used to normalise QoR values.
+"""
+
+from repro.synth.operations import (
+    OPERATION_ALPHABET,
+    Operation,
+    apply_operation,
+    apply_sequence,
+    get_operation,
+    list_operations,
+)
+from repro.synth.flows import resyn2, named_flow
+
+__all__ = [
+    "OPERATION_ALPHABET",
+    "Operation",
+    "apply_operation",
+    "apply_sequence",
+    "get_operation",
+    "list_operations",
+    "resyn2",
+    "named_flow",
+]

@@ -1,0 +1,98 @@
+"""AND-tree balancing (ABC ``balance`` analogue).
+
+``balance`` reduces the depth of an AIG without changing its logic by
+collapsing maximal multi-input AND "supergates" and rebuilding them as
+delay-balanced trees: the earliest-arriving operands are combined first.
+This is a full-graph reconstruction pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.aig.graph import AIG, Literal, lit_not, lit_var, lit_is_compl
+
+
+def balance(aig: AIG) -> AIG:
+    """Return a depth-balanced, functionally equivalent copy of ``aig``."""
+    fanouts = aig.fanout_counts()
+    new = AIG(name=aig.name)
+    mapping: Dict[int, Literal] = {0: 0}
+    arrival: Dict[int, int] = {0: 0}
+    for pi_var in aig.pis:
+        mapping[pi_var] = new.add_pi(name=aig.node(pi_var).name)
+        arrival[lit_var(mapping[pi_var])] = 0
+
+    def translate(old_lit: Literal) -> Literal:
+        base = mapping[lit_var(old_lit)]
+        return base ^ (old_lit & 1)
+
+    def collect_supergate(old_lit: Literal, root_var: int, operands: List[Literal]) -> None:
+        """Flatten a tree of single-fanout, non-complemented AND fanins."""
+        var = lit_var(old_lit)
+        node = aig.node(var)
+        expandable = (
+            node.is_and
+            and not lit_is_compl(old_lit)
+            and var != root_var
+            and fanouts[var] <= 1
+        )
+        if not expandable:
+            operands.append(old_lit)
+            return
+        assert node.fanin0 is not None and node.fanin1 is not None
+        collect_supergate(node.fanin0, root_var, operands)
+        collect_supergate(node.fanin1, root_var, operands)
+
+    for node in aig.nodes():
+        if not node.is_and:
+            continue
+        assert node.fanin0 is not None and node.fanin1 is not None
+        operands: List[Literal] = []
+        collect_supergate(node.fanin0, node.var, operands)
+        collect_supergate(node.fanin1, node.var, operands)
+        # Deduplicate operands: repeated literals are idempotent under AND,
+        # and complementary pairs make the supergate constant false.
+        seen = set()
+        unique_ops: List[Literal] = []
+        constant_false = False
+        for op in operands:
+            if op in seen:
+                continue
+            if lit_not(op) in seen:
+                constant_false = True
+                break
+            seen.add(op)
+            unique_ops.append(op)
+        if constant_false:
+            mapping[node.var] = 0
+            arrival[0] = 0
+            continue
+        new_ops = [translate(op) for op in unique_ops]
+        new_lit = _balanced_and(new, new_ops, arrival)
+        mapping[node.var] = new_lit
+
+    for po_lit, po_name in zip(aig.pos, aig.po_names):
+        new.add_po(translate(po_lit), name=po_name)
+    return new
+
+
+def _balanced_and(new: AIG, operands: List[Literal], arrival: Dict[int, int]) -> Literal:
+    """Combine operands into an AND tree, earliest arrivals first."""
+    if not operands:
+        return 1
+    pending = sorted(operands, key=lambda l: (arrival.get(lit_var(l), 0), l))
+    while len(pending) > 1:
+        a = pending.pop(0)
+        b = pending.pop(0)
+        combined = new.add_and(a, b)
+        arr = 1 + max(arrival.get(lit_var(a), 0), arrival.get(lit_var(b), 0))
+        existing = arrival.get(lit_var(combined))
+        arrival[lit_var(combined)] = min(existing, arr) if existing is not None else arr
+        # Insert keeping arrival order.
+        key = arrival[lit_var(combined)]
+        idx = 0
+        while idx < len(pending) and arrival.get(lit_var(pending[idx]), 0) <= key:
+            idx += 1
+        pending.insert(idx, combined)
+    return pending[0]

@@ -1,0 +1,80 @@
+"""Named synthesis flows.
+
+The most important flow is ``resyn2``, ABC's standard ten-step script::
+
+    balance; rewrite; refactor; balance; rewrite; rewrite -z;
+    balance; refactor -z; rewrite -z; balance
+
+which the BOiLS paper uses as the *reference sequence* that normalises the
+QoR metric (Equation 1).  A few other classic scripts are provided for
+convenience and for the example applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.aig.graph import AIG
+from repro.synth.operations import apply_sequence
+
+RESYN2_SEQUENCE: List[str] = [
+    "balance",
+    "rewrite",
+    "refactor",
+    "balance",
+    "rewrite",
+    "rewrite -z",
+    "balance",
+    "refactor -z",
+    "rewrite -z",
+    "balance",
+]
+
+RESYN_SEQUENCE: List[str] = [
+    "balance",
+    "rewrite",
+    "rewrite -z",
+    "balance",
+    "rewrite -z",
+    "balance",
+]
+
+COMPRESS2_SEQUENCE: List[str] = [
+    "balance",
+    "rewrite",
+    "refactor",
+    "balance",
+    "rewrite",
+    "rewrite -z",
+    "balance",
+    "refactor -z",
+    "rewrite -z",
+    "balance",
+]
+
+_FLOWS: Dict[str, List[str]] = {
+    "resyn": RESYN_SEQUENCE,
+    "resyn2": RESYN2_SEQUENCE,
+    "compress2": COMPRESS2_SEQUENCE,
+}
+
+
+def resyn2(aig: AIG) -> AIG:
+    """Apply the ``resyn2`` reference flow."""
+    return apply_sequence(aig, RESYN2_SEQUENCE)
+
+
+def named_flow(name: str) -> List[str]:
+    """Return the operation sequence of a named flow."""
+    if name not in _FLOWS:
+        raise KeyError(f"unknown flow {name!r}; available: {sorted(_FLOWS)}")
+    return list(_FLOWS[name])
+
+
+def apply_flow(aig: AIG, name: str) -> AIG:
+    """Apply a named flow to an AIG."""
+    return apply_sequence(aig, named_flow(name))
+
+
+def available_flows() -> List[str]:
+    return sorted(_FLOWS)

@@ -1,0 +1,173 @@
+"""Functionally-reduced AIG construction (ABC ``fraig`` analogue).
+
+``fraig`` detects functionally equivalent nodes across the whole network
+and merges them.  The original uses simulation to form candidate
+equivalence classes and SAT to prove them; this reproduction uses the same
+simulation front-end, then proves candidates exactly when their combined
+support is small enough for truth tables and otherwise confirms them with
+a second, independent batch of random patterns (a standard SAT-free
+fallback; the probability of accepting a wrong merge falls off as
+``2^-patterns``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.aig.graph import AIG, Literal, lit_not, lit_var
+from repro.aig.simulation import node_signatures
+from repro.aig.cuts import Cut, cut_truth_table
+from repro.aig import truth
+
+
+def fraig(
+    aig: AIG,
+    num_sim_words: int = 8,
+    confirm_words: int = 16,
+    exact_support_limit: int = 12,
+    rng: Optional[np.random.Generator] = None,
+) -> AIG:
+    """Merge functionally equivalent (and antivalent) nodes.
+
+    Parameters
+    ----------
+    num_sim_words:
+        Words of random simulation used to build candidate classes.
+    confirm_words:
+        Extra confirmation patterns for candidates whose support is too
+        wide for exact truth-table proof.
+    exact_support_limit:
+        Maximum combined support size for which equivalence is proved
+        exactly by truth tables.
+    """
+    if aig.num_ands == 0:
+        return aig.copy()
+    rng = rng if rng is not None else np.random.default_rng(29)
+    patterns = rng.integers(
+        0, np.iinfo(np.uint64).max, size=(aig.num_pis, num_sim_words),
+        dtype=np.uint64, endpoint=True,
+    )
+    signatures = node_signatures(aig, patterns)
+    confirm_patterns = rng.integers(
+        0, np.iinfo(np.uint64).max, size=(aig.num_pis, confirm_words),
+        dtype=np.uint64, endpoint=True,
+    )
+    confirm_sigs = node_signatures(aig, confirm_patterns)
+
+    sig_mask = (1 << (64 * num_sim_words)) - 1
+    confirm_mask = (1 << (64 * confirm_words)) - 1
+    sig_int = [int.from_bytes(signatures[v].tobytes(), "little") for v in range(aig.num_vars)]
+    confirm_int = [
+        int.from_bytes(confirm_sigs[v].tobytes(), "little") for v in range(aig.num_vars)
+    ]
+
+    # Group nodes by signature up to complementation: the class key is the
+    # lexicographically smaller of (sig, ~sig).
+    classes: Dict[int, List[int]] = {}
+    for node in aig.nodes():
+        if node.is_const:
+            continue
+        sig = sig_int[node.var]
+        key = min(sig, sig ^ sig_mask)
+        classes.setdefault(key, []).append(node.var)
+
+    # Representative literal (in the *old* graph's numbering) per variable.
+    replacement_lit: Dict[int, Literal] = {}
+    for key, members in classes.items():
+        if len(members) < 2:
+            continue
+        representative = members[0]
+        for var in members[1:]:
+            complemented = sig_int[var] != sig_int[representative]
+            if not _confirm_equivalence(
+                aig, representative, var, complemented,
+                confirm_int, confirm_mask, exact_support_limit,
+            ):
+                continue
+            rep_lit = 2 * representative + int(complemented)
+            replacement_lit[var] = rep_lit
+
+    if not replacement_lit:
+        return aig.copy()
+
+    # Rebuild, substituting merged nodes by their representative's literal.
+    new = AIG(name=aig.name)
+    mapping: Dict[int, Literal] = {0: 0}
+    for pi_var in aig.pis:
+        mapping[pi_var] = new.add_pi(name=aig.node(pi_var).name)
+
+    def resolve(var: int) -> Literal:
+        """New literal implementing old variable ``var`` (follows merges)."""
+        if var in mapping:
+            return mapping[var]
+        target = replacement_lit.get(var)
+        if target is not None and lit_var(target) != var:
+            base = resolve(lit_var(target))
+            result = base ^ (target & 1)
+            mapping[var] = result
+            return result
+        node = aig.node(var)
+        assert node.fanin0 is not None and node.fanin1 is not None
+        a = resolve(lit_var(node.fanin0)) ^ (node.fanin0 & 1)
+        b = resolve(lit_var(node.fanin1)) ^ (node.fanin1 & 1)
+        result = new.add_and(a, b)
+        mapping[var] = result
+        return result
+
+    for po_lit, po_name in zip(aig.pos, aig.po_names):
+        new_lit = resolve(lit_var(po_lit)) ^ (po_lit & 1)
+        new.add_po(new_lit, name=po_name)
+    return new
+
+
+def _confirm_equivalence(
+    aig: AIG,
+    rep: int,
+    var: int,
+    complemented: bool,
+    confirm_int: List[int],
+    confirm_mask: int,
+    exact_support_limit: int,
+) -> bool:
+    """Second-stage check of a candidate equivalence."""
+    expected = confirm_int[rep] ^ (confirm_mask if complemented else 0)
+    if confirm_int[var] != expected:
+        return False
+    support = _combined_support(aig, rep, var, exact_support_limit)
+    if support is None:
+        # Too wide for exact proof: the two independent simulation batches
+        # (num_sim_words + confirm_words words) are the accepted evidence.
+        return True
+    leaves = tuple(sorted(support))
+    try:
+        t_rep = cut_truth_table(aig, rep, Cut(leaves))
+        t_var = cut_truth_table(aig, var, Cut(leaves))
+    except ValueError:
+        return False
+    if complemented:
+        t_rep = truth.tt_not(t_rep, len(leaves))
+    return t_rep == t_var
+
+
+def _combined_support(aig: AIG, a: int, b: int, limit: int) -> Optional[set]:
+    support = set()
+    for root in (a, b):
+        stack = [root]
+        seen = set()
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            node = aig.node(v)
+            if node.is_and:
+                assert node.fanin0 is not None and node.fanin1 is not None
+                stack.append(lit_var(node.fanin0))
+                stack.append(lit_var(node.fanin1))
+            elif node.is_pi:
+                support.add(v)
+            if len(support) > limit:
+                return None
+    return support

@@ -1,0 +1,128 @@
+"""Registry of synthesis operations — the BOiLS search alphabet.
+
+The BOiLS paper optimises over sequences drawn from the eleven-operation
+alphabet::
+
+    Alg = [rewrite, rewrite -z, refactor, refactor -z, resub, resub -z,
+           balance, fraig, sopb, blut, dsdb]
+
+Each operation is a pure function ``AIG -> AIG``.  The registry also
+stores the two-letter mnemonic used by the paper's Table I (``Rw``, ``Rf``,
+``Bl`` …) so that sequences can be rendered exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Union
+
+from repro.aig.graph import AIG
+from repro.synth.balance import balance
+from repro.synth.fraig import fraig
+from repro.synth.refactor import refactor, refactor_z
+from repro.synth.restructure import blut, dsdb, sopb
+from repro.synth.resub import resub, resub_z
+from repro.synth.rewrite import rewrite, rewrite_z
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A named synthesis transformation.
+
+    Attributes
+    ----------
+    name:
+        The ABC-style command name (e.g. ``"rewrite -z"``).
+    mnemonic:
+        Two-letter code used in compact sequence strings (``"Rz"``).
+    func:
+        The transformation, a pure ``AIG -> AIG`` function.
+    """
+
+    name: str
+    mnemonic: str
+    func: Callable[[AIG], AIG]
+
+    def __call__(self, aig: AIG) -> AIG:
+        return self.func(aig)
+
+
+_OPERATIONS: List[Operation] = [
+    Operation("rewrite", "Rw", rewrite),
+    Operation("rewrite -z", "Rz", rewrite_z),
+    Operation("refactor", "Rf", refactor),
+    Operation("refactor -z", "Fz", refactor_z),
+    Operation("resub", "Rs", resub),
+    Operation("resub -z", "Sz", resub_z),
+    Operation("balance", "Bl", balance),
+    Operation("fraig", "Fr", fraig),
+    Operation("sopb", "So", sopb),
+    Operation("blut", "Bu", blut),
+    Operation("dsdb", "Ds", dsdb),
+]
+
+OPERATION_ALPHABET: List[str] = [op.name for op in _OPERATIONS]
+"""Operation names in the canonical order used for integer encodings."""
+
+_BY_NAME: Dict[str, Operation] = {op.name: op for op in _OPERATIONS}
+_BY_MNEMONIC: Dict[str, Operation] = {op.mnemonic: op for op in _OPERATIONS}
+
+
+def list_operations() -> List[Operation]:
+    """All registered operations in canonical order."""
+    return list(_OPERATIONS)
+
+
+def get_operation(key: Union[str, int]) -> Operation:
+    """Look up an operation by name, mnemonic or alphabet index."""
+    if isinstance(key, int):
+        if not 0 <= key < len(_OPERATIONS):
+            raise KeyError(f"operation index {key} out of range")
+        return _OPERATIONS[key]
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    if key in _BY_MNEMONIC:
+        return _BY_MNEMONIC[key]
+    raise KeyError(f"unknown operation {key!r}")
+
+
+def apply_operation(aig: AIG, key: Union[str, int]) -> AIG:
+    """Apply one operation (by name, mnemonic or index) to an AIG."""
+    return get_operation(key)(aig)
+
+
+def apply_sequence(aig: AIG, sequence: Sequence[Union[str, int]]) -> AIG:
+    """Apply a sequence of operations left-to-right and return the result."""
+    current = aig
+    for key in sequence:
+        current = get_operation(key)(current)
+    return current
+
+
+def sequence_to_names(sequence: Sequence[Union[str, int]]) -> List[str]:
+    """Normalise a sequence to canonical operation names."""
+    return [get_operation(key).name for key in sequence]
+
+
+def sequence_to_indices(sequence: Sequence[Union[str, int]]) -> List[int]:
+    """Normalise a sequence to alphabet indices."""
+    index_of = {op.name: i for i, op in enumerate(_OPERATIONS)}
+    return [index_of[get_operation(key).name] for key in sequence]
+
+
+def sequence_to_string(sequence: Sequence[Union[str, int]]) -> str:
+    """Render a sequence using the paper's two-letter mnemonics (``RwRfDs…``)."""
+    return "".join(get_operation(key).mnemonic for key in sequence)
+
+
+def string_to_sequence(text: str) -> List[str]:
+    """Parse a mnemonic string (``"RwRfDs"``) back into operation names."""
+    if len(text) % 2:
+        raise ValueError("mnemonic strings must have even length")
+    names = []
+    for i in range(0, len(text), 2):
+        mnemonic = text[i:i + 2]
+        if mnemonic not in _BY_MNEMONIC:
+            raise ValueError(f"unknown mnemonic {mnemonic!r}")
+        names.append(_BY_MNEMONIC[mnemonic].name)
+    return names

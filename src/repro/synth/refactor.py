@@ -1,0 +1,109 @@
+"""Large-cut refactoring (ABC ``refactor`` / ``refactor -z`` analogue).
+
+Refactoring collapses a large cone (up to ``cut_size`` leaves, 10 by
+default as in ABC) into a truth table / SOP cover, re-derives a factored
+form algebraically and rebuilds the cone from that form.  Compared to
+``rewrite`` it looks at much larger windows, so it can undo structural
+decisions that 4-input rewriting cannot see across.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.aig import truth
+from repro.aig.cuts import Cut, cut_cone_vars, cut_truth_table, enumerate_cuts
+from repro.aig.graph import AIG, Literal
+from repro.synth import sop
+from repro.synth.rewrite_framework import Replacement, mffc_size, rebuild_with_replacements
+
+
+def _refactor_candidate(table: int, num_vars: int) -> Tuple[sop.FactoredNode, int]:
+    """Factored form and its two-input gate cost for a cone function."""
+    ff = sop.factor_truth_table(table, num_vars)
+    return ff, _ff_gate_count(ff)
+
+
+def _ff_gate_count(node: sop.FactoredNode) -> int:
+    if node.kind == "lit":
+        return 0
+    cost = sum(_ff_gate_count(child) for child in node.children)
+    if node.kind == "not":
+        return cost
+    return cost + max(0, len(node.children) - 1)
+
+
+def refactor(
+    aig: AIG,
+    zero_cost: bool = False,
+    cut_size: int = 10,
+    max_cuts: int = 4,
+    max_table_vars: int = 12,
+) -> AIG:
+    """Refactor the AIG by re-deriving factored forms of large cones.
+
+    Parameters
+    ----------
+    zero_cost:
+        ``refactor -z`` behaviour: accept replacements with zero gain.
+    cut_size:
+        Maximum cut size used for collapsing (ABC uses 10 by default).
+    max_table_vars:
+        Safety bound on truth-table width.
+    """
+    if aig.num_ands == 0:
+        return aig.copy()
+    cut_size = min(cut_size, max_table_vars)
+    cuts = enumerate_cuts(aig, k=cut_size, max_cuts=max_cuts, include_trivial=False)
+    fanouts = aig.fanout_counts()
+    replacements: Dict[int, Replacement] = {}
+    claimed: set = set()
+
+    # Visit nodes from the outputs downwards so that large cones get
+    # priority over their sub-cones.
+    for node in reversed(list(aig.nodes())):
+        if not node.is_and or node.var in claimed:
+            continue
+        node_cuts = [c for c in cuts.get(node.var, []) if 2 <= c.size <= cut_size]
+        if not node_cuts:
+            continue
+        # Prefer the largest cut: that is the point of refactoring.
+        cut = max(node_cuts, key=lambda c: (c.size, c.leaves))
+        table = cut_truth_table(aig, node.var, cut)
+        mask = truth.table_mask(cut.size)
+        old_cost = mffc_size(aig, node.var, cut, fanouts)
+        if table == 0 or table == mask:
+            builder = (lambda new, leaves, arrival: 0) if table == 0 else (
+                lambda new, leaves, arrival: 1
+            )
+            replacements[node.var] = Replacement(cut=cut, builder=builder, gain=old_cost)
+            for interior in cut_cone_vars(aig, node.var, cut):
+                claimed.add(interior)
+            continue
+        ff, new_cost = _refactor_candidate(table, cut.size)
+        gain = old_cost - new_cost
+        if gain > 0 or (zero_cost and gain == 0):
+            replacements[node.var] = Replacement(
+                cut=cut, builder=_ff_builder(ff), gain=gain
+            )
+            for interior in cut_cone_vars(aig, node.var, cut):
+                claimed.add(interior)
+
+    if not replacements:
+        return aig.copy()
+    result = rebuild_with_replacements(aig, replacements)
+    if result.num_ands > aig.num_ands and not zero_cost:
+        return aig.copy()
+    return result
+
+
+def _ff_builder(ff: sop.FactoredNode):
+    def builder(new: AIG, leaf_literals: Sequence[Literal], arrival) -> Literal:
+        return sop.build_factored_form(new, ff, leaf_literals)
+
+    return builder
+
+
+def refactor_z(aig: AIG, cut_size: int = 10, max_cuts: int = 4) -> AIG:
+    """Zero-cost refactoring (``refactor -z``)."""
+    return refactor(aig, zero_cost=True, cut_size=cut_size, max_cuts=max_cuts)

@@ -1,0 +1,112 @@
+"""Tests for AIGER reading and writing."""
+
+import pytest
+
+from repro.aig.aiger import (
+    AigerError,
+    read_aiger,
+    read_aiger_string,
+    write_aiger,
+    write_aiger_string,
+)
+from repro.aig.graph import AIG
+from repro.aig.simulation import functionally_equivalent, simulate
+from repro.circuits import make_adder
+
+
+class TestAsciiRoundtrip:
+    def test_roundtrip_preserves_function(self, small_adder):
+        text = write_aiger_string(small_adder)
+        parsed = read_aiger_string(text)
+        assert functionally_equivalent(small_adder, parsed)
+
+    def test_roundtrip_preserves_shape(self, small_adder):
+        parsed = read_aiger_string(write_aiger_string(small_adder))
+        assert parsed.num_pis == small_adder.num_pis
+        assert parsed.num_pos == small_adder.num_pos
+
+    def test_header_counts(self, small_adder):
+        text = write_aiger_string(small_adder)
+        header = text.splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == small_adder.num_pis
+        assert int(header[4]) == small_adder.num_pos
+
+    def test_symbols_roundtrip(self):
+        aig = AIG()
+        a = aig.add_pi("alpha")
+        b = aig.add_pi("beta")
+        aig.add_po(aig.add_and(a, b), name="gamma")
+        parsed = read_aiger_string(write_aiger_string(aig))
+        assert parsed.node(parsed.pis[0]).name == "alpha"
+        assert parsed.po_names == ["gamma"]
+
+
+class TestBinaryRoundtrip:
+    def test_roundtrip_preserves_function(self, small_adder):
+        data = write_aiger_string(small_adder, binary=True)
+        assert isinstance(data, bytes)
+        parsed = read_aiger_string(data)
+        assert functionally_equivalent(small_adder, parsed)
+
+    def test_binary_header(self, small_multiplier):
+        data = write_aiger_string(small_multiplier, binary=True)
+        assert data.splitlines()[0].startswith(b"aig ")
+
+    def test_binary_roundtrip_multiplier(self, small_multiplier):
+        parsed = read_aiger_string(write_aiger_string(small_multiplier, binary=True))
+        assert functionally_equivalent(small_multiplier, parsed)
+
+
+class TestFileIO:
+    def test_write_read_aag(self, tmp_path, small_adder):
+        path = tmp_path / "adder.aag"
+        write_aiger(small_adder, path)
+        parsed = read_aiger(path)
+        assert functionally_equivalent(small_adder, parsed)
+
+    def test_write_read_binary(self, tmp_path, small_adder):
+        path = tmp_path / "adder.aig"
+        write_aiger(small_adder, path)
+        parsed = read_aiger(path)
+        assert functionally_equivalent(small_adder, parsed)
+
+    def test_read_uses_stem_as_name(self, tmp_path, small_adder):
+        path = tmp_path / "mydesign.aag"
+        write_aiger(small_adder, path)
+        assert read_aiger(path).name == "mydesign"
+
+
+class TestKnownEncodings:
+    def test_and_gate_aag(self):
+        text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+        aig = read_aiger_string(text)
+        assert aig.num_pis == 2
+        assert aig.num_ands == 1
+        assert simulate(aig, [1, 1]) == [1]
+        assert simulate(aig, [1, 0]) == [0]
+
+    def test_inverter_output(self):
+        text = "aag 1 1 0 1 0\n2\n3\n"
+        aig = read_aiger_string(text)
+        assert simulate(aig, [0]) == [1]
+        assert simulate(aig, [1]) == [0]
+
+    def test_constant_output(self):
+        text = "aag 0 0 0 1 0\n1\n"
+        aig = read_aiger_string(text)
+        assert simulate(aig, []) == [1]
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(AigerError):
+            read_aiger_string("not an aiger file")
+
+    def test_latches_rejected(self):
+        with pytest.raises(AigerError):
+            read_aiger_string("aag 3 1 1 1 0\n2\n4 2\n4\n")
+
+    def test_truncated_header(self):
+        with pytest.raises(AigerError):
+            read_aiger_string("aag 3 2\n")

@@ -1,0 +1,238 @@
+"""Unit tests for the core AIG data structure."""
+
+import pytest
+
+from repro.aig.graph import (
+    AIG,
+    CONST0,
+    CONST1,
+    lit,
+    lit_is_compl,
+    lit_not,
+    lit_regular,
+    lit_var,
+)
+
+
+class TestLiteralHelpers:
+    def test_lit_roundtrip(self):
+        assert lit(3) == 6
+        assert lit(3, True) == 7
+        assert lit_var(7) == 3
+        assert lit_is_compl(7) is True
+        assert lit_is_compl(6) is False
+
+    def test_lit_not_is_involution(self):
+        assert lit_not(lit_not(10)) == 10
+        assert lit_not(4) == 5
+
+    def test_lit_regular_strips_complement(self):
+        assert lit_regular(9) == 8
+        assert lit_regular(8) == 8
+
+    def test_constants(self):
+        assert CONST0 == 0
+        assert CONST1 == 1
+        assert lit_not(CONST0) == CONST1
+
+
+class TestConstruction:
+    def test_empty_graph_has_only_constant(self):
+        aig = AIG()
+        assert aig.num_vars == 1
+        assert aig.num_pis == 0
+        assert aig.num_ands == 0
+        assert aig.node(0).is_const
+
+    def test_add_pi_returns_positive_literal(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        assert not lit_is_compl(a)
+        assert aig.is_pi(lit_var(a))
+        assert aig.node(lit_var(a)).name == "a"
+
+    def test_add_and_creates_node(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        y = aig.add_and(a, b)
+        assert aig.num_ands == 1
+        assert aig.fanins(lit_var(y)) == (min(a, b), max(a, b))
+
+    def test_add_po_registers_output(self):
+        aig = AIG()
+        a = aig.add_pi()
+        aig.add_po(a, name="out")
+        assert aig.num_pos == 1
+        assert aig.pos == [a]
+        assert aig.po_names == ["out"]
+
+    def test_set_po_redirects(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        idx = aig.add_po(a)
+        aig.set_po(idx, b)
+        assert aig.pos[0] == b
+
+    def test_invalid_literal_rejected(self):
+        aig = AIG()
+        a = aig.add_pi()
+        with pytest.raises(ValueError):
+            aig.add_and(a, 999)
+        with pytest.raises(ValueError):
+            aig.add_po(999)
+
+    def test_fanins_of_non_and_rejected(self):
+        aig = AIG()
+        a = aig.add_pi()
+        with pytest.raises(ValueError):
+            aig.fanins(lit_var(a))
+
+
+class TestStructuralHashing:
+    def test_duplicate_and_is_shared(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        y1 = aig.add_and(a, b)
+        y2 = aig.add_and(b, a)
+        assert y1 == y2
+        assert aig.num_ands == 1
+
+    def test_constant_propagation_zero(self):
+        aig = AIG()
+        a = aig.add_pi()
+        assert aig.add_and(a, CONST0) == CONST0
+
+    def test_constant_propagation_one(self):
+        aig = AIG()
+        a = aig.add_pi()
+        assert aig.add_and(a, CONST1) == a
+
+    def test_idempotence(self):
+        aig = AIG()
+        a = aig.add_pi()
+        assert aig.add_and(a, a) == a
+
+    def test_complementary_inputs_give_zero(self):
+        aig = AIG()
+        a = aig.add_pi()
+        assert aig.add_and(a, lit_not(a)) == CONST0
+
+
+class TestDerivedGates:
+    def test_or_via_demorgan(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        y = aig.add_or(a, b)
+        # OR of two PIs needs exactly one AND node.
+        assert aig.num_ands == 1
+        assert lit_is_compl(y)
+
+    def test_xor_structure(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_xor(a, b))
+        assert aig.num_ands == 3
+
+    def test_mux_selects(self):
+        from repro.aig.simulation import simulate
+
+        aig = AIG()
+        s, t, e = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_mux(s, t, e))
+        assert simulate(aig, [1, 1, 0]) == [1]
+        assert simulate(aig, [1, 0, 1]) == [0]
+        assert simulate(aig, [0, 1, 0]) == [0]
+        assert simulate(aig, [0, 0, 1]) == [1]
+
+    def test_maj_is_majority(self):
+        from repro.aig.simulation import simulate
+
+        aig = AIG()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_maj(a, b, c))
+        for pattern in range(8):
+            bits = [(pattern >> i) & 1 for i in range(3)]
+            expected = int(sum(bits) >= 2)
+            assert simulate(aig, bits) == [expected]
+
+    def test_multi_and_empty_is_true(self):
+        aig = AIG()
+        assert aig.add_and_multi([]) == CONST1
+
+    def test_multi_or_matches_any(self):
+        from repro.aig.simulation import simulate
+
+        aig = AIG()
+        pis = [aig.add_pi() for _ in range(5)]
+        aig.add_po(aig.add_or_multi(pis))
+        assert simulate(aig, [0, 0, 0, 0, 0]) == [0]
+        assert simulate(aig, [0, 0, 1, 0, 0]) == [1]
+
+
+class TestAnalysis:
+    def test_levels_and_depth(self):
+        aig = AIG()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        ab = aig.add_and(a, b)
+        abc = aig.add_and(ab, c)
+        aig.add_po(abc)
+        levels = aig.levels()
+        assert levels[lit_var(ab)] == 1
+        assert levels[lit_var(abc)] == 2
+        assert aig.depth() == 2
+
+    def test_depth_no_outputs_is_zero(self):
+        aig = AIG()
+        aig.add_pi()
+        assert aig.depth() == 0
+
+    def test_fanout_counts_include_pos(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        y = aig.add_and(a, b)
+        aig.add_po(y)
+        aig.add_po(y)
+        counts = aig.fanout_counts()
+        assert counts[lit_var(y)] == 2
+        assert counts[lit_var(a)] == 1
+
+    def test_reachable_excludes_dangling(self):
+        aig = AIG()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        used = aig.add_and(a, b)
+        aig.add_and(b, c)  # dangling
+        aig.add_po(used)
+        reachable = set(aig.reachable_vars())
+        assert lit_var(used) in reachable
+        assert aig.num_ands == 2
+        assert len([v for v in reachable if aig.is_and(v)]) == 1
+
+    def test_stats_keys(self, small_adder):
+        stats = small_adder.stats()
+        assert set(stats) == {"pis", "pos", "ands", "levels"}
+        assert stats["pis"] == 8
+        assert stats["pos"] == 5
+
+
+class TestCopyAndCleanup:
+    def test_cleanup_removes_dangling(self):
+        aig = AIG()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        aig.add_and(b, c)  # dangling
+        aig.add_po(aig.add_and(a, b))
+        clean = aig.cleanup()
+        assert clean.num_ands == 1
+        assert clean.num_pis == 3  # PIs are always preserved
+
+    def test_copy_preserves_function(self, small_adder):
+        from repro.aig.simulation import functionally_equivalent
+
+        assert functionally_equivalent(small_adder, small_adder.copy())
+
+    def test_copy_preserves_names(self):
+        aig = AIG()
+        a = aig.add_pi("in0")
+        aig.add_po(a, name="out0")
+        copy = aig.copy()
+        assert copy.node(copy.pis[0]).name == "in0"
+        assert copy.po_names == ["out0"]

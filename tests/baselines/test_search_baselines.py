@@ -1,0 +1,107 @@
+"""Tests for random search, greedy and genetic-algorithm baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GeneticAlgorithm, GreedySearch, RandomSearch
+from repro.baselines.genetic import GAConfig
+from repro.bo.space import SequenceSpace
+from repro.circuits import make_adder
+from repro.qor import QoREvaluator
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return make_adder(4)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SequenceSpace(sequence_length=4)
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, adder, space):
+        result = RandomSearch(space=space, seed=0).optimise(QoREvaluator(adder), budget=10)
+        assert result.num_evaluations == 10
+        assert result.method == "RS"
+
+    def test_all_evaluated_sequences_distinct(self, adder, space):
+        evaluator = QoREvaluator(adder)
+        RandomSearch(space=space, seed=1).optimise(evaluator, budget=15)
+        sequences = [record.sequence for record in evaluator.history]
+        assert len(sequences) == len(set(sequences))
+
+    def test_uniform_variant(self, adder, space):
+        result = RandomSearch(space=space, seed=2, use_latin_hypercube=False).optimise(
+            QoREvaluator(adder), budget=6)
+        assert result.num_evaluations == 6
+
+    def test_invalid_budget(self, adder, space):
+        with pytest.raises(ValueError):
+            RandomSearch(space=space).optimise(QoREvaluator(adder), budget=0)
+
+    def test_deterministic_given_seed(self, adder, space):
+        a = RandomSearch(space=space, seed=9).optimise(QoREvaluator(adder), budget=8)
+        b = RandomSearch(space=space, seed=9).optimise(QoREvaluator(adder), budget=8)
+        assert a.history == b.history
+
+
+class TestGreedy:
+    def test_budget_respected(self, adder, space):
+        result = GreedySearch(space=space, seed=0).optimise(QoREvaluator(adder), budget=12)
+        assert result.num_evaluations <= 12
+        assert result.method == "Greedy"
+
+    def test_full_construction_cost(self, adder):
+        """With enough budget greedy evaluates at most K*n sequences."""
+        space = SequenceSpace(sequence_length=2)
+        evaluator = QoREvaluator(adder)
+        result = GreedySearch(space=space, seed=0).optimise(evaluator, budget=100)
+        assert result.num_evaluations <= 2 * space.num_operations
+
+    def test_prefix_growth(self, adder):
+        space = SequenceSpace(sequence_length=3)
+        evaluator = QoREvaluator(adder)
+        GreedySearch(space=space, seed=0).optimise(evaluator, budget=200)
+        lengths = [len(record.sequence) for record in evaluator.history]
+        assert max(lengths) <= 3
+        assert min(lengths) == 1
+
+    def test_invalid_budget(self, adder, space):
+        with pytest.raises(ValueError):
+            GreedySearch(space=space).optimise(QoREvaluator(adder), budget=0)
+
+
+class TestGeneticAlgorithm:
+    def test_budget_respected(self, adder, space):
+        result = GeneticAlgorithm(space=space, seed=0).optimise(QoREvaluator(adder), budget=15)
+        assert result.num_evaluations == 15
+        assert result.method == "GA"
+
+    def test_population_capped_by_budget(self, adder, space):
+        config = GAConfig(population_size=50)
+        result = GeneticAlgorithm(space=space, seed=0, config=config).optimise(
+            QoREvaluator(adder), budget=8)
+        assert result.num_evaluations == 8
+        assert result.metadata["population_size"] == 8
+
+    def test_elitism_never_loses_best(self, adder, space):
+        evaluator = QoREvaluator(adder)
+        result = GeneticAlgorithm(space=space, seed=4).optimise(evaluator, budget=25)
+        assert result.best_improvement == pytest.approx(max(result.history))
+
+    def test_deterministic_given_seed(self, adder, space):
+        a = GeneticAlgorithm(space=space, seed=3).optimise(QoREvaluator(adder), budget=12)
+        b = GeneticAlgorithm(space=space, seed=3).optimise(QoREvaluator(adder), budget=12)
+        assert a.history == b.history
+
+    def test_invalid_budget(self, adder, space):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(space=space).optimise(QoREvaluator(adder), budget=0)
+
+    def test_config_mutation_extremes(self, adder, space):
+        config = GAConfig(mutation_probability=1.0, crossover_probability=0.0)
+        result = GeneticAlgorithm(space=space, seed=0, config=config).optimise(
+            QoREvaluator(adder), budget=10)
+        assert result.num_evaluations == 10

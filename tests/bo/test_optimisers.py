@@ -1,0 +1,107 @@
+"""Tests for BOiLS, SBO and the optimiser result contract."""
+
+import numpy as np
+import pytest
+
+from repro.bo import BOiLS, SequenceSpace, StandardBO
+from repro.bo.base import OptimisationResult
+from repro.qor import QoREvaluator
+from repro.circuits import make_adder
+
+
+@pytest.fixture(scope="module")
+def evaluator_factory():
+    aig = make_adder(4)
+
+    def factory():
+        return QoREvaluator(aig)
+
+    return factory
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SequenceSpace(sequence_length=4)
+
+
+def _check_result_contract(result: OptimisationResult, budget: int):
+    assert result.num_evaluations == budget
+    assert len(result.history) == budget
+    assert len(result.best_trajectory) == budget
+    assert len(result.evaluated_points) == budget
+    assert result.best_improvement == pytest.approx(max(result.best_trajectory))
+    # Best trajectory is monotone non-decreasing.
+    assert all(b >= a for a, b in zip(result.best_trajectory, result.best_trajectory[1:]))
+    assert len(result.best_sequence) <= 4
+    assert result.best_area > 0 or result.best_delay >= 0
+
+
+class TestBOiLS:
+    def test_respects_budget_and_contract(self, evaluator_factory, space):
+        optimiser = BOiLS(space=space, seed=0, num_initial=3,
+                          local_search_queries=40, adam_steps=2)
+        result = optimiser.optimise(evaluator_factory(), budget=8)
+        _check_result_contract(result, 8)
+        assert result.method == "BOiLS"
+
+    def test_metadata_contains_kernel_params(self, evaluator_factory, space):
+        optimiser = BOiLS(space=space, seed=1, num_initial=3,
+                          local_search_queries=30, adam_steps=1)
+        result = optimiser.optimise(evaluator_factory(), budget=6)
+        assert "kernel_params" in result.metadata
+        params = result.metadata["kernel_params"]
+        assert 0 < params["theta_match"] <= 1.0
+        assert 0 < params["theta_gap"] <= 1.0
+
+    def test_deterministic_given_seed(self, evaluator_factory, space):
+        kwargs = dict(space=space, num_initial=3, local_search_queries=30, adam_steps=1)
+        first = BOiLS(seed=7, **kwargs).optimise(evaluator_factory(), budget=6)
+        second = BOiLS(seed=7, **kwargs).optimise(evaluator_factory(), budget=6)
+        assert first.best_sequence == second.best_sequence
+        assert first.history == second.history
+
+    def test_different_seeds_can_differ(self, evaluator_factory, space):
+        kwargs = dict(space=space, num_initial=3, local_search_queries=30, adam_steps=1)
+        first = BOiLS(seed=0, **kwargs).optimise(evaluator_factory(), budget=6)
+        second = BOiLS(seed=99, **kwargs).optimise(evaluator_factory(), budget=6)
+        # Histories almost surely differ (different random initial designs).
+        assert first.history != second.history
+
+    def test_improves_over_first_random_samples(self, evaluator_factory, space):
+        optimiser = BOiLS(space=space, seed=3, num_initial=4,
+                          local_search_queries=60, adam_steps=2)
+        result = optimiser.optimise(evaluator_factory(), budget=14)
+        assert result.best_trajectory[-1] >= result.best_trajectory[3]
+
+    def test_alternative_acquisitions(self, evaluator_factory, space):
+        for acq in ("pi", "ucb"):
+            optimiser = BOiLS(space=space, seed=0, num_initial=3, acquisition=acq,
+                              local_search_queries=30, adam_steps=1)
+            result = optimiser.optimise(evaluator_factory(), budget=5)
+            _check_result_contract(result, 5)
+
+    def test_budget_smaller_than_initial_design(self, evaluator_factory, space):
+        optimiser = BOiLS(space=space, seed=0, num_initial=10,
+                          local_search_queries=20, adam_steps=1)
+        result = optimiser.optimise(evaluator_factory(), budget=3)
+        assert result.num_evaluations == 3
+
+
+class TestStandardBO:
+    def test_respects_budget_and_contract(self, evaluator_factory, space):
+        optimiser = StandardBO(space=space, seed=0, num_initial=3, adam_steps=2)
+        result = optimiser.optimise(evaluator_factory(), budget=8)
+        _check_result_contract(result, 8)
+        assert result.method == "SBO"
+
+    def test_onehot_kernel_variant(self, evaluator_factory, space):
+        optimiser = StandardBO(space=space, seed=0, num_initial=3,
+                               kernel_type="onehot-se", adam_steps=1)
+        result = optimiser.optimise(evaluator_factory(), budget=6)
+        _check_result_contract(result, 6)
+
+    def test_deterministic_given_seed(self, evaluator_factory, space):
+        kwargs = dict(space=space, num_initial=3, adam_steps=1)
+        first = StandardBO(seed=5, **kwargs).optimise(evaluator_factory(), budget=6)
+        second = StandardBO(seed=5, **kwargs).optimise(evaluator_factory(), budget=6)
+        assert first.history == second.history

@@ -1,0 +1,116 @@
+"""Tests for the sequence space and acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.bo.acquisition import (
+    expected_improvement,
+    get_acquisition,
+    probability_of_improvement,
+    ucb,
+)
+from repro.bo.space import SequenceSpace
+
+
+class TestSequenceSpace:
+    def test_defaults_match_paper(self):
+        space = SequenceSpace()
+        assert space.sequence_length == 20
+        assert space.num_operations == 11
+        assert space.cardinality == 11 ** 20
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            SequenceSpace(sequence_length=0)
+
+    def test_conversions_roundtrip(self):
+        space = SequenceSpace(sequence_length=4)
+        indices = np.array([0, 6, 2, 10])
+        names = space.to_names(indices)
+        assert names == ["rewrite", "balance", "refactor", "dsdb"]
+        assert np.array_equal(space.to_indices(names), indices)
+
+    def test_to_indices_validates_range(self):
+        space = SequenceSpace(sequence_length=2)
+        with pytest.raises(ValueError):
+            space.to_indices([99, 0])
+
+    def test_to_string(self):
+        space = SequenceSpace(sequence_length=3)
+        assert space.to_string([0, 2, 6]) == "RwRfBl"
+
+    def test_sample_shape_and_range(self, rng):
+        space = SequenceSpace(sequence_length=7)
+        samples = space.sample(20, rng)
+        assert samples.shape == (20, 7)
+        assert samples.min() >= 0 and samples.max() < space.num_operations
+
+    def test_latin_hypercube_spreads_categories(self, rng):
+        space = SequenceSpace(sequence_length=5)
+        samples = space.latin_hypercube_sample(22, rng)
+        # Every operation appears exactly twice per position (22 = 2 * 11).
+        for position in range(5):
+            counts = np.bincount(samples[:, position], minlength=11)
+            assert counts.max() - counts.min() <= 1
+
+    def test_random_neighbour_distance(self, rng):
+        space = SequenceSpace(sequence_length=8)
+        base = space.sample(1, rng)[0]
+        for changes in (1, 2, 3):
+            neighbour = space.random_neighbour(base, rng, num_changes=changes)
+            assert space.hamming_distance(base, neighbour) == changes
+
+    def test_point_in_hamming_ball(self, rng):
+        space = SequenceSpace(sequence_length=10)
+        centre = space.sample(1, rng)[0]
+        for radius in (0, 1, 3, 10):
+            point = space.random_point_in_hamming_ball(centre, radius, rng)
+            assert space.hamming_distance(centre, point) <= radius
+
+    def test_hamming_distance_validates_length(self):
+        space = SequenceSpace(sequence_length=3)
+        with pytest.raises(ValueError):
+            space.hamming_distance([1, 2, 3], [1, 2])
+
+    def test_all_neighbours_count(self):
+        space = SequenceSpace(sequence_length=3)
+        neighbours = space.all_neighbours(np.array([0, 0, 0]))
+        assert neighbours.shape == (3 * 10, 3)
+        distances = {space.hamming_distance([0, 0, 0], n) for n in neighbours}
+        assert distances == {1}
+
+    def test_custom_alphabet(self):
+        space = SequenceSpace(sequence_length=2, alphabet=["rewrite", "balance"])
+        assert space.num_operations == 2
+        assert space.to_names([1, 0]) == ["balance", "rewrite"]
+
+
+class TestAcquisitions:
+    def test_ei_zero_without_uncertainty_or_gain(self):
+        value = expected_improvement(np.array([0.0]), np.array([1e-15]), best_value=1.0)
+        assert value[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_ei_increases_with_mean(self):
+        std = np.array([0.5, 0.5])
+        ei = expected_improvement(np.array([0.0, 1.0]), std, best_value=0.0)
+        assert ei[1] > ei[0]
+
+    def test_ei_increases_with_uncertainty(self):
+        mean = np.array([0.0, 0.0])
+        ei = expected_improvement(mean, np.array([0.1, 2.0]), best_value=0.5)
+        assert ei[1] > ei[0]
+
+    def test_pi_bounded_in_unit_interval(self, rng):
+        pi = probability_of_improvement(rng.normal(size=50), np.abs(rng.normal(size=50)) + 0.1,
+                                        best_value=0.0)
+        assert np.all((pi >= 0) & (pi <= 1))
+
+    def test_ucb_is_mean_plus_bonus(self):
+        value = ucb(np.array([1.0]), np.array([2.0]), beta=4.0)
+        assert value[0] == pytest.approx(1.0 + 2.0 * 2.0)
+
+    def test_registry(self):
+        assert get_acquisition("EI") is expected_improvement
+        assert get_acquisition("ucb") is ucb
+        with pytest.raises(KeyError):
+            get_acquisition("entropy-search")

@@ -1,0 +1,127 @@
+"""Tests for the trust-region schedule and local-search maximiser."""
+
+import numpy as np
+import pytest
+
+from repro.bo.space import SequenceSpace
+from repro.bo.trust_region import TrustRegion, TrustRegionConfig, TrustRegionLocalSearch
+
+
+@pytest.fixture()
+def space():
+    return SequenceSpace(sequence_length=8)
+
+
+class TestTrustRegionSchedule:
+    def test_initial_radius_defaults_to_k(self, space):
+        assert TrustRegion(space).radius == 8
+
+    def test_custom_initial_radius(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(initial_radius=3))
+        assert tr.radius == 3
+
+    def test_grows_after_three_successes(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(initial_radius=4))
+        tr.update(True)
+        tr.update(True)
+        assert tr.radius == 4
+        tr.update(True)
+        assert tr.radius == 5
+
+    def test_success_streak_resets_on_failure(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(initial_radius=4))
+        tr.update(True)
+        tr.update(True)
+        tr.update(False)
+        tr.update(True)
+        assert tr.radius == 4
+
+    def test_shrinks_after_twenty_failures(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(initial_radius=4))
+        for _ in range(19):
+            tr.update(False)
+        assert tr.radius == 4
+        tr.update(False)
+        assert tr.radius == 3
+
+    def test_radius_capped_at_sequence_length(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(initial_radius=8))
+        for _ in range(3):
+            tr.update(True)
+        assert tr.radius == 8
+
+    def test_restart_when_radius_reaches_zero(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(
+            initial_radius=1, failure_streak_to_shrink=2))
+        tr.update(False)
+        tr.update(False)
+        assert tr.needs_restart
+        tr.restart()
+        # The radius goes back to its configured initial value.
+        assert tr.radius == 1
+        assert tr.num_restarts == 1
+
+    def test_restart_without_explicit_initial_radius(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(failure_streak_to_shrink=1))
+        for _ in range(space.sequence_length):
+            tr.update(False)
+        assert tr.needs_restart
+        tr.restart()
+        assert tr.radius == space.sequence_length
+
+    def test_contains_uses_hamming_distance(self, space):
+        tr = TrustRegion(space, TrustRegionConfig(initial_radius=2))
+        centre = np.zeros(8, dtype=int)
+        near = centre.copy()
+        near[0] = 1
+        far = centre.copy()
+        far[:4] = 1
+        assert tr.contains(centre, near)
+        assert not tr.contains(centre, far)
+
+
+class TestLocalSearch:
+    def test_result_stays_in_trust_region(self, space, rng):
+        search = TrustRegionLocalSearch(space, num_queries=100)
+        centre = space.sample(1, rng)[0]
+
+        def acquisition(candidates):
+            return np.zeros(len(candidates))
+
+        for radius in (1, 2, 4):
+            candidate, _ = search.maximise(acquisition, centre, radius, rng)
+            assert space.hamming_distance(centre, candidate) <= radius
+
+    def test_finds_known_optimum_direction(self, space, rng):
+        """Acquisition that rewards operation 0 at every position."""
+        search = TrustRegionLocalSearch(space, num_queries=600, num_restarts=4)
+        centre = np.full(8, 5, dtype=int)
+
+        def acquisition(candidates):
+            return np.sum(np.asarray(candidates) == 0, axis=1).astype(float)
+
+        candidate, score = search.maximise(acquisition, centre, radius=8, rng=rng)
+        assert score >= 2  # hill climbing found several zeroed positions
+
+    def test_excluded_points_not_returned(self, space, rng):
+        search = TrustRegionLocalSearch(space, num_queries=50)
+        centre = space.sample(1, rng)[0]
+        exclude = {tuple(centre.tolist())}
+
+        def acquisition(candidates):
+            # Strongly favour the centre itself, which is excluded.
+            return -np.sum(np.asarray(candidates) != centre[None, :], axis=1).astype(float)
+
+        candidate, _ = search.maximise(acquisition, centre, radius=2, rng=rng,
+                                       exclude=exclude)
+        assert tuple(candidate.tolist()) not in exclude
+
+    def test_radius_zero_returns_centre_or_fallback(self, space, rng):
+        search = TrustRegionLocalSearch(space, num_queries=20)
+        centre = space.sample(1, rng)[0]
+
+        def acquisition(candidates):
+            return np.ones(len(candidates))
+
+        candidate, _ = search.maximise(acquisition, centre, radius=0, rng=rng)
+        assert space.hamming_distance(centre, candidate) == 0

@@ -1,0 +1,190 @@
+"""Functional-correctness tests for the benchmark circuit generators.
+
+Each generated circuit is simulated against the arithmetic function it is
+supposed to implement (Python integer arithmetic is the reference model).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aig.simulation import simulate
+from repro.circuits import (
+    make_adder,
+    make_barrel_shifter,
+    make_divisor,
+    make_hypotenuse,
+    make_log2,
+    make_max,
+    make_multiplier,
+    make_sine,
+    make_square,
+    make_square_root,
+)
+
+
+def to_bits(value: int, width: int):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits):
+    return sum(bit << i for i, bit in enumerate(bits))
+
+
+class TestAdder:
+    def test_exhaustive_3bit(self):
+        aig = make_adder(3)
+        for a in range(8):
+            for b in range(8):
+                out = simulate(aig, to_bits(a, 3) + to_bits(b, 3))
+                assert from_bits(out) == a + b
+
+    def test_interface(self):
+        aig = make_adder(8)
+        assert aig.num_pis == 16
+        assert aig.num_pos == 9
+
+
+class TestBarrelShifter:
+    def test_rotation_samples(self, rng):
+        width = 8
+        aig = make_barrel_shifter(width)
+        shift_bits = aig.num_pis - width
+        for _ in range(30):
+            data = int(rng.integers(0, 1 << width))
+            shift = int(rng.integers(0, 1 << shift_bits))
+            out = simulate(aig, to_bits(data, width) + to_bits(shift, shift_bits))
+            rotation = shift % width
+            expected = ((data << rotation) | (data >> (width - rotation))) & ((1 << width) - 1)
+            assert from_bits(out) == expected
+
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError):
+            make_barrel_shifter(1)
+
+
+class TestDivisor:
+    def test_division_samples(self, rng):
+        width = 5
+        aig = make_divisor(width)
+        for _ in range(40):
+            n = int(rng.integers(0, 1 << width))
+            d = int(rng.integers(1, 1 << width))
+            out = simulate(aig, to_bits(n, width) + to_bits(d, width))
+            quotient = from_bits(out[:width])
+            remainder = from_bits(out[width:])
+            assert quotient == n // d
+            assert remainder == n % d
+
+    def test_exhaustive_3bit(self):
+        aig = make_divisor(3)
+        for n in range(8):
+            for d in range(1, 8):
+                out = simulate(aig, to_bits(n, 3) + to_bits(d, 3))
+                assert from_bits(out[:3]) == n // d
+                assert from_bits(out[3:]) == n % d
+
+
+class TestHypotenuse:
+    def test_hypotenuse_samples(self, rng):
+        width = 4
+        aig = make_hypotenuse(width)
+        for _ in range(25):
+            a = int(rng.integers(0, 1 << width))
+            b = int(rng.integers(0, 1 << width))
+            out = simulate(aig, to_bits(a, width) + to_bits(b, width))
+            assert from_bits(out) == math.isqrt(a * a + b * b)
+
+
+class TestLog2:
+    def test_integer_part_is_msb_index(self, rng):
+        width = 8
+        aig = make_log2(width)
+        int_bits = max(1, (width - 1).bit_length())
+        for _ in range(30):
+            x = int(rng.integers(1, 1 << width))
+            out = simulate(aig, to_bits(x, width))
+            integer_part = from_bits(out[:int_bits])
+            assert integer_part == int(math.floor(math.log2(x)))
+
+    def test_valid_flag(self):
+        width = 6
+        aig = make_log2(width)
+        out_zero = simulate(aig, to_bits(0, width))
+        assert out_zero[-1] == 0  # "valid" is the last PO
+        out_nonzero = simulate(aig, to_bits(5, width))
+        assert out_nonzero[-1] == 1
+
+
+class TestMax:
+    def test_max_of_four(self, rng):
+        width = 6
+        aig = make_max(width, num_words=4)
+        for _ in range(30):
+            words = [int(rng.integers(0, 1 << width)) for _ in range(4)]
+            bits = []
+            for word in words:
+                bits.extend(to_bits(word, width))
+            out = simulate(aig, bits)
+            assert from_bits(out) == max(words)
+
+    def test_max_of_two_exhaustive(self):
+        aig = make_max(3, num_words=2)
+        for a in range(8):
+            for b in range(8):
+                out = simulate(aig, to_bits(a, 3) + to_bits(b, 3))
+                assert from_bits(out) == max(a, b)
+
+
+class TestMultiplierAndSquare:
+    def test_multiplier_exhaustive_3bit(self):
+        aig = make_multiplier(3)
+        for a in range(8):
+            for b in range(8):
+                out = simulate(aig, to_bits(a, 3) + to_bits(b, 3))
+                assert from_bits(out) == a * b
+
+    def test_square_samples(self, rng):
+        width = 5
+        aig = make_square(width)
+        for x in range(1 << width):
+            out = simulate(aig, to_bits(x, width))
+            assert from_bits(out) == x * x
+
+
+class TestSquareRoot:
+    def test_sqrt_exhaustive_6bit(self):
+        aig = make_square_root(6)
+        for x in range(64):
+            out = simulate(aig, to_bits(x, 6))
+            assert from_bits(out) == math.isqrt(x)
+
+    def test_sqrt_odd_width(self):
+        aig = make_square_root(5)
+        for x in range(32):
+            out = simulate(aig, to_bits(x, 5))
+            assert from_bits(out) == math.isqrt(x)
+
+
+class TestSine:
+    def test_sine_tracks_reference(self):
+        """CORDIC output should approximate sin() over the first quadrant."""
+        width = 8
+        aig = make_sine(width, iterations=8)
+        gain = 0.607252935 * (1 << width) * 1.6468
+        for x in (0, 10, 60, 120, 200, 250, 255):
+            out = simulate(aig, to_bits(x, width))
+            expected = math.sin(x / (1 << width) * math.pi / 2) * gain
+            assert abs(from_bits(out) - expected) <= 6
+
+    def test_sine_is_monotone_on_first_quadrant_samples(self):
+        width = 8
+        aig = make_sine(width, iterations=8)
+        values = [from_bits(simulate(aig, to_bits(x, width)))
+                  for x in (10, 60, 120, 200, 250)]
+        assert all(b >= a - 2 for a, b in zip(values, values[1:]))
+
+    def test_sine_structure_nontrivial(self):
+        aig = make_sine(8)
+        assert aig.num_ands > 100

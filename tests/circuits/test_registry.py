@@ -1,0 +1,130 @@
+"""Tests for the circuit registry and the building blocks."""
+
+import pytest
+
+from repro.aig.simulation import simulate
+from repro.circuits import (
+    CIRCUIT_NAMES,
+    LARGE_CIRCUITS,
+    get_circuit,
+    get_circuit_spec,
+    list_circuits,
+)
+from repro.circuits.blocks import (
+    constant_vector,
+    ripple_borrow_subtractor,
+    ripple_carry_adder,
+    comparator_greater_equal,
+    zero_extend,
+    shift_left_const,
+    shift_right_const,
+)
+from repro.aig.graph import AIG
+
+
+class TestRegistry:
+    def test_ten_circuits(self):
+        assert len(CIRCUIT_NAMES) == 10
+        assert set(LARGE_CIRCUITS) <= set(CIRCUIT_NAMES)
+        assert len(LARGE_CIRCUITS) == 4
+
+    def test_canonical_order_matches_paper_rows(self):
+        assert CIRCUIT_NAMES == [
+            "adder", "bar", "div", "hyp", "log2", "max",
+            "multiplier", "sin", "sqrt", "square",
+        ]
+
+    def test_display_names(self):
+        assert get_circuit_spec("adder").display_name == "Adder"
+        assert get_circuit_spec("bar").display_name == "Barrel Shifter"
+        assert get_circuit_spec("sqrt").display_name == "Square-root"
+
+    def test_aliases(self):
+        assert get_circuit_spec("Divisor").name == "div"
+        assert get_circuit_spec("Hypotenuse").name == "hyp"
+        assert get_circuit_spec("Sine").name == "sin"
+        assert get_circuit_spec("square root").name == "sqrt"
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError):
+            get_circuit_spec("cpu")
+
+    def test_list_circuits_returns_specs(self):
+        specs = list_circuits()
+        assert len(specs) == 10
+        assert all(spec.paper_width >= spec.default_width for spec in specs)
+
+    def test_get_circuit_with_width(self):
+        aig = get_circuit("adder", width=4)
+        assert aig.num_pis == 8
+
+    def test_get_circuit_default_width(self):
+        aig = get_circuit("multiplier")
+        assert aig.num_ands > 0
+
+    def test_width_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIDTH_SCALE", "0.5")
+        small = get_circuit("adder")
+        monkeypatch.setenv("REPRO_WIDTH_SCALE", "1.0")
+        normal = get_circuit("adder")
+        assert small.num_pis < normal.num_pis
+
+
+class TestBlocks:
+    def _bits(self, value, width):
+        return [(value >> i) & 1 for i in range(width)]
+
+    def test_constant_vector(self):
+        assert constant_vector(5, 4) == [1, 0, 1, 0]
+
+    def test_zero_extend(self):
+        assert zero_extend([1, 1], 4) == [1, 1, 0, 0]
+        assert zero_extend([1, 1, 1, 1, 1], 3) == [1, 1, 1]
+
+    def test_shift_left_const(self):
+        assert shift_left_const([1, 0, 1], 1, 4) == [0, 1, 0, 1]
+        assert shift_left_const([1, 1], 3, 4) == [0, 0, 0, 1]
+
+    def test_shift_right_const(self):
+        assert shift_right_const([0, 1, 0, 1], 1) == [1, 0, 1, 0]
+        assert shift_right_const([1, 1], 3) == [0, 0]
+
+    def test_adder_block(self):
+        aig = AIG()
+        a = [aig.add_pi() for _ in range(4)]
+        b = [aig.add_pi() for _ in range(4)]
+        total, carry = ripple_carry_adder(aig, a, b)
+        for bit in total:
+            aig.add_po(bit)
+        aig.add_po(carry)
+        out = simulate(aig, self._bits(9, 4) + self._bits(8, 4))
+        assert sum(bit << i for i, bit in enumerate(out)) == 17
+
+    def test_adder_block_width_mismatch(self):
+        aig = AIG()
+        with pytest.raises(ValueError):
+            ripple_carry_adder(aig, [aig.add_pi()], [aig.add_pi(), aig.add_pi()])
+
+    def test_subtractor_block(self):
+        aig = AIG()
+        a = [aig.add_pi() for _ in range(4)]
+        b = [aig.add_pi() for _ in range(4)]
+        diff, no_borrow = ripple_borrow_subtractor(aig, a, b)
+        for bit in diff:
+            aig.add_po(bit)
+        aig.add_po(no_borrow)
+        out = simulate(aig, self._bits(12, 4) + self._bits(5, 4))
+        assert sum(bit << i for i, bit in enumerate(out[:4])) == 7
+        assert out[4] == 1  # no borrow: 12 >= 5
+        out = simulate(aig, self._bits(3, 4) + self._bits(5, 4))
+        assert out[4] == 0  # borrow: 3 < 5
+
+    def test_comparator(self):
+        aig = AIG()
+        a = [aig.add_pi() for _ in range(3)]
+        b = [aig.add_pi() for _ in range(3)]
+        aig.add_po(comparator_greater_equal(aig, a, b))
+        for x in range(8):
+            for y in range(8):
+                out = simulate(aig, self._bits(x, 3) + self._bits(y, 3))
+                assert out[0] == int(x >= y)

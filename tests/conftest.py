@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Circuits used in tests are deliberately tiny (4–8 bit datapaths) so that
+exhaustive functional-equivalence checks and full optimisation loops run
+in milliseconds; the same code paths scale to the paper-size instances via
+the width parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aig.graph import AIG
+from repro.bo.space import SequenceSpace
+from repro.circuits import make_adder, make_multiplier, make_square_root
+from repro.qor import QoREvaluator
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20220314)
+
+
+@pytest.fixture(scope="session")
+def small_adder() -> AIG:
+    """A 4-bit ripple-carry adder (small enough for exhaustive checks)."""
+    return make_adder(4)
+
+
+@pytest.fixture(scope="session")
+def small_multiplier() -> AIG:
+    """A 3x3 array multiplier."""
+    return make_multiplier(3)
+
+
+@pytest.fixture(scope="session")
+def small_sqrt() -> AIG:
+    """A 6-bit square-root unit."""
+    return make_square_root(6)
+
+
+@pytest.fixture()
+def xor_chain() -> AIG:
+    """A hand-built 3-input XOR chain with one output."""
+    aig = AIG(name="xor_chain")
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    c = aig.add_pi("c")
+    aig.add_po(aig.add_xor(aig.add_xor(a, b), c), name="y")
+    return aig
+
+
+@pytest.fixture(scope="session")
+def tiny_space() -> SequenceSpace:
+    """A short sequence space so optimiser tests stay fast."""
+    return SequenceSpace(sequence_length=4)
+
+
+@pytest.fixture(scope="session")
+def adder_evaluator(small_adder) -> QoREvaluator:
+    """A shared QoR evaluator over the small adder (session-scoped cache)."""
+    return QoREvaluator(small_adder)

@@ -1,0 +1,124 @@
+"""Tests for the continuous and categorical kernels."""
+
+import numpy as np
+import pytest
+
+from repro.gp.kernels import (
+    Matern52Kernel,
+    OverlapKernel,
+    SquaredExponentialKernel,
+    TransformedOverlapKernel,
+)
+
+
+@pytest.fixture()
+def continuous_data(rng):
+    return rng.normal(size=(12, 3))
+
+
+@pytest.fixture()
+def sequence_data(rng):
+    return rng.integers(0, 11, size=(10, 8))
+
+
+class TestKernelInterface:
+    def test_param_management(self):
+        kernel = SquaredExponentialKernel(input_dim=2)
+        params = kernel.get_params()
+        assert "variance" in params and "lengthscale_0" in params
+        kernel.set_params(variance=2.0)
+        assert kernel.get_params()["variance"] == pytest.approx(2.0)
+
+    def test_set_params_clips_to_bounds(self):
+        kernel = SquaredExponentialKernel(input_dim=1)
+        kernel.set_params(variance=1e9)
+        assert kernel.get_params()["variance"] <= 1e3
+
+    def test_unknown_param_rejected(self):
+        kernel = SquaredExponentialKernel(input_dim=1)
+        with pytest.raises(KeyError):
+            kernel.set_params(nope=1.0)
+
+    def test_param_vector_roundtrip(self):
+        kernel = Matern52Kernel(input_dim=2)
+        vector = kernel.param_vector()
+        kernel.set_param_vector(vector * 1.5)
+        assert np.allclose(kernel.param_vector(), np.clip(
+            vector * 1.5, *kernel.bounds_arrays()))
+
+    def test_param_vector_wrong_length(self):
+        kernel = Matern52Kernel(input_dim=1)
+        with pytest.raises(ValueError):
+            kernel.set_param_vector(np.array([1.0]))
+
+
+class TestContinuousKernels:
+    @pytest.mark.parametrize("kernel_cls", [SquaredExponentialKernel, Matern52Kernel])
+    def test_psd_and_symmetric(self, kernel_cls, continuous_data):
+        kernel = kernel_cls(input_dim=continuous_data.shape[1])
+        gram = kernel(continuous_data)
+        assert np.allclose(gram, gram.T)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-8
+
+    @pytest.mark.parametrize("kernel_cls", [SquaredExponentialKernel, Matern52Kernel])
+    def test_diagonal_equals_variance(self, kernel_cls, continuous_data):
+        kernel = kernel_cls(input_dim=continuous_data.shape[1], variance=1.7)
+        gram = kernel(continuous_data)
+        assert np.allclose(np.diag(gram), 1.7)
+        assert np.allclose(kernel.diag(continuous_data), 1.7)
+
+    def test_se_decays_with_distance(self):
+        kernel = SquaredExponentialKernel(input_dim=1, lengthscale=1.0)
+        x = np.array([[0.0], [0.5], [5.0]])
+        gram = kernel(x)
+        assert gram[0, 1] > gram[0, 2]
+
+    def test_cross_covariance_shape(self, continuous_data):
+        kernel = Matern52Kernel(input_dim=3)
+        other = continuous_data[:4] + 1.0
+        assert kernel(continuous_data, other).shape == (12, 4)
+
+    def test_lengthscale_effect(self):
+        x = np.array([[0.0], [1.0]])
+        short = SquaredExponentialKernel(input_dim=1, lengthscale=0.1)
+        long = SquaredExponentialKernel(input_dim=1, lengthscale=10.0)
+        assert short(x)[0, 1] < long(x)[0, 1]
+
+
+class TestCategoricalKernels:
+    def test_overlap_identity(self, sequence_data):
+        kernel = OverlapKernel(sequence_length=sequence_data.shape[1])
+        gram = kernel(sequence_data)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_overlap_counts_matches(self):
+        kernel = OverlapKernel(sequence_length=4)
+        a = np.array([[0, 1, 2, 3]])
+        b = np.array([[0, 1, 9, 9]])
+        assert kernel(a, b)[0, 0] == pytest.approx(0.5)
+
+    def test_overlap_disjoint_is_zero(self):
+        kernel = OverlapKernel(sequence_length=3)
+        a = np.array([[0, 0, 0]])
+        b = np.array([[1, 1, 1]])
+        assert kernel(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_transformed_overlap_diag_is_variance(self, sequence_data):
+        kernel = TransformedOverlapKernel(sequence_length=sequence_data.shape[1],
+                                          variance=2.5)
+        gram = kernel(sequence_data)
+        assert np.allclose(np.diag(gram), 2.5)
+        assert np.allclose(kernel.diag(sequence_data), 2.5)
+
+    def test_transformed_overlap_monotone_in_matches(self):
+        kernel = TransformedOverlapKernel(sequence_length=4, lengthscale=3.0)
+        a = np.array([[0, 1, 2, 3]])
+        closer = np.array([[0, 1, 2, 9]])
+        farther = np.array([[0, 9, 9, 9]])
+        assert kernel(a, closer)[0, 0] > kernel(a, farther)[0, 0]
+
+    def test_transformed_overlap_psd(self, sequence_data):
+        kernel = TransformedOverlapKernel(sequence_length=sequence_data.shape[1])
+        eigenvalues = np.linalg.eigvalsh(kernel(sequence_data))
+        assert eigenvalues.min() > -1e-8

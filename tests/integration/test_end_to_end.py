@@ -1,0 +1,107 @@
+"""End-to-end integration tests across all layers.
+
+These tests exercise the complete pipeline — circuit generation →
+synthesis sequence → LUT mapping → QoR → optimisation → experiment
+aggregation — at a tiny scale, verifying that every layer composes and
+that the headline qualitative claims hold in-sample (BOiLS finds a
+sequence at least as good as random search given the same small budget on
+a fixed seed grid; the Pareto machinery classifies its own inputs
+consistently).
+"""
+
+import numpy as np
+import pytest
+
+from repro import OPERATION_ALPHABET, QoREvaluator, apply_sequence, get_circuit, resyn2
+from repro.aig.simulation import functionally_equivalent
+from repro.bo import BOiLS, SequenceSpace
+from repro.baselines import RandomSearch
+from repro.experiments import (
+    ExperimentConfig,
+    build_qor_table,
+    run_experiment,
+)
+from repro.experiments.convergence import build_convergence_curves
+from repro.experiments.pareto import build_pareto_study
+from repro.mapping import map_aig
+
+
+class TestPipeline:
+    def test_full_flow_on_one_circuit(self):
+        aig = get_circuit("sqrt", width=6)
+        evaluator = QoREvaluator(aig)
+        sequence = ["balance", "rewrite", "refactor", "fraig"]
+        record = evaluator.evaluate(sequence)
+        optimised = apply_sequence(aig, sequence)
+        assert functionally_equivalent(aig, optimised)
+        mapping = map_aig(optimised)
+        assert mapping.area == record.area
+        assert mapping.delay == record.delay
+
+    def test_alphabet_is_the_paper_alphabet(self):
+        assert len(OPERATION_ALPHABET) == 11
+
+    def test_resyn2_reference_consistency(self):
+        aig = get_circuit("adder", width=6)
+        evaluator = QoREvaluator(aig)
+        reference = map_aig(resyn2(aig))
+        assert evaluator.reference_area == max(1, reference.area)
+        assert evaluator.reference_delay == max(1, reference.delay)
+
+
+class TestOptimiserIntegration:
+    def test_boils_vs_random_on_fixed_budget(self):
+        """BOiLS should not lose to RS when both get the same small budget
+        and share the evaluation cache (same circuit, fixed seeds)."""
+        aig = get_circuit("adder", width=6)
+        space = SequenceSpace(sequence_length=6)
+        budget = 16
+        boils_scores, rs_scores = [], []
+        for seed in range(2):
+            evaluator = QoREvaluator(aig)
+            boils = BOiLS(space=space, seed=seed, num_initial=6,
+                          local_search_queries=80, adam_steps=2, fit_every=2)
+            boils_scores.append(boils.optimise(evaluator, budget).best_improvement)
+            evaluator = QoREvaluator(aig)
+            rs = RandomSearch(space=space, seed=seed)
+            rs_scores.append(rs.optimise(evaluator, budget).best_improvement)
+        assert np.mean(boils_scores) >= np.mean(rs_scores) - 1.0
+
+    def test_experiment_grid_and_all_aggregations(self):
+        config = ExperimentConfig(
+            budget=6, num_seeds=1, sequence_length=4,
+            circuits=("adder",), methods=("boils", "rs"),
+            method_overrides={"boils": {"num_initial": 3, "local_search_queries": 30,
+                                        "adam_steps": 1}},
+        )
+        results = run_experiment(config)
+        assert len(results) == 2
+
+        table = build_qor_table(results)
+        assert set(table.methods) == {"BOiLS", "RS"}
+
+        curves = build_convergence_curves(results)
+        for method in ("BOiLS", "RS"):
+            curve = curves.curve("adder", method)
+            assert len(curve) == 6
+            assert curve[-1] == pytest.approx(table.value("adder", method))
+
+        study = build_pareto_study(results)
+        percentages = study.on_front_percentages()
+        assert set(percentages) == {"BOiLS", "RS"}
+        # Every front point comes from one of the methods, so at least one
+        # method has a solution on the front.
+        assert max(percentages.values()) > 0
+
+
+class TestDeterminism:
+    def test_whole_pipeline_is_deterministic(self):
+        config = ExperimentConfig(
+            budget=5, num_seeds=1, sequence_length=4,
+            circuits=("sqrt",), methods=("rs", "greedy"),
+        )
+        first = run_experiment(config)
+        second = run_experiment(config)
+        for a, b in zip(first, second):
+            assert a.history == b.history
+            assert a.best_sequence == b.best_sequence

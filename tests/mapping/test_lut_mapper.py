@@ -1,0 +1,123 @@
+"""Tests for the K-LUT technology mapper."""
+
+import pytest
+
+from repro.aig.graph import AIG, lit_var
+from repro.circuits import make_adder, make_barrel_shifter, make_multiplier
+from repro.mapping import LutMapper, MappingResult, map_aig
+
+
+class TestBasicMapping:
+    def test_single_and_maps_to_one_lut(self):
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_and(a, b))
+        result = map_aig(aig)
+        assert result.area == 1
+        assert result.delay == 1
+
+    def test_pi_only_output_needs_no_lut(self):
+        aig = AIG()
+        a = aig.add_pi()
+        aig.add_po(a)
+        result = map_aig(aig)
+        assert result.area == 0
+        assert result.delay == 0
+
+    def test_constant_output(self):
+        aig = AIG()
+        aig.add_pi()
+        aig.add_po(1)
+        result = map_aig(aig)
+        assert result.area == 0
+
+    def test_six_input_cone_fits_one_lut(self):
+        aig = AIG()
+        pis = [aig.add_pi() for _ in range(6)]
+        aig.add_po(aig.add_and_multi(pis))
+        result = map_aig(aig, lut_size=6)
+        assert result.area == 1
+        assert result.delay == 1
+
+    def test_seven_input_cone_needs_two_levels_or_more(self):
+        aig = AIG()
+        pis = [aig.add_pi() for _ in range(7)]
+        aig.add_po(aig.add_and_multi(pis))
+        result = map_aig(aig, lut_size=6)
+        assert result.area >= 2
+        assert result.delay >= 2
+
+
+class TestCoverValidity:
+    def _check_cover(self, aig, result: MappingResult):
+        lut_roots = {lut.root for lut in result.luts}
+        pi_set = set(aig.pis)
+        # Every PO driven by an AND node must be a LUT root.
+        for po in aig.pos:
+            var = lit_var(po)
+            if aig.is_and(var):
+                assert var in lut_roots
+        # Every LUT leaf must be a PI, a constant or another LUT root.
+        for lut in result.luts:
+            assert len(lut.leaves) <= result.lut_size
+            for leaf in lut.leaves:
+                assert leaf == 0 or leaf in pi_set or leaf in lut_roots
+
+    def test_adder_cover_is_valid(self, small_adder):
+        self._check_cover(small_adder, map_aig(small_adder))
+
+    def test_multiplier_cover_is_valid(self, small_multiplier):
+        self._check_cover(small_multiplier, map_aig(small_multiplier))
+
+    def test_lut_size_respected(self, small_adder):
+        for k in (3, 4, 6):
+            result = map_aig(small_adder, lut_size=k)
+            assert all(len(lut.leaves) <= k for lut in result.luts)
+
+
+class TestQuality:
+    def test_adder_depth_is_sublinear(self):
+        """A 16-bit adder must map well below its AND-depth (regression)."""
+        aig = make_adder(16)
+        result = map_aig(aig, lut_size=6)
+        assert result.delay <= 12
+        assert result.area <= 60
+
+    def test_barrel_shifter_is_shallow(self):
+        result = map_aig(make_barrel_shifter(16), lut_size=6)
+        assert result.delay <= 4
+
+    def test_smaller_k_needs_more_area(self, small_multiplier):
+        area_k3 = map_aig(small_multiplier, lut_size=3).area
+        area_k6 = map_aig(small_multiplier, lut_size=6).area
+        assert area_k6 <= area_k3
+
+    def test_delay_monotone_in_k(self, small_adder):
+        delay_k3 = map_aig(small_adder, lut_size=3).delay
+        delay_k6 = map_aig(small_adder, lut_size=6).delay
+        assert delay_k6 <= delay_k3
+
+
+class TestMapperObject:
+    def test_invalid_lut_size(self):
+        with pytest.raises(ValueError):
+            LutMapper(lut_size=1)
+
+    def test_as_dict(self, small_adder):
+        result = map_aig(small_adder)
+        d = result.as_dict()
+        assert d["area"] == result.area
+        assert d["delay"] == result.delay
+        assert d["lut_size"] == 6
+
+    def test_mapper_is_reusable(self, small_adder, small_multiplier):
+        mapper = LutMapper(lut_size=6)
+        first = mapper.map(small_adder)
+        second = mapper.map(small_multiplier)
+        third = mapper.map(small_adder)
+        assert first.area == third.area
+        assert first.delay == third.delay
+        assert second.area != 0
+
+    def test_determinism(self, small_adder):
+        assert map_aig(small_adder).as_dict() == map_aig(small_adder).as_dict()

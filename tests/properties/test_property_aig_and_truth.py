@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) on the AIG and truth-table layers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import truth
+from repro.aig.aiger import read_aiger_string, write_aiger_string
+from repro.aig.graph import AIG, lit_not, lit_var
+from repro.aig.simulation import exhaustive_output_tables, functionally_equivalent, simulate
+
+
+# ----------------------------------------------------------------------
+# Random-AIG strategy: build a small random combinational AIG from a
+# recipe of (operation, operand indices) tuples.
+# ----------------------------------------------------------------------
+@st.composite
+def random_aig(draw, max_inputs=5, max_gates=20):
+    num_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    num_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    aig = AIG(name="random")
+    literals = [aig.add_pi() for _ in range(num_inputs)]
+    for _ in range(num_gates):
+        i = draw(st.integers(min_value=0, max_value=len(literals) - 1))
+        j = draw(st.integers(min_value=0, max_value=len(literals) - 1))
+        comp_i = draw(st.booleans())
+        comp_j = draw(st.booleans())
+        a = literals[i] ^ int(comp_i)
+        b = literals[j] ^ int(comp_j)
+        literals.append(aig.add_and(a, b))
+    num_outputs = draw(st.integers(min_value=1, max_value=min(4, len(literals))))
+    for k in range(num_outputs):
+        idx = draw(st.integers(min_value=0, max_value=len(literals) - 1))
+        aig.add_po(literals[idx] ^ int(draw(st.booleans())))
+    return aig
+
+
+class TestAigProperties:
+    @given(random_aig())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_is_equivalent_and_no_larger(self, aig):
+        copy = aig.copy()
+        assert functionally_equivalent(aig, copy)
+        assert copy.num_ands <= aig.num_ands
+
+    @given(random_aig())
+    @settings(max_examples=40, deadline=None)
+    def test_aiger_roundtrip(self, aig):
+        parsed = read_aiger_string(write_aiger_string(aig))
+        assert functionally_equivalent(aig, parsed)
+
+    @given(random_aig())
+    @settings(max_examples=30, deadline=None)
+    def test_levels_are_consistent(self, aig):
+        levels = aig.levels()
+        for node in aig.and_nodes():
+            f0, f1 = aig.fanins(node.var)
+            assert levels[node.var] == 1 + max(levels[lit_var(f0)], levels[lit_var(f1)])
+
+    @given(random_aig(), st.integers(min_value=0, max_value=2 ** 5 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_matches_truth_table(self, aig, pattern):
+        tables = exhaustive_output_tables(aig)
+        bits = [(pattern >> i) & 1 for i in range(aig.num_pis)]
+        minterm = sum(bit << i for i, bit in enumerate(bits))
+        outputs = simulate(aig, bits)
+        for out_value, table in zip(outputs, tables):
+            assert out_value == (table >> minterm) & 1
+
+
+class TestTruthProperties:
+    @given(st.integers(min_value=2, max_value=4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_isop_covers_exactly(self, num_vars, data):
+        table = data.draw(st.integers(min_value=0, max_value=truth.table_mask(num_vars)))
+        cover = truth.isop(table, table, num_vars)
+        assert truth.sop_table(cover, num_vars) == table
+
+    @given(st.integers(min_value=2, max_value=3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_npn_key_invariant_under_transforms(self, num_vars, data):
+        table = data.draw(st.integers(min_value=0, max_value=truth.table_mask(num_vars)))
+        key = truth.npn_class_key(table, num_vars)
+        # Output complement.
+        assert truth.npn_class_key(truth.tt_not(table, num_vars), num_vars) == key
+        # Any input flip.
+        var = data.draw(st.integers(min_value=0, max_value=num_vars - 1))
+        assert truth.npn_class_key(truth.flip_input(table, num_vars, var), num_vars) == key
+
+    @given(st.integers(min_value=2, max_value=4), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_shannon_expansion(self, num_vars, data):
+        """f = (x & f_x) | (~x & f_~x) for every variable."""
+        table = data.draw(st.integers(min_value=0, max_value=truth.table_mask(num_vars)))
+        for var in range(num_vars):
+            pos = truth.cofactor(table, num_vars, var, 1)
+            neg = truth.cofactor(table, num_vars, var, 0)
+            x = truth.var_table(var, num_vars)
+            rebuilt = (x & pos) | (truth.tt_not(x, num_vars) & neg)
+            assert rebuilt == table
+
+    @given(st.integers(min_value=2, max_value=4), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_support_matches_dependence(self, num_vars, data):
+        table = data.draw(st.integers(min_value=0, max_value=truth.table_mask(num_vars)))
+        support = truth.support(table, num_vars)
+        for var in range(num_vars):
+            assert (var in support) == truth.depends_on(table, num_vars, var)
+
+
+class TestFactoringProperties:
+    @given(st.integers(min_value=2, max_value=4), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_factored_form_equals_table(self, num_vars, data):
+        from repro.synth import sop
+
+        table = data.draw(st.integers(min_value=0, max_value=truth.table_mask(num_vars)))
+        ff = sop.factor_truth_table(table, num_vars)
+        assert sop.factored_form_table(ff, num_vars) == table
+
+    @given(st.integers(min_value=2, max_value=4), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_factored_form_builds_correct_aig(self, num_vars, data):
+        from repro.synth import sop
+
+        table = data.draw(st.integers(min_value=0, max_value=truth.table_mask(num_vars)))
+        ff = sop.factor_truth_table(table, num_vars)
+        aig = AIG()
+        leaves = [aig.add_pi() for _ in range(num_vars)]
+        aig.add_po(sop.build_factored_form(aig, ff, leaves))
+        assert exhaustive_output_tables(aig) == [table]

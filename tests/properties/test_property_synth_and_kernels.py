@@ -1,0 +1,160 @@
+"""Property-based tests for synthesis passes, mapping, SSK and the space."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.graph import AIG
+from repro.aig.simulation import functionally_equivalent
+from repro.bo.space import SequenceSpace
+from repro.gp.kernels.ssk import ssk_diag, ssk_gram, subsequence_contribution
+from repro.mapping import map_aig
+from repro.synth.operations import apply_sequence, list_operations
+
+
+@st.composite
+def random_aig(draw, max_inputs=5, max_gates=16):
+    num_inputs = draw(st.integers(min_value=2, max_value=max_inputs))
+    num_gates = draw(st.integers(min_value=2, max_value=max_gates))
+    aig = AIG(name="random")
+    literals = [aig.add_pi() for _ in range(num_inputs)]
+    for _ in range(num_gates):
+        i = draw(st.integers(min_value=0, max_value=len(literals) - 1))
+        j = draw(st.integers(min_value=0, max_value=len(literals) - 1))
+        a = literals[i] ^ int(draw(st.booleans()))
+        b = literals[j] ^ int(draw(st.booleans()))
+        literals.append(aig.add_and(a, b))
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        idx = draw(st.integers(min_value=0, max_value=len(literals) - 1))
+        aig.add_po(literals[idx] ^ int(draw(st.booleans())))
+    return aig
+
+
+OPERATION_NAMES = [op.name for op in list_operations()]
+
+
+class TestSynthesisProperties:
+    @given(random_aig(), st.lists(st.sampled_from(OPERATION_NAMES), min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_any_sequence_preserves_function(self, aig, sequence):
+        transformed = apply_sequence(aig, sequence)
+        assert functionally_equivalent(aig, transformed)
+        assert transformed.num_pis == aig.num_pis
+        assert transformed.num_pos == aig.num_pos
+
+    @given(random_aig())
+    @settings(max_examples=20, deadline=None)
+    def test_balance_never_increases_depth(self, aig):
+        from repro.synth.balance import balance
+
+        assert balance(aig).depth() <= aig.depth()
+
+    @given(random_aig())
+    @settings(max_examples=20, deadline=None)
+    def test_rewrite_never_increases_size(self, aig):
+        from repro.synth.rewrite import rewrite
+
+        assert rewrite(aig).num_ands <= aig.num_ands
+
+
+class TestMappingProperties:
+    @given(random_aig(), st.integers(min_value=3, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_cover_is_valid(self, aig, k):
+        result = map_aig(aig, lut_size=k)
+        roots = {lut.root for lut in result.luts}
+        pi_set = set(aig.pis)
+        from repro.aig.graph import lit_var
+
+        for po in aig.pos:
+            var = lit_var(po)
+            if aig.is_and(var):
+                assert var in roots
+        for lut in result.luts:
+            assert len(lut.leaves) <= k
+            for leaf in lut.leaves:
+                assert leaf == 0 or leaf in pi_set or leaf in roots
+        assert result.area == len(result.luts)
+        assert result.delay >= (1 if roots else 0)
+
+    @given(random_aig())
+    @settings(max_examples=15, deadline=None)
+    def test_area_no_worse_than_and_count(self, aig):
+        result = map_aig(aig.cleanup(), lut_size=6)
+        assert result.area <= max(1, aig.cleanup().num_ands)
+
+
+class TestSskProperties:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_gram_is_symmetric_psd(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=6))
+        length = data.draw(st.integers(min_value=3, max_value=8))
+        X = np.array(data.draw(st.lists(
+            st.lists(st.integers(min_value=0, max_value=10), min_size=length, max_size=length),
+            min_size=n, max_size=n)))
+        tm = data.draw(st.floats(min_value=0.1, max_value=1.0))
+        tg = data.draw(st.floats(min_value=0.1, max_value=1.0))
+        gram = ssk_gram(X, X, tm, tg, 3)
+        assert np.allclose(gram, gram.T, atol=1e-9)
+        assert np.linalg.eigvalsh(gram).min() > -1e-7
+        assert np.allclose(np.diag(gram), ssk_diag(X, tm, tg, 3))
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_contribution_scales_with_theta_match(self, data):
+        length = data.draw(st.integers(min_value=2, max_value=6))
+        seq = data.draw(st.lists(st.integers(min_value=0, max_value=3),
+                                 min_size=length, max_size=length))
+        u = data.draw(st.lists(st.integers(min_value=0, max_value=3),
+                               min_size=1, max_size=2))
+        tg = data.draw(st.floats(min_value=0.1, max_value=1.0))
+        low = subsequence_contribution(u, seq, 0.3, tg)
+        high = subsequence_contribution(u, seq, 0.9, tg)
+        assert high >= low  # higher match decay weight -> larger contribution
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_self_similarity_dominates(self, data):
+        """Cauchy–Schwarz: k(x,y)^2 <= k(x,x) k(y,y)."""
+        length = data.draw(st.integers(min_value=3, max_value=8))
+        x = data.draw(st.lists(st.integers(min_value=0, max_value=5),
+                               min_size=length, max_size=length))
+        y = data.draw(st.lists(st.integers(min_value=0, max_value=5),
+                               min_size=length, max_size=length))
+        X = np.array([x, y])
+        gram = ssk_gram(X, X, 0.8, 0.6, 3)
+        assert gram[0, 1] ** 2 <= gram[0, 0] * gram[1, 1] + 1e-9
+
+
+class TestSpaceProperties:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_neighbour_distance_invariant(self, data):
+        length = data.draw(st.integers(min_value=2, max_value=12))
+        space = SequenceSpace(sequence_length=length)
+        rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=1000)))
+        base = space.sample(1, rng)[0]
+        changes = data.draw(st.integers(min_value=1, max_value=length))
+        neighbour = space.random_neighbour(base, rng, num_changes=changes)
+        assert space.hamming_distance(base, neighbour) == changes
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_hamming_ball_membership(self, data):
+        length = data.draw(st.integers(min_value=2, max_value=12))
+        space = SequenceSpace(sequence_length=length)
+        rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=1000)))
+        centre = space.sample(1, rng)[0]
+        radius = data.draw(st.integers(min_value=0, max_value=length))
+        point = space.random_point_in_hamming_ball(centre, radius, rng)
+        assert space.hamming_distance(centre, point) <= radius
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_conversion_roundtrip(self, data):
+        length = data.draw(st.integers(min_value=1, max_value=10))
+        space = SequenceSpace(sequence_length=length)
+        indices = data.draw(st.lists(st.integers(min_value=0, max_value=10),
+                                     min_size=length, max_size=length))
+        names = space.to_names(indices)
+        assert list(space.to_indices(names)) == list(indices)

@@ -1,0 +1,108 @@
+"""Tests for the QoR evaluator (Equation 1)."""
+
+import pytest
+
+from repro.circuits import make_adder
+from repro.qor import QoREvaluator
+from repro.synth.flows import RESYN2_SEQUENCE
+
+
+class TestReference:
+    def test_reference_qor_is_two(self, adder_evaluator):
+        assert adder_evaluator.reference_qor == pytest.approx(2.0)
+
+    def test_reference_sequence_defaults_to_resyn2(self, adder_evaluator):
+        assert list(adder_evaluator.reference_sequence) == RESYN2_SEQUENCE
+
+    def test_resyn2_itself_scores_qor_two(self, adder_evaluator):
+        record = adder_evaluator.evaluate(RESYN2_SEQUENCE)
+        assert record.qor == pytest.approx(2.0)
+        assert record.qor_improvement == pytest.approx(0.0)
+
+    def test_custom_reference(self, small_adder):
+        evaluator = QoREvaluator(small_adder, reference_sequence=["balance"])
+        record = evaluator.evaluate(["balance"])
+        assert record.qor == pytest.approx(2.0)
+
+    def test_initial_result_recorded(self, adder_evaluator):
+        assert adder_evaluator.initial_result.area > 0
+        assert adder_evaluator.initial_result.delay > 0
+
+
+class TestEvaluation:
+    def test_qor_formula(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        record = evaluator.evaluate(["rewrite", "balance"])
+        expected = (record.area / evaluator.reference_area
+                    + record.delay / evaluator.reference_delay)
+        assert record.qor == pytest.approx(expected)
+
+    def test_improvement_formula(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        record = evaluator.evaluate(["rewrite"])
+        expected = (2.0 - record.qor) / 2.0 * 100.0
+        assert record.qor_improvement == pytest.approx(expected)
+
+    def test_accepts_indices_and_mnemonics(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        by_name = evaluator.evaluate(["balance"])
+        by_index = evaluator.evaluate([6])
+        by_mnemonic = evaluator.evaluate(["Bl"])
+        assert by_name.qor == by_index.qor == by_mnemonic.qor
+
+    def test_empty_sequence_evaluates_initial_circuit(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        record = evaluator.evaluate([])
+        assert record.area == evaluator.initial_result.area
+        assert record.delay == evaluator.initial_result.delay
+
+
+class TestCachingAndHistory:
+    def test_cache_hits_do_not_count(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        evaluator.evaluate(["balance", "rewrite"])
+        count = evaluator.num_evaluations
+        evaluator.evaluate(["balance", "rewrite"])
+        assert evaluator.num_evaluations == count
+
+    def test_cache_disabled(self, small_adder):
+        evaluator = QoREvaluator(small_adder, cache=False)
+        evaluator.evaluate(["balance"])
+        evaluator.evaluate(["balance"])
+        assert evaluator.num_evaluations == 2
+
+    def test_history_and_best(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        evaluator.evaluate(["balance"])
+        evaluator.evaluate(["rewrite", "refactor"])
+        best = evaluator.best_so_far()
+        assert best is not None
+        assert best.qor == min(r.qor for r in evaluator.history)
+
+    def test_best_trajectory_monotone(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        for seq in (["balance"], ["rewrite"], ["fraig"], ["dsdb", "rewrite"]):
+            evaluator.evaluate(seq)
+        trajectory = evaluator.best_trajectory()
+        assert all(b >= a for a, b in zip(trajectory, trajectory[1:]))
+        assert len(trajectory) == 4
+
+    def test_reset_history_keeps_cache(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        evaluator.evaluate(["balance"])
+        evaluator.reset_history()
+        assert evaluator.num_evaluations == 0
+        assert evaluator.history == []
+        # Cached: re-evaluating does not bump the counter.
+        evaluator.evaluate(["balance"])
+        assert evaluator.num_evaluations == 0
+
+    def test_best_so_far_empty(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        assert evaluator.best_so_far() is None
+
+    def test_negative_qor_helper(self, small_adder):
+        evaluator = QoREvaluator(small_adder)
+        assert evaluator.negative_qor(["balance"]) == pytest.approx(
+            -evaluator.qor(["balance"])
+        )

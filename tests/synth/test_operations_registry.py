@@ -1,0 +1,119 @@
+"""Tests for the operation registry, sequence utilities and flows."""
+
+import pytest
+
+from repro.aig.simulation import functionally_equivalent
+from repro.synth.flows import (
+    RESYN2_SEQUENCE,
+    apply_flow,
+    available_flows,
+    named_flow,
+    resyn2,
+)
+from repro.synth.operations import (
+    OPERATION_ALPHABET,
+    apply_operation,
+    apply_sequence,
+    get_operation,
+    list_operations,
+    sequence_to_indices,
+    sequence_to_names,
+    sequence_to_string,
+    string_to_sequence,
+)
+
+
+class TestRegistry:
+    def test_alphabet_matches_paper(self):
+        assert OPERATION_ALPHABET == [
+            "rewrite", "rewrite -z", "refactor", "refactor -z",
+            "resub", "resub -z", "balance", "fraig", "sopb", "blut", "dsdb",
+        ]
+
+    def test_alphabet_size_is_eleven(self):
+        assert len(OPERATION_ALPHABET) == 11
+
+    def test_lookup_by_name_index_mnemonic(self):
+        assert get_operation("balance").name == "balance"
+        assert get_operation(6).name == "balance"
+        assert get_operation("Bl").name == "balance"
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(KeyError):
+            get_operation("does-not-exist")
+        with pytest.raises(KeyError):
+            get_operation(99)
+
+    def test_mnemonics_are_unique(self):
+        mnemonics = [op.mnemonic for op in list_operations()]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_operation_is_callable(self, small_adder):
+        out = get_operation("balance")(small_adder)
+        assert functionally_equivalent(small_adder, out)
+
+
+class TestSequenceUtilities:
+    def test_sequence_to_names_roundtrip(self):
+        seq = ["rewrite", 6, "Rf"]
+        assert sequence_to_names(seq) == ["rewrite", "balance", "refactor"]
+
+    def test_sequence_to_indices(self):
+        assert sequence_to_indices(["rewrite", "balance"]) == [0, 6]
+
+    def test_sequence_to_string_and_back(self):
+        names = ["rewrite", "refactor", "dsdb", "balance"]
+        text = sequence_to_string(names)
+        assert text == "RwRfDsBl"
+        assert string_to_sequence(text) == names
+
+    def test_string_to_sequence_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            string_to_sequence("RwR")
+
+    def test_string_to_sequence_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            string_to_sequence("Zz")
+
+
+class TestApply:
+    def test_apply_operation_equivalent(self, small_adder):
+        out = apply_operation(small_adder, "rewrite")
+        assert functionally_equivalent(small_adder, out)
+
+    def test_apply_sequence_equivalent(self, small_adder):
+        out = apply_sequence(small_adder, ["balance", "rewrite", "refactor"])
+        assert functionally_equivalent(small_adder, out)
+
+    def test_apply_empty_sequence_is_identity_object(self, small_adder):
+        assert apply_sequence(small_adder, []) is small_adder
+
+    def test_apply_sequence_accepts_indices(self, small_adder):
+        out = apply_sequence(small_adder, [6, 0])
+        assert functionally_equivalent(small_adder, out)
+
+
+class TestFlows:
+    def test_resyn2_is_ten_steps(self):
+        assert len(RESYN2_SEQUENCE) == 10
+        assert RESYN2_SEQUENCE[0] == "balance"
+
+    def test_resyn2_preserves_function(self, small_adder):
+        assert functionally_equivalent(small_adder, resyn2(small_adder))
+
+    def test_resyn2_does_not_grow_the_network(self, small_multiplier):
+        out = resyn2(small_multiplier)
+        assert out.num_ands <= small_multiplier.num_ands * 1.1
+
+    def test_named_flow_lookup(self):
+        assert named_flow("resyn2") == RESYN2_SEQUENCE
+        with pytest.raises(KeyError):
+            named_flow("nope")
+
+    def test_available_flows(self):
+        flows = available_flows()
+        assert "resyn2" in flows and "resyn" in flows
+
+    def test_apply_flow(self, small_adder):
+        out = apply_flow(small_adder, "resyn")
+        assert functionally_equivalent(small_adder, out)

@@ -1,0 +1,126 @@
+"""Tests for SOP algebra and algebraic factoring."""
+
+import pytest
+
+from repro.aig import truth
+from repro.aig.graph import AIG
+from repro.aig.simulation import exhaustive_output_tables
+from repro.synth import sop
+
+
+class TestCubeAlgebra:
+    def test_cube_literals(self):
+        assert sop.cube_literals((0b101, 0b010)) == [(0, False), (1, True), (2, False)]
+
+    def test_cover_literal_count(self):
+        cover = [(0b1, 0b0), (0b0, 0b11)]
+        assert sop.cover_literal_count(cover) == 3
+
+    def test_cube_divide_success(self):
+        # (x0 x1 ~x2) / (x0) = (x1 ~x2)
+        assert sop.cube_divide((0b011, 0b100), (0b001, 0)) == (0b010, 0b100)
+
+    def test_cube_divide_failure(self):
+        assert sop.cube_divide((0b01, 0), (0b10, 0)) is None
+
+    def test_cover_divide(self):
+        # f = x0 x1 + x0 x2 + x3 ; divide by x0 -> quotient {x1, x2}, rem {x3}
+        cover = [(0b0011, 0), (0b0101, 0), (0b1000, 0)]
+        quotient, remainder = sop.cover_divide(cover, [(0b0001, 0)])
+        assert set(quotient) == {(0b0010, 0), (0b0100, 0)}
+        assert remainder == [(0b1000, 0)]
+
+    def test_cover_divide_empty_divisor(self):
+        cover = [(0b1, 0)]
+        quotient, remainder = sop.cover_divide(cover, [])
+        assert quotient == []
+        assert remainder == cover
+
+    def test_best_literal_divisor(self):
+        cover = [(0b011, 0), (0b001, 0b100), (0b010, 0)]
+        assert sop.best_literal_divisor(cover) == (0, False) or \
+            sop.best_literal_divisor(cover) == (1, False)
+
+    def test_best_literal_divisor_none(self):
+        cover = [(0b01, 0), (0b10, 0)]
+        assert sop.best_literal_divisor(cover) is None
+
+
+class TestFactoredForms:
+    def test_literal_count(self):
+        ff = sop.and_node([sop.literal_node(0), sop.or_node([
+            sop.literal_node(1), sop.literal_node(2, True)])])
+        assert ff.literal_count() == 3
+
+    def test_depth(self):
+        ff = sop.and_node([sop.literal_node(0), sop.or_node([
+            sop.literal_node(1), sop.literal_node(2)])])
+        assert ff.depth() == 2
+
+    def test_single_child_collapse(self):
+        assert sop.and_node([sop.literal_node(0)]).kind == "lit"
+        assert sop.or_node([sop.literal_node(1)]).kind == "lit"
+
+    @pytest.mark.parametrize("num_vars", [2, 3, 4])
+    def test_quick_factor_preserves_function(self, num_vars):
+        import random
+
+        rnd = random.Random(99)
+        for _ in range(20):
+            table = rnd.getrandbits(1 << num_vars)
+            cover = truth.isop(table, table, num_vars)
+            ff = sop.quick_factor(cover)
+            assert sop.factored_form_table(ff, num_vars) == table
+
+    @pytest.mark.parametrize("num_vars", [2, 3, 4, 5])
+    def test_factor_truth_table_preserves_function(self, num_vars):
+        import random
+
+        rnd = random.Random(3)
+        for _ in range(15):
+            table = rnd.getrandbits(1 << num_vars)
+            ff = sop.factor_truth_table(table, num_vars)
+            assert sop.factored_form_table(ff, num_vars) == table & truth.table_mask(num_vars)
+
+    def test_factoring_shares_common_literal(self):
+        # f = x0 x1 + x0 x2 should factor to x0 (x1 + x2): 3 literals, not 4.
+        cover = [(0b011, 0), (0b101, 0)]
+        ff = sop.quick_factor(cover)
+        assert ff.literal_count() == 3
+
+    def test_constants(self):
+        assert sop.factor_truth_table(0, 3) is sop.CONST0_FF
+        assert sop.factor_truth_table(truth.table_mask(3), 3) is sop.CONST1_FF
+
+
+class TestBuildIntoAig:
+    @pytest.mark.parametrize("table", [0b1000, 0b0110, 0b1110, 0b0111])
+    def test_build_matches_table(self, table):
+        num_vars = 2
+        ff = sop.factor_truth_table(table, num_vars)
+        aig = AIG()
+        leaves = [aig.add_pi() for _ in range(num_vars)]
+        aig.add_po(sop.build_factored_form(aig, ff, leaves))
+        assert exhaustive_output_tables(aig) == [table]
+
+    def test_build_constants(self):
+        aig = AIG()
+        aig.add_pi()
+        lit0 = sop.build_factored_form(aig, sop.CONST0_FF, [2])
+        lit1 = sop.build_factored_form(aig, sop.CONST1_FF, [2])
+        assert lit0 == 0
+        assert lit1 == 1
+
+    def test_delay_aware_build_prefers_early_leaves(self):
+        aig = AIG()
+        leaves = [aig.add_pi() for _ in range(4)]
+        arrival = {leaves[0]: 5, leaves[1]: 0, leaves[2]: 0, leaves[3]: 0}
+        ff = sop.and_node([sop.literal_node(i) for i in range(4)])
+        out = sop.build_factored_form(aig, ff, leaves, arrival=arrival)
+        aig.add_po(out)
+        # The late leaf must sit near the root: total depth 5+... the tree
+        # over the three early leaves is combined first, so overall depth
+        # from the late input is exactly one AND level.
+        levels = aig.levels()
+        from repro.aig.graph import lit_var
+        assert levels[lit_var(out)] <= 3

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, _parse_sequence
+
+
+class TestParsing:
+    def test_mnemonic_sequence(self):
+        assert _parse_sequence("RwRfBl") == ["rewrite", "refactor", "balance"]
+
+    def test_comma_separated_sequence(self):
+        assert _parse_sequence("balance, rewrite") == ["balance", "rewrite"]
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(ValueError):
+            _parse_sequence("Zz")
+
+
+class TestCommands:
+    def test_list_circuits(self, capsys):
+        assert main(["list-circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out and "multiplier" in out and "[large]" in out
+
+    def test_list_methods(self, capsys):
+        assert main(["list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "boils" in out and "rs" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--circuit", "adder", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "AND nodes" in out and "LUT-6 area" in out
+
+    def test_evaluate_with_mnemonics(self, capsys):
+        assert main(["evaluate", "--circuit", "adder", "--width", "4",
+                     "--sequence", "BlRw"]) == 0
+        out = capsys.readouterr().out
+        assert "QoR" in out and "improvement vs resyn2" in out
+
+    def test_evaluate_with_names(self, capsys):
+        assert main(["evaluate", "--circuit", "sqrt", "--width", "6",
+                     "--sequence", "balance,rewrite"]) == 0
+        assert "QoR" in capsys.readouterr().out
+
+    def test_optimise_random_search(self, capsys):
+        assert main(["optimise", "--circuit", "adder", "--width", "4",
+                     "--method", "rs", "--budget", "4",
+                     "--sequence-length", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best sequence" in out and "evaluations used  : 4" in out
+
+    def test_optimise_boils(self, capsys):
+        assert main(["optimise", "--circuit", "adder", "--width", "4",
+                     "--method", "boils", "--budget", "4",
+                     "--sequence-length", "3"]) == 0
+        assert "QoR improvement" in capsys.readouterr().out
+
+    def test_table(self, capsys):
+        assert main(["table", "--circuits", "adder", "--methods", "rs,greedy",
+                     "--budget", "4", "--sequence-length", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3 (top)" in out and "Average" in out
+
+    def test_unknown_circuit_returns_error_code(self, capsys):
+        assert main(["stats", "--circuit", "cpu"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_method_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["optimise", "--circuit", "adder", "--method", "annealing"])
