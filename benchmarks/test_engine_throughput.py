@@ -1,0 +1,63 @@
+"""Micro-benchmark: serial vs parallel engine throughput.
+
+Measures sequences/second through :class:`repro.engine.EvaluationEngine`
+for the in-process path and a worker pool, on identical batches, and
+records the numbers to ``benchmarks/artifacts/engine_throughput.csv`` so
+later PRs can track the trajectory.  Pool start-up is included in the
+parallel wall time — at this micro scale the pool often *loses* to the
+serial path, which is exactly the trade-off the numbers are there to
+expose; correctness (identical records from both paths) is asserted
+unconditionally.
+
+Scale knobs: ``REPRO_BENCH_ENGINE_BATCH`` (batch size, default 24) and
+``REPRO_BENCH_ENGINE_JOBS`` (pool size, default 2).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import write_artifact
+from repro.bo.space import SequenceSpace
+from repro.engine import EvaluationEngine, EvaluatorSpec
+
+import numpy as np
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except (TypeError, ValueError):
+        return default
+
+
+def test_engine_throughput_serial_vs_parallel():
+    batch_size = max(4, _env_int("REPRO_BENCH_ENGINE_BATCH", 24))
+    jobs = max(2, _env_int("REPRO_BENCH_ENGINE_JOBS", 2))
+    spec = EvaluatorSpec.for_circuit("adder", width=4)
+    space = SequenceSpace(sequence_length=4)
+    rng = np.random.default_rng(0)
+    batch = [space.to_names(row) for row in space.sample(batch_size, rng)]
+
+    with EvaluationEngine(spec, jobs=1) as serial_engine:
+        start = time.perf_counter()
+        serial_records = serial_engine.compute_batch(batch)
+        serial_seconds = time.perf_counter() - start
+
+    with EvaluationEngine(spec, jobs=jobs) as parallel_engine:
+        start = time.perf_counter()
+        parallel_records = parallel_engine.compute_batch(batch)
+        parallel_seconds = time.perf_counter() - start
+
+    assert parallel_records == serial_records
+    assert serial_seconds > 0 and parallel_seconds > 0
+
+    serial_rate = batch_size / serial_seconds
+    parallel_rate = batch_size / parallel_seconds
+    write_artifact(
+        "engine_throughput.csv",
+        "path,jobs,batch_size,seconds,sequences_per_second\n"
+        f"serial,1,{batch_size},{serial_seconds:.4f},{serial_rate:.2f}\n"
+        f"parallel,{jobs},{batch_size},{parallel_seconds:.4f},{parallel_rate:.2f}\n",
+    )

@@ -16,6 +16,9 @@ The package is organised in layers, bottom-up:
 * :mod:`repro.bo` — BOiLS itself (Algorithm 2) and standard BO (SBO).
 * :mod:`repro.baselines` — random search, greedy, genetic algorithm and
   reinforcement-learning baselines (A2C, PPO, Graph-RL).
+* :mod:`repro.engine` — the parallel execution layer: worker-pool batch
+  evaluation, the persistent on-disk QoR cache and the parallel
+  (method × circuit × seed) grid runner.
 * :mod:`repro.experiments` — runners regenerating every table and figure
   of the paper's evaluation.
 """

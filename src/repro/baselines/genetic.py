@@ -7,18 +7,23 @@ per-position categorical mutation and elitism.  Fitness is the (negated)
 QoR, and the evaluation budget is shared across generations — the run
 stops mid-generation when the budget is exhausted, exactly as a
 budget-limited study would run the original package.
+
+The GA is a natural batch optimiser: each generation's population (or
+offspring pool) is proposed through :meth:`GeneticAlgorithm.suggest` and
+scored in one :meth:`~repro.qor.QoREvaluator.evaluate_many` call, which
+an attached :class:`repro.engine.EvaluationEngine` evaluates in parallel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.bo.base import OptimisationResult, SequenceOptimiser
 from repro.bo.space import SequenceSpace
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 @dataclass
@@ -45,38 +50,57 @@ class GeneticAlgorithm(SequenceOptimiser):
     ) -> None:
         super().__init__(space=space, seed=seed)
         self.config = config if config is not None else GAConfig()
+        self._population: Optional[np.ndarray] = None
+        self._fitness: Optional[np.ndarray] = None
+        self._population_size = self.config.population_size
+
+    # ------------------------------------------------------------------
+    # Batch protocol
+    # ------------------------------------------------------------------
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """The next batch to score: initial population, then offspring.
+
+        A full generation is always produced (so the random stream does
+        not depend on the remaining budget) and truncated to ``n`` rows —
+        matching how a budget-limited run stops mid-generation.
+        """
+        n = max(1, int(n))
+        if self._population is None:
+            rows = self.space.sample(self._population_size, self.rng)
+        else:
+            rows = np.array(
+                self._make_offspring(self._population, self._fitness), dtype=int
+            )
+        return rows[:n]
+
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """Absorb scored rows: seed the population, then apply elitism."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=int))
+        fitness = np.array([-record.qor for record in records], dtype=float)
+        if self._population is None:
+            self._population = rows.copy()
+            self._fitness = fitness
+        else:
+            self._population, self._fitness = self._select_survivors(
+                self._population, self._fitness, rows, fitness,
+            )
 
     # ------------------------------------------------------------------
     def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
         """Evolve sequences until the evaluation budget is exhausted."""
         if budget < 1:
             raise ValueError("budget must be at least 1")
-        cfg = self.config
-        population_size = min(cfg.population_size, budget)
-        population = self.space.sample(population_size, self.rng)
-        fitness = np.array([
-            -self._evaluate(evaluator, individual) for individual in population
-        ])
+        self._population = None
+        self._fitness = None
+        self._population_size = min(self.config.population_size, budget)
 
         while evaluator.num_evaluations < budget:
-            offspring = self._make_offspring(population, fitness)
-            # Evaluate offspring until the budget runs out.
-            offspring_fitness = []
-            kept_offspring = []
-            for child in offspring:
-                if evaluator.num_evaluations >= budget:
-                    break
-                kept_offspring.append(child)
-                offspring_fitness.append(-self._evaluate(evaluator, child))
-            if not kept_offspring:
-                break
-            population, fitness = self._select_survivors(
-                population, fitness,
-                np.array(kept_offspring, dtype=int), np.array(offspring_fitness),
-            )
+            rows = self.suggest(budget - evaluator.num_evaluations)
+            records = self._evaluate_batch(evaluator, rows)
+            self.observe(rows, records)
 
         result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata["population_size"] = population_size
+        result.metadata["population_size"] = self._population_size
         return result
 
     # ------------------------------------------------------------------

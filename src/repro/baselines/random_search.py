@@ -6,17 +6,23 @@ Baseline").  Following the paper, the sampler is a Latin-hypercube-style
 stratified categorical design (their implementation uses pymoo's LHS)
 rather than fully independent uniform draws, which spreads the tested
 operations evenly over every sequence position.
+
+Random search is fully batch-capable: every draw is independent, so the
+whole budget is proposed through :meth:`RandomSearch.suggest` and scored
+in one :meth:`~repro.qor.QoREvaluator.evaluate_many` call — which an
+attached :class:`repro.engine.EvaluationEngine` fans out across worker
+processes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.bo.base import OptimisationResult, SequenceOptimiser
 from repro.bo.space import SequenceSpace
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 class RandomSearch(SequenceOptimiser):
@@ -32,32 +38,71 @@ class RandomSearch(SequenceOptimiser):
     ) -> None:
         super().__init__(space=space, seed=seed)
         self.use_latin_hypercube = use_latin_hypercube
+        self._seen: Set[Tuple[int, ...]] = set()
+        self._primary_drawn = False
 
+    # ------------------------------------------------------------------
+    # Batch protocol
+    # ------------------------------------------------------------------
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """Up to ``n`` fresh (not previously suggested) sequences.
+
+        The first call draws the stratified primary design; later calls
+        top up with uniform draws, replacing accidental duplicates so the
+        budget is spent on distinct sequences.
+        """
+        n = max(1, int(n))
+        if not self._primary_drawn:
+            self._primary_drawn = True
+            if self.use_latin_hypercube:
+                samples = self.space.latin_hypercube_sample(n, self.rng)
+            else:
+                samples = self.space.sample(n, self.rng)
+            rows: List[np.ndarray] = []
+            for row in samples:
+                key = tuple(row.tolist())
+                if key in self._seen:
+                    # Replace accidental duplicates with fresh uniform
+                    # draws so the budget is spent on distinct sequences.
+                    row = self.space.sample(1, self.rng)[0]
+                    key = tuple(row.tolist())
+                    if key in self._seen:
+                        continue
+                self._seen.add(key)
+                rows.append(row)
+            if rows:
+                return np.array(rows, dtype=int)
+            # Everything collided; fall through to the top-up sampler.
+        rows = []
+        # Stop once every sequence in the space has been suggested —
+        # rejection sampling can never produce a fresh row after that.
+        while len(rows) < n and len(self._seen) < self.space.cardinality:
+            row = self.space.sample(1, self.rng)[0]
+            key = tuple(row.tolist())
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            rows.append(row)
+        if not rows:
+            return np.empty((0, self.space.sequence_length), dtype=int)
+        return np.array(rows, dtype=int)
+
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """Random search is memoryless — nothing to update."""
+
+    # ------------------------------------------------------------------
     def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
         """Evaluate ``budget`` sequences drawn from the stratified sampler."""
         if budget < 1:
             raise ValueError("budget must be at least 1")
-        if self.use_latin_hypercube:
-            samples = self.space.latin_hypercube_sample(budget, self.rng)
-        else:
-            samples = self.space.sample(budget, self.rng)
-        seen = set()
-        for row in samples:
-            if evaluator.num_evaluations >= budget:
-                break
-            key = tuple(row.tolist())
-            if key in seen:
-                # Replace accidental duplicates with fresh uniform draws so
-                # the budget is spent on distinct sequences.
-                row = self.space.sample(1, self.rng)[0]
-                key = tuple(row.tolist())
-            seen.add(key)
-            self._evaluate(evaluator, row)
-        # Top up if deduplication left unused budget.
+        self._seen = set()
+        self._primary_drawn = False
         while evaluator.num_evaluations < budget:
-            row = self.space.sample(1, self.rng)[0]
-            if tuple(row.tolist()) in seen:
-                continue
-            seen.add(tuple(row.tolist()))
-            self._evaluate(evaluator, row)
+            rows = self.suggest(budget - evaluator.num_evaluations)
+            if rows.size == 0:
+                # Search space exhausted before the budget: nothing fresh
+                # left to test.
+                break
+            records = self._evaluate_batch(evaluator, rows)
+            self.observe(rows, records)
         return self._build_result(evaluator, evaluator.aig.name)

@@ -5,6 +5,17 @@ the same contract: given a :class:`repro.qor.QoREvaluator` and an
 evaluation budget, run and return an :class:`OptimisationResult`.  This is
 what lets the experiment runners treat every method uniformly when
 regenerating the paper's tables and figures.
+
+Batch protocol
+--------------
+Optimisers that can propose several sequences at once additionally
+implement the ``suggest``/``observe`` pair: :meth:`SequenceOptimiser.suggest`
+returns up to ``n`` integer-encoded candidates and
+:meth:`SequenceOptimiser.observe` feeds the scored records back.  Their
+``optimise`` loops submit whole batches through
+:meth:`QoREvaluator.evaluate_many`, which dispatches any uncached work to
+an attached :class:`repro.engine.EvaluationEngine` worker pool — so the
+same optimiser code runs serially or in parallel, with identical results.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bo.space import SequenceSpace
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 @dataclass
@@ -78,10 +89,50 @@ class SequenceOptimiser(ABC):
         """Run the optimiser for ``budget`` black-box evaluations."""
 
     # ------------------------------------------------------------------
+    # Batch protocol (optional)
+    # ------------------------------------------------------------------
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """Propose up to ``n`` integer-encoded sequences to evaluate next.
+
+        Returns an ``(m, K)`` array with ``1 <= m <= n`` (an optimiser may
+        propose fewer than asked — e.g. a sequential BO round yields one
+        candidate).  Implemented by batch-capable optimisers; the default
+        raises :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement suggest()")
+
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """Feed scored records for previously suggested rows back in.
+
+        ``rows`` and ``records`` are positional pairs, in the order
+        returned by :meth:`suggest`.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement observe()")
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether this optimiser implements the suggest/observe protocol."""
+        return type(self).suggest is not SequenceOptimiser.suggest
+
+    # ------------------------------------------------------------------
     def _evaluate(self, evaluator: QoREvaluator, indices: Sequence[int]) -> float:
         """Evaluate an integer-encoded sequence; returns the QoR value."""
         names = self.space.to_names(indices)
         return evaluator.qor(names)
+
+    def _evaluate_batch(
+        self, evaluator: QoREvaluator, rows: np.ndarray
+    ) -> List[SequenceEvaluation]:
+        """Evaluate a batch of integer-encoded sequences positionally.
+
+        Goes through :meth:`QoREvaluator.evaluate_many`, so uncached work
+        runs on the evaluator's attached engine (if any) and accounting
+        matches the equivalent sequence of single evaluations exactly.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=int))
+        if rows.size == 0:
+            return []
+        return evaluator.evaluate_many([self.space.to_names(row) for row in rows])
 
     def _build_result(self, evaluator: QoREvaluator, circuit_name: str) -> OptimisationResult:
         """Package the evaluator's history into an :class:`OptimisationResult`."""

@@ -11,11 +11,22 @@ The solver follows the paper exactly:
 4. evaluate the proposed sequence, update the data set and the
    trust-region radius (grow on 3 successes, shrink on 20 failures,
    restart when the radius reaches zero).
+
+The solver implements the batch protocol
+(:meth:`~repro.bo.base.SequenceOptimiser.suggest` /
+:meth:`~repro.bo.base.SequenceOptimiser.observe`): the random initial
+design is proposed as one batch, and each acquisition round proposes up
+to ``batch_size`` distinct local-search candidates.  All proposals are
+scored through :meth:`~repro.qor.QoREvaluator.evaluate_many`, so an
+attached :class:`repro.engine.EvaluationEngine` evaluates the initial
+design (and any acquisition batch) across worker processes.  With the
+default ``batch_size=1`` the optimisation trace is identical to the
+paper's sequential algorithm.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -25,7 +36,7 @@ from repro.bo.space import SequenceSpace
 from repro.bo.trust_region import TrustRegion, TrustRegionConfig, TrustRegionLocalSearch
 from repro.gp.gp import GaussianProcess
 from repro.gp.kernels.ssk import SubsequenceStringKernel
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 class BOiLS(SequenceOptimiser):
@@ -51,6 +62,11 @@ class BOiLS(SequenceOptimiser):
         Projected-Adam steps per hyperparameter refit.
     local_search_queries:
         Acquisition evaluations per trust-region maximisation.
+    batch_size:
+        Black-box evaluations proposed per acquisition round.  ``1``
+        reproduces the paper's sequential Algorithm 2; larger values run
+        extra local-search restarts per round and score the resulting
+        distinct candidates as one parallel batch.
     """
 
     name = "BOiLS"
@@ -68,6 +84,7 @@ class BOiLS(SequenceOptimiser):
         local_search_restarts: int = 3,
         trust_region_config: Optional[TrustRegionConfig] = None,
         noise_variance: float = 1e-4,
+        batch_size: int = 1,
     ) -> None:
         super().__init__(space=space, seed=seed)
         self.num_initial = num_initial
@@ -79,85 +96,151 @@ class BOiLS(SequenceOptimiser):
         self.local_search_restarts = local_search_restarts
         self.trust_region_config = trust_region_config
         self.noise_variance = noise_variance
+        self.batch_size = max(1, batch_size)
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    # Run state
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._evaluated: Set[Tuple[int, ...]] = set()
+        self._kernel: Optional[SubsequenceStringKernel] = None
+        self._gp: Optional[GaussianProcess] = None
+        self._trust_region: Optional[TrustRegion] = None
+        self._local_search: Optional[TrustRegionLocalSearch] = None
+        self._rounds = 0
+        self._num_restarts = 0
+        self._pending_fresh = False
+        self._awaiting: Optional[str] = None
+        self._last_best_value = -np.inf
+
+    # ------------------------------------------------------------------
+    # Batch protocol
+    # ------------------------------------------------------------------
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """Propose the next batch: initial design, restart samples, or
+        trust-region acquisition candidates."""
+        n = max(1, int(n))
+        if self._X is None:
+            self._awaiting = "initial"
+            return self.space.sample(min(self.num_initial, n), self.rng)
+        if self._pending_fresh:
+            # A trust-region restart re-seeds the data set with one fresh
+            # uniform sample before the next acquisition round.
+            self._pending_fresh = False
+            self._awaiting = "fresh"
+            return self.space.sample(1, self.rng)
+        return self._suggest_candidates(min(n, self.batch_size))
+
+    def _suggest_candidates(self, count: int) -> np.ndarray:
+        assert self._X is not None and self._y is not None
+        self._rounds += 1
+        incumbent_idx = int(np.argmax(self._y))
+        incumbent = self._X[incumbent_idx]
+        best_value = float(self._y[incumbent_idx])
+        self._last_best_value = best_value
+
+        # Step 1: fit the surrogate (refit decays periodically).
+        if self._rounds % self.fit_every == 0 and len(self._y) >= 2:
+            self._gp.fit_hyperparameters(
+                self._X, self._y, num_steps=self.adam_steps,
+                param_names=["theta_match", "theta_gap"],
+            )
+        else:
+            self._gp.fit(self._X, self._y)
+
+        # Step 2: maximise the acquisition inside the trust region.
+        acquisition_fn = get_acquisition(self.acquisition_name)
+
+        def acquisition(candidates: np.ndarray) -> np.ndarray:
+            mean, std = self._gp.predict(candidates)
+            if self.acquisition_name == "ucb":
+                return acquisition_fn(mean, std)
+            return acquisition_fn(mean, std, best_value)
+
+        exclude = set(self._evaluated)
+        rows: List[np.ndarray] = []
+        for _ in range(count):
+            candidate, _ = self._local_search.maximise(
+                acquisition, incumbent, self._trust_region.radius, self.rng,
+                exclude=exclude,
+            )
+            exclude.add(tuple(candidate.tolist()))
+            rows.append(candidate)
+        self._awaiting = "candidate"
+        return np.array(rows, dtype=int)
+
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """Absorb scored rows and advance the trust-region schedule."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=int))
+        values = np.array([-record.qor for record in records], dtype=float)
+        kind = self._awaiting
+        self._awaiting = None
+
+        if kind == "initial" or self._X is None:
+            self._X = rows.copy()
+            self._y = values
+            self._evaluated = {tuple(row.tolist()) for row in rows}
+            self._kernel = SubsequenceStringKernel(
+                max_subsequence_length=self.max_subsequence_length,
+                theta_match=float(self.rng.uniform(0.4, 0.9)),
+                theta_gap=float(self.rng.uniform(0.4, 0.9)),
+            )
+            self._gp = GaussianProcess(self._kernel, noise_variance=self.noise_variance)
+            self._trust_region = TrustRegion(self.space, self.trust_region_config)
+            self._local_search = TrustRegionLocalSearch(
+                self.space, num_queries=self.local_search_queries,
+                num_restarts=self.local_search_restarts,
+            )
+            return
+
+        if kind == "fresh":
+            # Restart re-seed: augment the data set, no schedule update.
+            self._append(rows, values)
+            return
+
+        # Acquisition candidates: per-candidate trust-region schedule.
+        for row, value in zip(rows, values):
+            improved = value > self._last_best_value
+            self._append(row[None, :], np.array([value]))
+            if improved:
+                self._last_best_value = value
+            self._trust_region.update(improved)
+            if self._trust_region.needs_restart:
+                self._trust_region.restart()
+                self._num_restarts += 1
+                self._pending_fresh = True
+
+    def _append(self, rows: np.ndarray, values: np.ndarray) -> None:
+        self._X = np.vstack([self._X, rows])
+        self._y = np.append(self._y, values)
+        for row in rows:
+            self._evaluated.add(tuple(row.tolist()))
 
     # ------------------------------------------------------------------
     def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
         """Run Algorithm 2 for ``budget`` black-box evaluations."""
-        space = self.space
-        rng = self.rng
-        acquisition_fn = get_acquisition(self.acquisition_name)
+        self._reset_state()
 
-        num_initial = min(self.num_initial, max(1, budget))
-        X = space.sample(num_initial, rng)
-        y = np.array([-self._evaluate(evaluator, row) for row in X], dtype=float)
-        evaluated: Set[Tuple[int, ...]] = {tuple(row.tolist()) for row in X}
+        # Initial design: one batch of N_init random sequences.
+        rows = self.suggest(max(1, budget))
+        records = self._evaluate_batch(evaluator, rows)
+        self.observe(rows, records)
 
-        kernel = SubsequenceStringKernel(
-            max_subsequence_length=self.max_subsequence_length,
-            theta_match=float(rng.uniform(0.4, 0.9)),
-            theta_gap=float(rng.uniform(0.4, 0.9)),
-        )
-        gp = GaussianProcess(kernel, noise_variance=self.noise_variance)
-        trust_region = TrustRegion(space, self.trust_region_config)
-        local_search = TrustRegionLocalSearch(
-            space, num_queries=self.local_search_queries,
-            num_restarts=self.local_search_restarts,
-        )
-
-        num_restarts = 0
-        rounds = 0
         while evaluator.num_evaluations < budget:
-            rounds += 1
-            incumbent_idx = int(np.argmax(y))
-            incumbent = X[incumbent_idx]
-            best_value = float(y[incumbent_idx])
-
-            # Step 1: fit the surrogate (refit decays periodically).
-            if rounds % self.fit_every == 0 and len(y) >= 2:
-                gp.fit_hyperparameters(
-                    X, y, num_steps=self.adam_steps,
-                    param_names=["theta_match", "theta_gap"],
-                )
-            else:
-                gp.fit(X, y)
-
-            # Step 2: maximise the acquisition inside the trust region.
-            def acquisition(candidates: np.ndarray) -> np.ndarray:
-                mean, std = gp.predict(candidates)
-                if self.acquisition_name == "ucb":
-                    return acquisition_fn(mean, std)
-                return acquisition_fn(mean, std, best_value)
-
-            candidate, _ = local_search.maximise(
-                acquisition, incumbent, trust_region.radius, rng, exclude=evaluated,
-            )
-
-            # Step 3: evaluate and augment the data set.
-            value = -self._evaluate(evaluator, candidate)
-            evaluated.add(tuple(candidate.tolist()))
-            improved = value > best_value
-            X = np.vstack([X, candidate[None, :]])
-            y = np.append(y, value)
-
-            # Step 4: trust-region schedule, restarting when it collapses.
-            trust_region.update(improved)
-            if trust_region.needs_restart:
-                trust_region.restart()
-                num_restarts += 1
-                if evaluator.num_evaluations < budget:
-                    fresh = space.sample(1, rng)[0]
-                    fresh_value = -self._evaluate(evaluator, fresh)
-                    evaluated.add(tuple(fresh.tolist()))
-                    X = np.vstack([X, fresh[None, :]])
-                    y = np.append(y, fresh_value)
+            rows = self.suggest(budget - evaluator.num_evaluations)
+            records = self._evaluate_batch(evaluator, rows)
+            self.observe(rows, records)
 
         result = self._build_result(evaluator, evaluator.aig.name)
         result.metadata.update(
             {
-                "kernel_params": kernel.get_params(),
-                "trust_region_radius": trust_region.radius,
-                "num_restarts": num_restarts,
-                "num_rounds": rounds,
+                "kernel_params": self._kernel.get_params(),
+                "trust_region_radius": self._trust_region.radius,
+                "num_restarts": self._num_restarts,
+                "num_rounds": self._rounds,
             }
         )
         return result

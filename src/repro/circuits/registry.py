@@ -104,6 +104,19 @@ def _width_scale() -> float:
         return 1.0
 
 
+def resolve_width(name: str, width: Optional[int] = None) -> int:
+    """The effective bit-width :func:`get_circuit` will use.
+
+    Resolves the default width and the ``REPRO_WIDTH_SCALE`` environment
+    variable eagerly, so callers (e.g. picklable evaluator specs sent to
+    worker processes) can pin the width at creation time.
+    """
+    if width is not None:
+        return int(width)
+    spec = get_circuit_spec(name)
+    return max(2, int(round(spec.default_width * _width_scale())))
+
+
 def get_circuit(name: str, width: Optional[int] = None) -> AIG:
     """Instantiate a benchmark circuit.
 
@@ -116,6 +129,4 @@ def get_circuit(name: str, width: Optional[int] = None) -> AIG:
         ``REPRO_WIDTH_SCALE`` environment variable.
     """
     spec = get_circuit_spec(name)
-    if width is None:
-        width = max(2, int(round(spec.default_width * _width_scale())))
-    return spec.generator(width)
+    return spec.generator(resolve_width(name, width))

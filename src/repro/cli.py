@@ -18,6 +18,11 @@ Examples
     python -m repro.cli evaluate --circuit adder --sequence RwRfBlFr
     python -m repro.cli optimise --circuit sqrt --method boils --budget 20
     python -m repro.cli table --circuits adder,sqrt --methods boils,rs --budget 10
+
+Parallel execution and caching (see :mod:`repro.engine`)::
+
+    python -m repro.cli optimise --circuit sqrt --method ga --jobs 4
+    python -m repro.cli table --circuits adder,sqrt --jobs 4 --cache-dir .qor-cache
 """
 
 from __future__ import annotations
@@ -28,6 +33,13 @@ from typing import List, Optional, Sequence
 
 from repro.bo.space import SequenceSpace
 from repro.circuits import get_circuit, list_circuits
+from repro.engine import (
+    EvaluationEngine,
+    EvaluatorSpec,
+    PersistentQoRCache,
+    default_cache_dir,
+    resolve_jobs,
+)
 from repro.experiments import (
     ExperimentConfig,
     available_methods,
@@ -70,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     optimise.add_argument("--sequence-length", type=int, default=8)
     optimise.add_argument("--seed", type=int, default=0)
     optimise.add_argument("--lut-size", type=int, default=6)
+    optimise.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for batch evaluation "
+                               "(1 = serial, 0 = all CPUs)")
+    optimise.add_argument("--cache-dir", default=None,
+                          help="directory of the persistent QoR cache shared "
+                               "across runs (default: REPRO_CACHE_DIR, else off)")
 
     table = sub.add_parser("table", help="run a grid and print the QoR table")
     table.add_argument("--circuits", default="adder,sqrt",
@@ -79,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     table.add_argument("--budget", type=int, default=10)
     table.add_argument("--seeds", type=int, default=1)
     table.add_argument("--sequence-length", type=int, default=6)
+    table.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for grid cells "
+                            "(1 = serial, 0 = all CPUs)")
+    table.add_argument("--cache-dir", default=None,
+                       help="directory of the persistent QoR cache shared "
+                            "across runs (default: REPRO_CACHE_DIR, else off)")
     return parser
 
 
@@ -135,20 +159,42 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _resolve_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
+    """Persistent-cache directory from a flag or ``REPRO_CACHE_DIR``."""
+    if cache_dir:
+        return cache_dir
+    env_default = default_cache_dir()
+    return str(env_default) if env_default else None
+
+
 def _cmd_optimise(args) -> int:
-    aig = get_circuit(args.circuit, width=args.width)
-    evaluator = QoREvaluator(aig, lut_size=args.lut_size)
+    spec = EvaluatorSpec.for_circuit(args.circuit, width=args.width,
+                                     lut_size=args.lut_size)
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    cache = PersistentQoRCache(cache_dir) if cache_dir else None
+    evaluator = spec.build_evaluator(persistent_cache=cache)
     space = SequenceSpace(sequence_length=args.sequence_length)
     optimiser = make_optimiser(args.method, space=space, seed=args.seed)
-    print(f"running {optimiser.name} on {aig.name} "
-          f"(budget {args.budget}, K={args.sequence_length}, seed {args.seed}) ...")
-    result = optimiser.optimise(evaluator, budget=args.budget)
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1 and not optimiser.supports_batch:
+        print(f"warning: {optimiser.name} does not batch its evaluations; "
+              f"--jobs {jobs} will run serially", file=sys.stderr)
+    print(f"running {optimiser.name} on {evaluator.aig.name} "
+          f"(budget {args.budget}, K={args.sequence_length}, seed {args.seed}, "
+          f"jobs {jobs}) ...")
+    with EvaluationEngine(spec, jobs=jobs, evaluator=evaluator) as engine:
+        evaluator.attach_engine(engine)
+        result = optimiser.optimise(evaluator, budget=args.budget)
     print(f"best sequence     : {sequence_to_string(result.best_sequence)}")
     for op in result.best_sequence:
         print(f"   - {op}")
     print(f"area / delay      : {result.best_area} LUTs / {result.best_delay} levels")
     print(f"QoR improvement   : {result.best_improvement:.2f}% over resyn2")
     print(f"evaluations used  : {result.num_evaluations}")
+    if cache is not None:
+        print(f"computed          : {evaluator.num_computed} "
+              f"(persistent-cache hits: {evaluator.num_persistent_hits})")
+        cache.close()
     return 0
 
 
@@ -165,8 +211,13 @@ def _cmd_table(args) -> int:
             "sbo": {"num_initial": 4, "adam_steps": 3, "fit_every": 2},
         },
     )
-    results = run_experiment(config, progress=lambda msg: print(f"  [{msg}]",
-                                                                file=sys.stderr))
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    results = run_experiment(
+        config,
+        progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
     print(render_figure3_table(build_qor_table(results)))
     return 0
 

@@ -1,0 +1,46 @@
+"""Parallel evaluation engine: worker pools, persistent QoR cache, grids.
+
+This package is the execution layer under every optimiser and experiment
+in the reproduction.  It has four cooperating pieces:
+
+* :mod:`repro.engine.spec` — :class:`EvaluatorSpec`, the picklable
+  description (circuit, width, LUT size, reference flow) from which any
+  process can rebuild the QoR black box.  AIGs themselves never cross a
+  process boundary.
+* :mod:`repro.engine.engine` — :class:`EvaluationEngine`, which fans
+  batches of synthesis sequences out to a process pool (serial in-process
+  fallback for ``jobs=1``).  Attach one to a
+  :class:`repro.qor.QoREvaluator` via ``attach_engine`` and every
+  ``evaluate_many`` batch is scored in parallel, with results recorded in
+  submission order so parallel runs stay bit-identical to serial ones.
+* :mod:`repro.engine.cache` — :class:`PersistentQoRCache`, an SQLite
+  (WAL) on-disk cache of ``(circuit, sequence) → (area, delay)`` shared
+  across processes *and* across runs.  It layers under the evaluator's
+  in-memory memoisation: hits skip the synthesis + mapping computation
+  but still count as per-run evaluations (the paper's sample-complexity
+  unit).
+* :mod:`repro.engine.grid` — the parallel (method × circuit × seed)
+  experiment runner, dispatching grid cells across the pool with
+  deterministic per-cell seeding and fresh per-cell evaluator state, so
+  ``--jobs N`` reproduces ``--jobs 1`` exactly.
+
+The batch-optimiser protocol (``suggest``/``observe`` on
+:class:`repro.bo.base.SequenceOptimiser`) is the producer side of this
+package: optimisers emit candidate batches, the engine scores them, the
+evaluator does the accounting.
+"""
+
+from repro.engine.cache import PersistentQoRCache, default_cache_dir
+from repro.engine.engine import EvaluationEngine, resolve_jobs
+from repro.engine.grid import run_grid
+from repro.engine.spec import EvaluatorSpec, resolve_circuit_width
+
+__all__ = [
+    "EvaluationEngine",
+    "EvaluatorSpec",
+    "PersistentQoRCache",
+    "default_cache_dir",
+    "resolve_circuit_width",
+    "resolve_jobs",
+    "run_grid",
+]

@@ -1,0 +1,141 @@
+"""Persistent on-disk QoR cache shared across processes and runs.
+
+Backed by a single SQLite database (WAL mode) so that several worker
+processes — and several consecutive experiment runs — can share one cache
+file safely.  Entries are keyed by ``(circuit key, sequence)`` where the
+circuit key bakes in the structural fingerprint of the AIG and the LUT
+size (see :attr:`repro.qor.QoREvaluator.cache_key`), and store only the
+mapped ``(area, delay)`` pair: QoR and %-improvement are derived values
+that depend on the evaluator's reference flow, so they are recomputed on
+the way out.  This makes cache entries reusable across experiments with
+different reference flows.
+
+The cache sits *under* the evaluator's in-memory memoisation: a
+persistent hit skips the synthesis + mapping computation but still counts
+as a black-box evaluation for the current run (the paper's
+sample-complexity unit is sequences tested *per run*) — see
+:mod:`repro.qor.evaluator` for the accounting rules.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+_SEQUENCE_SEPARATOR = "|"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS qor_cache (
+    circuit_key TEXT NOT NULL,
+    sequence    TEXT NOT NULL,
+    area        INTEGER NOT NULL,
+    delay       INTEGER NOT NULL,
+    PRIMARY KEY (circuit_key, sequence)
+)
+"""
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Cache directory from ``REPRO_CACHE_DIR``, or ``None`` when unset."""
+    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return Path(raw) if raw else None
+
+
+class PersistentQoRCache:
+    """SQLite-backed QoR cache.
+
+    Parameters
+    ----------
+    path:
+        Cache *directory* (the database file ``qor-cache.sqlite`` is
+        created inside it) or a path ending in ``.sqlite``/``.db`` used
+        verbatim.  Parent directories are created on demand.
+
+    Notes
+    -----
+    One instance holds one SQLite connection and must not be shared
+    between processes — each worker opens its own instance on the same
+    path (SQLite serialises writers; WAL keeps readers concurrent).
+    Instances are usable as context managers.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if path.suffix in (".sqlite", ".db"):
+            self.path = path
+        else:
+            self.path = path / "qor-cache.sqlite"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as error:
+            raise ValueError(
+                f"cache path {self.path.parent} is not a directory"
+            ) from error
+        self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sequence_key(sequence: Sequence[str]) -> str:
+        return _SEQUENCE_SEPARATOR.join(sequence)
+
+    def get(self, circuit_key: str, sequence: Sequence[str]) -> Optional[Tuple[int, int]]:
+        """Cached ``(area, delay)`` for a sequence, or ``None`` on a miss."""
+        row = self._conn.execute(
+            "SELECT area, delay FROM qor_cache WHERE circuit_key = ? AND sequence = ?",
+            (circuit_key, self._sequence_key(sequence)),
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return int(row[0]), int(row[1])
+
+    def put(self, circuit_key: str, sequence: Sequence[str], area: int, delay: int) -> None:
+        """Insert or refresh one cache entry (idempotent)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO qor_cache (circuit_key, sequence, area, delay) "
+            "VALUES (?, ?, ?, ?)",
+            (circuit_key, self._sequence_key(sequence), int(area), int(delay)),
+        )
+        self._conn.commit()
+
+    def put_many(
+        self,
+        circuit_key: str,
+        entries: Iterable[Tuple[Sequence[str], int, int]],
+    ) -> None:
+        """Bulk insert ``(sequence, area, delay)`` entries in one transaction."""
+        rows = [
+            (circuit_key, self._sequence_key(sequence), int(area), int(delay))
+            for sequence, area, delay in entries
+        ]
+        if not rows:
+            return
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO qor_cache (circuit_key, sequence, area, delay) "
+            "VALUES (?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM qor_cache").fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "PersistentQoRCache":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

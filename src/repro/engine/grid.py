@@ -1,0 +1,103 @@
+"""Parallel (method × circuit × seed) grid execution.
+
+The paper's evaluation protocol is an embarrassingly parallel grid of
+independent optimisation runs.  This module dispatches those cells across
+a process pool with deterministic per-cell seeding; the serial path
+(``jobs=1``) runs the *same* cell function in-process, so the two are
+guaranteed to produce identical results — each cell starts from a fresh
+per-run evaluator state regardless of which cells ran before it or in
+which process.  A shared persistent QoR cache (``cache_dir``) lets
+repeated grids skip already-computed sequences entirely.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional
+
+from repro.engine import worker
+from repro.engine.engine import resolve_jobs
+from repro.engine.spec import EvaluatorSpec
+
+
+def grid_cell_payloads(config) -> List[Dict[str, object]]:
+    """Flatten an :class:`~repro.experiments.runner.ExperimentConfig` grid.
+
+    Cells are ordered circuit-major, then method, then seed — the same
+    order the historical serial runner used — and each carries an
+    ``index`` so parallel completions can be re-sorted deterministically.
+    """
+    payloads: List[Dict[str, object]] = []
+    index = 0
+    for circuit_name in config.circuits:
+        spec = EvaluatorSpec.for_circuit(
+            circuit_name, width=config.circuit_width, lut_size=config.lut_size
+        )
+        for method_key in config.methods:
+            for seed in range(config.num_seeds):
+                payloads.append(
+                    {
+                        "index": index,
+                        "spec": spec.to_payload(),
+                        "method_key": method_key,
+                        "seed": seed,
+                        "budget": config.budget,
+                        "sequence_length": config.sequence_length,
+                        "overrides": dict(config.method_overrides.get(method_key, {})),
+                    }
+                )
+                index += 1
+    return payloads
+
+
+def _progress_message(payload: Dict[str, object], display_names: Dict[str, str]) -> str:
+    method = str(payload["method_key"])
+    display = display_names.get(method, method)
+    return f"{display} / {payload['spec']['circuit']} / seed {payload['seed']}"  # type: ignore[index]
+
+
+def run_grid(
+    config,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[object]:
+    """Run the full grid described by ``config`` across ``jobs`` processes.
+
+    Returns the per-cell :class:`~repro.bo.base.OptimisationResult` list
+    in deterministic (circuit, method, seed) order, independent of
+    ``jobs``.
+    """
+    # Imported lazily: the runner's public API imports this module.
+    from repro.experiments.runner import method_display_names
+
+    jobs = resolve_jobs(jobs)
+    payloads = grid_cell_payloads(config)
+    display_names = method_display_names()
+    results: List[Optional[object]] = [None] * len(payloads)
+
+    if jobs <= 1 or len(payloads) <= 1:
+        worker.init_grid_worker(cache_dir)
+        for payload in payloads:
+            if progress is not None:
+                progress(_progress_message(payload, display_names))
+            index, result = worker.run_grid_cell(payload)
+            results[index] = result
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(payloads)),
+            initializer=worker.init_grid_worker,
+            initargs=(cache_dir,),
+        ) as pool:
+            futures = {pool.submit(worker.run_grid_cell, payload): payload
+                       for payload in payloads}
+            for future in as_completed(futures):
+                index, result = future.result()
+                results[index] = result
+                if progress is not None:
+                    progress(_progress_message(futures[future], display_names))
+
+    missing = [i for i, result in enumerate(results) if result is None]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"grid cells {missing} produced no result")
+    return results  # type: ignore[return-value]

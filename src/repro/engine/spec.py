@@ -1,0 +1,102 @@
+"""Picklable evaluator specifications.
+
+Worker processes never receive an AIG over the pipe — circuits are cheap
+to regenerate but expensive to serialise, and the structural-hashing
+tables inside :class:`repro.aig.graph.AIG` make pickles large.  Instead a
+tiny :class:`EvaluatorSpec` (circuit name + width + LUT size + reference
+flow) crosses the process boundary and each worker rebuilds its own
+circuit, mapper and :class:`repro.qor.QoREvaluator` exactly once, in its
+pool initialiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.circuits.registry import get_circuit, get_circuit_spec, resolve_width
+from repro.qor.evaluator import QoREvaluator
+
+#: Re-exported for engine callers: the width :func:`get_circuit` will use,
+#: resolved eagerly so workers build the same circuit as the parent even
+#: if their environment differs.
+resolve_circuit_width = resolve_width
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """Everything a worker needs to rebuild a :class:`QoREvaluator`.
+
+    Attributes
+    ----------
+    circuit:
+        Registered circuit name (see :mod:`repro.circuits`).
+    width:
+        Resolved bit-width (never ``None``; see :func:`for_circuit`).
+    lut_size:
+        LUT input count used for mapping.
+    reference_sequence:
+        Reference flow for the QoR denominators, or ``None`` for the
+        default (``resyn2``).
+    """
+
+    circuit: str
+    width: int
+    lut_size: int = 6
+    reference_sequence: Optional[Tuple[str, ...]] = None
+
+    @classmethod
+    def for_circuit(
+        cls,
+        circuit: str,
+        width: Optional[int] = None,
+        lut_size: int = 6,
+        reference_sequence: Optional[Tuple[str, ...]] = None,
+    ) -> "EvaluatorSpec":
+        """Build a spec, resolving the effective width immediately."""
+        canonical = get_circuit_spec(circuit).name
+        return cls(
+            circuit=canonical,
+            width=resolve_circuit_width(canonical, width),
+            lut_size=lut_size,
+            reference_sequence=(
+                tuple(reference_sequence) if reference_sequence is not None else None
+            ),
+        )
+
+    def build_evaluator(
+        self,
+        cache: bool = True,
+        persistent_cache: Optional[object] = None,
+    ) -> QoREvaluator:
+        """Instantiate the circuit and its evaluator from this spec."""
+        aig = get_circuit(self.circuit, width=self.width)
+        return QoREvaluator(
+            aig,
+            lut_size=self.lut_size,
+            reference_sequence=self.reference_sequence,
+            cache=cache,
+            persistent_cache=persistent_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Plain-dict round trip (kept explicit so the payload stays stable
+    # even if fields are added later).
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "width": self.width,
+            "lut_size": self.lut_size,
+            "reference_sequence": self.reference_sequence,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "EvaluatorSpec":
+        reference = payload.get("reference_sequence")
+        return cls(
+            circuit=str(payload["circuit"]),
+            width=int(payload["width"]),  # type: ignore[arg-type]
+            lut_size=int(payload.get("lut_size", 6)),  # type: ignore[arg-type]
+            reference_sequence=tuple(reference) if reference is not None else None,
+        )

@@ -1,0 +1,133 @@
+"""Worker-process entry points for the evaluation engine.
+
+Pool workers hold per-process state in module globals: an evaluator
+rebuilt from the picklable :class:`repro.engine.spec.EvaluatorSpec`
+(AIGs never cross the pipe) and, for grid cells, a small registry of
+evaluators keyed by circuit so the expensive ``resyn2`` reference mapping
+is computed once per worker rather than once per cell.  Everything in
+this module is importable at top level — a requirement for
+``multiprocessing`` pickling of the initialiser and task functions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.engine.cache import PersistentQoRCache
+from repro.engine.spec import EvaluatorSpec
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+
+# ----------------------------------------------------------------------
+# Batch-evaluation workers (EvaluationEngine pool)
+# ----------------------------------------------------------------------
+_BATCH_EVALUATOR: Optional[QoREvaluator] = None
+
+
+def init_evaluation_worker(spec_payload: Dict[str, object]) -> None:
+    """Pool initialiser: rebuild the evaluator once per worker process."""
+    global _BATCH_EVALUATOR
+    # The parent may have run serial grid cells first, leaving an open
+    # cache connection in this module's grid globals; abandon anything
+    # inherited across fork before doing work in this process.
+    _discard_state_from_other_process()
+    spec = EvaluatorSpec.from_payload(spec_payload)
+    # cache=False: workers only run the pure compute path; memoisation and
+    # accounting live in the parent evaluator.
+    _BATCH_EVALUATOR = spec.build_evaluator(cache=False)
+
+
+def evaluate_sequence(names: Tuple[str, ...]) -> SequenceEvaluation:
+    """Score one sequence in the worker's rebuilt evaluator (pure)."""
+    if _BATCH_EVALUATOR is None:  # pragma: no cover - defensive
+        raise RuntimeError("evaluation worker used before initialisation")
+    return _BATCH_EVALUATOR.compute(names)
+
+
+# ----------------------------------------------------------------------
+# Grid-cell workers (parallel experiment runner)
+# ----------------------------------------------------------------------
+_UNSET = object()  # distinct from None, which is a valid cache_dir
+_GRID_CACHE_DIR: object = _UNSET
+_GRID_CACHE: Optional[PersistentQoRCache] = None
+_GRID_EVALUATORS: Dict[Tuple[str, int, int, Optional[Tuple[str, ...]]], QoREvaluator] = {}
+_GRID_PID: Optional[int] = None
+_ABANDONED_CACHES: list = []  # fork-inherited handles we must never close
+
+
+def _discard_state_from_other_process() -> None:
+    """Drop grid state inherited across ``fork``.
+
+    The serial grid path mutates these globals in the parent process, so
+    forked pool workers start with the parent's open SQLite handle and
+    evaluators.  SQLite connections must not be used (not even closed)
+    from another process — abandon them and start clean.
+    """
+    global _GRID_CACHE_DIR, _GRID_CACHE, _GRID_PID
+    if _GRID_PID != os.getpid():
+        if _GRID_CACHE is not None:
+            # Keep the inherited handle referenced forever so the child
+            # never finalises (= closes) a connection it does not own.
+            _ABANDONED_CACHES.append(_GRID_CACHE)
+        _GRID_CACHE = None
+        _GRID_CACHE_DIR = _UNSET
+        _GRID_EVALUATORS.clear()
+        _GRID_PID = os.getpid()
+
+
+def init_grid_worker(cache_dir: Optional[str]) -> None:
+    """Pool initialiser for grid cells; also used by the serial fallback."""
+    global _GRID_CACHE_DIR, _GRID_CACHE
+    _discard_state_from_other_process()
+    if cache_dir != _GRID_CACHE_DIR:
+        if _GRID_CACHE is not None:
+            _GRID_CACHE.close()
+            _GRID_CACHE = None
+        # Cached evaluators hold a reference to the previous cache handle
+        # (possibly none), so they cannot be reused across cache dirs.
+        _GRID_EVALUATORS.clear()
+    _GRID_CACHE_DIR = cache_dir
+    if cache_dir is not None and _GRID_CACHE is None:
+        _GRID_CACHE = PersistentQoRCache(cache_dir)
+
+
+def _grid_evaluator(spec: EvaluatorSpec) -> QoREvaluator:
+    """Per-process evaluator for a circuit, built on first use."""
+    key = (spec.circuit, spec.width, spec.lut_size, spec.reference_sequence)
+    evaluator = _GRID_EVALUATORS.get(key)
+    if evaluator is None:
+        evaluator = spec.build_evaluator(cache=True, persistent_cache=_GRID_CACHE)
+        _GRID_EVALUATORS[key] = evaluator
+    return evaluator
+
+
+def run_grid_cell(payload: Dict[str, object]) -> Tuple[int, object]:
+    """Run one (method, circuit, seed) cell; returns ``(index, result)``.
+
+    Each cell starts from a clean per-run state (history, counters and
+    in-memory memoisation cleared) so its result does not depend on which
+    cells ran before it in the same process — the property that makes
+    ``jobs=1`` and ``jobs=N`` grids identical.
+    """
+    # Imported here: the runner imports this package for its public API,
+    # and a module-level import back into the runner would be circular.
+    from repro.experiments.runner import make_optimiser
+
+    spec = EvaluatorSpec.from_payload(payload["spec"])  # type: ignore[arg-type]
+    evaluator = _grid_evaluator(spec)
+    evaluator.reset_history(clear_cache=True)
+    optimiser = make_optimiser(
+        str(payload["method_key"]),
+        space=None if payload["sequence_length"] is None else _make_space(payload),
+        seed=int(payload["seed"]),  # type: ignore[arg-type]
+        **dict(payload.get("overrides") or {}),  # type: ignore[arg-type]
+    )
+    result = optimiser.optimise(evaluator, budget=int(payload["budget"]))  # type: ignore[arg-type]
+    result.circuit = spec.circuit
+    return int(payload["index"]), result  # type: ignore[arg-type]
+
+
+def _make_space(payload: Dict[str, object]):
+    from repro.bo.space import SequenceSpace
+
+    return SequenceSpace(sequence_length=int(payload["sequence_length"]))  # type: ignore[arg-type]

@@ -59,6 +59,11 @@ def available_methods() -> List[str]:
     return [spec.key for spec in _METHODS]
 
 
+def method_display_names() -> Dict[str, str]:
+    """Mapping from registry key to the display name used in tables."""
+    return {spec.key: spec.display_name for spec in _METHODS}
+
+
 def make_optimiser(
     key: str,
     space: Optional[SequenceSpace] = None,
@@ -152,31 +157,25 @@ def run_method_on_circuit(
 def run_experiment(
     config: ExperimentConfig,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[OptimisationResult]:
     """Run the full (method × circuit × seed) grid described by ``config``.
 
-    Evaluators are shared across methods and seeds for a given circuit so
-    that the (expensive) ``resyn2`` reference mapping is computed once and
-    the QoR cache benefits every optimiser equally.
+    Cells are dispatched through :mod:`repro.engine.grid`: ``jobs > 1``
+    runs them across a process pool, ``jobs = 1`` runs the same cell code
+    in-process.  Every cell starts from a fresh per-run evaluator state
+    (the ``resyn2`` reference mapping is still shared per circuit within
+    a process), which makes the result grid independent of ``jobs`` and
+    of cell ordering.  Pass ``cache_dir`` to share a persistent QoR cache
+    across cells, processes and repeated runs — warm entries skip the
+    synthesis + mapping computation without changing any result.
     """
-    results: List[OptimisationResult] = []
-    for circuit_name in config.circuits:
-        aig = get_circuit(circuit_name, width=config.circuit_width)
-        evaluator = QoREvaluator(aig, lut_size=config.lut_size)
-        for method_key in config.methods:
-            spec = _METHODS_BY_KEY[method_key]
-            for seed in range(config.num_seeds):
-                if progress is not None:
-                    progress(f"{spec.display_name} / {circuit_name} / seed {seed}")
-                evaluator.reset_history()
-                optimiser = make_optimiser(
-                    method_key, space=config.space(), seed=seed,
-                    **dict(config.method_overrides.get(method_key, {})),
-                )
-                result = optimiser.optimise(evaluator, budget=config.budget)
-                result.circuit = circuit_name
-                results.append(result)
-    return results
+    # Imported here to avoid a module cycle (the grid imports the method
+    # registry from this module).
+    from repro.engine.grid import run_grid
+
+    return run_grid(config, jobs=jobs, cache_dir=cache_dir, progress=progress)
 
 
 def group_results(results: Sequence[OptimisationResult]) -> Dict[str, Dict[str, List[OptimisationResult]]]:

@@ -110,7 +110,10 @@ def sample_efficiency_study(
         for seed in range(config.num_seeds):
             if progress is not None:
                 progress(f"[fig1] {reference_method} / {circuit_name} / seed {seed}")
-            evaluator.reset_history()
+            # clear_cache=True: each run must count every sequence it
+            # tests, independent of what previous runs evaluated (same
+            # per-run accounting as the grid runner).
+            evaluator.reset_history(clear_cache=True)
             optimiser = make_optimiser(
                 reference_method, space=config.space(), seed=seed,
                 **dict(config.method_overrides.get(reference_method, {})),
@@ -119,7 +122,15 @@ def sample_efficiency_study(
             reference_display = result.method
             reference_improvements.append(result.best_improvement)
             reference_counts.append(float(result.num_evaluations))
-        target = target_fraction * float(np.mean(reference_improvements))
+        reference_mean = float(np.mean(reference_improvements))
+        # "Reach 97.5 % of the reference improvement": for positive
+        # improvements this is the paper's plain fraction; written as
+        # "within 2.5 % of |ref| below ref" it stays meaningful when the
+        # tiny benchmark-scale circuits leave the mean improvement
+        # negative (a plain fraction of a negative number would be a
+        # target *above* the reference — trivially unreachable — while a
+        # fraction of ~0 is trivially reached by the first sample).
+        target = reference_mean - (1.0 - target_fraction) * abs(reference_mean)
         targets[circuit_name] = target
         evaluations.setdefault(reference_display, {}).setdefault(circuit_name, []).extend(
             reference_counts
@@ -132,7 +143,7 @@ def sample_efficiency_study(
             for seed in range(config.num_seeds):
                 if progress is not None:
                     progress(f"[fig1] {method_key} / {circuit_name} / seed {seed}")
-                evaluator.reset_history()
+                evaluator.reset_history(clear_cache=True)
                 optimiser = make_optimiser(
                     method_key, space=config.space(), seed=seed,
                     **dict(config.method_overrides.get(method_key, {})),

@@ -5,21 +5,64 @@ Implements Equation (1) of the paper:
     QoR_C(seq) = Area_C(seq) / Area_C(ref) + Delay_C(seq) / Delay_C(ref)
 
 where Area is the LUT count and Delay the LUT level count after K-LUT
-mapping, and the reference is the ``resyn2`` flow.  The evaluator memoises
-sequence evaluations because several optimisers (GA with elitism, trust
-region restarts, greedy) re-visit sequences, and the paper counts *distinct
-tested sequences* as the sample-complexity unit.
+mapping, and the reference is the ``resyn2`` flow.
+
+Evaluation-count semantics
+--------------------------
+The paper counts *distinct tested sequences* as the sample-complexity
+unit, so the evaluator distinguishes two cache layers with different
+accounting rules:
+
+* **In-memory memoisation** (``cache=True``, per evaluator instance /
+  per run): re-visiting an already-tested sequence is *free* — a memo
+  hit neither increments :attr:`num_evaluations` nor appends a duplicate
+  :attr:`history` row.  Several optimisers (GA with elitism, trust
+  region restarts, greedy) re-visit sequences, and those revisits must
+  not consume budget.
+* **Persistent on-disk cache** (``persistent_cache=...``, shared across
+  processes and across runs): a persistent hit skips the expensive
+  synthesis + mapping *computation* but still counts as a black-box
+  evaluation for the current run (it increments :attr:`num_evaluations`
+  and is appended to :attr:`history`), because the sequence is being
+  tested for the first time *in this run*.  :attr:`num_computed` and
+  :attr:`num_persistent_hits` expose the split, so a warm cache shows up
+  as ``num_computed == 0`` on a repeated run.
+
+Batches of sequences can be scored through
+:meth:`QoREvaluator.evaluate_many`; when an
+:class:`repro.engine.EvaluationEngine` is attached via
+:meth:`attach_engine` the uncached part of the batch is fanned out to a
+worker pool, with results recorded in submission order so parallel and
+serial runs are indistinguishable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.graph import AIG
 from repro.mapping.lut_mapper import LutMapper, MappingResult
 from repro.synth.flows import RESYN2_SEQUENCE
 from repro.synth.operations import apply_sequence, sequence_to_names
+
+
+def aig_fingerprint(aig: AIG) -> str:
+    """Stable structural hash of an AIG (used as a persistent-cache key).
+
+    Two structurally identical AIGs — e.g. the same generated benchmark
+    circuit built in two different processes — hash to the same value.
+    """
+    digest = hashlib.sha256()
+    digest.update(aig.name.encode("utf-8"))
+    for node in aig.nodes():
+        digest.update(
+            f"{node.var}:{node.kind}:{node.fanin0}:{node.fanin1}".encode("utf-8")
+        )
+    for po in aig.pos:
+        digest.update(f"po:{po}".encode("utf-8"))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -31,7 +74,7 @@ class QoRResult:
     qor: float
 
 
-@dataclass
+@dataclass(frozen=True)
 class SequenceEvaluation:
     """Full record of one black-box evaluation."""
 
@@ -58,7 +101,17 @@ class QoREvaluator:
         The reference flow defining the QoR denominators; defaults to
         ``resyn2`` as in the paper.
     cache:
-        Whether to memoise evaluations by sequence.
+        Whether to memoise evaluations by sequence (per-run memoisation;
+        memo hits do not count towards :attr:`num_evaluations`).
+    persistent_cache:
+        Optional on-disk QoR cache shared across runs and processes
+        (:class:`repro.engine.cache.PersistentQoRCache` or any object
+        with the same ``get``/``put`` interface).  Persistent hits skip
+        the computation but still count as evaluations — see the module
+        docstring for the full semantics.
+    cache_key:
+        Key identifying this circuit + LUT size in the persistent cache;
+        derived automatically from the AIG structure when omitted.
     """
 
     def __init__(
@@ -67,15 +120,23 @@ class QoREvaluator:
         lut_size: int = 6,
         reference_sequence: Optional[Sequence[str]] = None,
         cache: bool = True,
+        persistent_cache: Optional[object] = None,
+        cache_key: Optional[str] = None,
     ) -> None:
         self.aig = aig
+        self.lut_size = lut_size
         self.mapper = LutMapper(lut_size=lut_size)
         self.reference_sequence = tuple(
             reference_sequence if reference_sequence is not None else RESYN2_SEQUENCE
         )
         self._cache_enabled = cache
         self._cache: Dict[Tuple[str, ...], SequenceEvaluation] = {}
+        self._persistent = persistent_cache
+        self._cache_key = cache_key
+        self._engine: Optional[object] = None
         self._num_evaluations = 0
+        self._num_computed = 0
+        self._num_persistent_hits = 0
         self.history: List[SequenceEvaluation] = []
 
         # Reference area/delay (denominators of Equation 1).
@@ -98,33 +159,189 @@ class QoREvaluator:
     # ------------------------------------------------------------------
     @property
     def num_evaluations(self) -> int:
-        """Number of distinct black-box evaluations performed so far."""
+        """Distinct black-box evaluations performed in this run.
+
+        This is the paper's sample-complexity unit: in-memory memo hits
+        do not count, persistent-cache hits do (see module docstring).
+        """
         return self._num_evaluations
 
-    def _qor(self, mapping: MappingResult) -> float:
-        return mapping.area / self.reference_area + mapping.delay / self.reference_delay
+    @property
+    def num_computed(self) -> int:
+        """Evaluations in this run that required actual synthesis+mapping."""
+        return self._num_computed
 
-    def evaluate(self, sequence: Sequence[Union[str, int]]) -> SequenceEvaluation:
-        """Evaluate a synthesis sequence; returns the full QoR record."""
-        names = tuple(sequence_to_names(sequence))
-        if self._cache_enabled and names in self._cache:
-            return self._cache[names]
-        optimised = apply_sequence(self.aig, names)
-        mapping = self.mapper.map(optimised)
-        qor = self._qor(mapping)
+    @property
+    def num_persistent_hits(self) -> int:
+        """Evaluations in this run served from the persistent cache."""
+        return self._num_persistent_hits
+
+    @property
+    def cache_key(self) -> str:
+        """Persistent-cache key for this circuit + LUT size."""
+        if self._cache_key is None:
+            self._cache_key = f"{aig_fingerprint(self.aig)}:lut{self.lut_size}"
+        return self._cache_key
+
+    # ------------------------------------------------------------------
+    # Engine attachment
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine: Optional[object]) -> None:
+        """Attach an evaluation engine used to score batches in parallel.
+
+        ``engine`` must expose ``compute_batch(sequences) -> records``
+        (see :class:`repro.engine.EvaluationEngine`); pass ``None`` to
+        detach and return to in-process computation.
+        """
+        self._engine = engine
+
+    @property
+    def engine(self) -> Optional[object]:
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Core computation (pure, no recording)
+    # ------------------------------------------------------------------
+    def _qor_value(self, area: int, delay: int) -> float:
+        """Equation 1: area and delay relative to the reference flow."""
+        return area / self.reference_area + delay / self.reference_delay
+
+    def _qor(self, mapping: MappingResult) -> float:
+        return self._qor_value(mapping.area, mapping.delay)
+
+    def _make_record(self, names: Tuple[str, ...], area: int, delay: int) -> SequenceEvaluation:
+        qor = self._qor_value(area, delay)
         improvement = (self.reference_qor - qor) / self.reference_qor * 100.0
-        record = SequenceEvaluation(
-            sequence=names,
-            area=mapping.area,
-            delay=mapping.delay,
-            qor=qor,
+        return SequenceEvaluation(
+            sequence=names, area=area, delay=delay, qor=qor,
             qor_improvement=improvement,
         )
+
+    def compute(self, sequence: Sequence[Union[str, int]]) -> SequenceEvaluation:
+        """Synthesise + map a sequence and return its record.
+
+        Pure function of the sequence: does **not** touch the caches,
+        the history or the evaluation counters.  This is the unit of work
+        the evaluation engine ships to worker processes.
+        """
+        names = tuple(sequence_to_names(sequence))
+        optimised = apply_sequence(self.aig, names)
+        mapping = self.mapper.map(optimised)
+        return self._make_record(names, mapping.area, mapping.delay)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _persistent_lookup(self, names: Tuple[str, ...]) -> Optional[SequenceEvaluation]:
+        if self._persistent is None:
+            return None
+        hit = self._persistent.get(self.cache_key, names)
+        if hit is None:
+            return None
+        area, delay = hit
+        return self._make_record(names, int(area), int(delay))
+
+    def _record(
+        self,
+        names: Tuple[str, ...],
+        record: SequenceEvaluation,
+        from_persistent: bool,
+    ) -> None:
+        """Count one evaluation and store it in both cache layers."""
         self._num_evaluations += 1
+        if from_persistent:
+            self._num_persistent_hits += 1
+        else:
+            self._num_computed += 1
         self.history.append(record)
         if self._cache_enabled:
             self._cache[names] = record
+        if self._persistent is not None and not from_persistent:
+            self._persistent.put(self.cache_key, names, record.area, record.delay)
+
+    # ------------------------------------------------------------------
+    # Public evaluation API
+    # ------------------------------------------------------------------
+    def evaluate(self, sequence: Sequence[Union[str, int]]) -> SequenceEvaluation:
+        """Evaluate a synthesis sequence; returns the full QoR record.
+
+        Memo hits return the cached record without counting; persistent
+        hits and fresh computations count (module docstring has the full
+        accounting rules).
+        """
+        names = tuple(sequence_to_names(sequence))
+        if self._cache_enabled and names in self._cache:
+            return self._cache[names]
+        record = self._persistent_lookup(names)
+        from_persistent = record is not None
+        if record is None:
+            record = self.compute(names)
+        self._record(names, record, from_persistent)
         return record
+
+    def evaluate_many(
+        self, sequences: Sequence[Sequence[Union[str, int]]]
+    ) -> List[SequenceEvaluation]:
+        """Evaluate a batch of sequences, in parallel when possible.
+
+        Results are returned positionally and recorded (counters, history,
+        caches) in submission order, so a batched run is indistinguishable
+        from the equivalent sequence of :meth:`evaluate` calls.  Uncached
+        sequences are dispatched to the attached engine's worker pool when
+        one is attached, and computed in-process otherwise.
+        """
+        names_list = [tuple(sequence_to_names(seq)) for seq in sequences]
+        results: List[Optional[SequenceEvaluation]] = [None] * len(names_list)
+        # plan: (position, names, source) for every occurrence that needs
+        # recording; "alias" marks an in-batch duplicate of an earlier
+        # occurrence (memo semantics: returned but not re-recorded).
+        plan: List[Tuple[int, Tuple[str, ...], str]] = []
+        scheduled: Dict[Tuple[str, ...], int] = {}
+        persistent_records: Dict[Tuple[str, ...], SequenceEvaluation] = {}
+        for position, names in enumerate(names_list):
+            if self._cache_enabled:
+                if names in self._cache:
+                    results[position] = self._cache[names]
+                    continue
+                if names in scheduled:
+                    plan.append((position, names, "alias"))
+                    continue
+                scheduled[names] = position
+            hit = self._persistent_lookup(names)
+            if hit is not None:
+                persistent_records[names] = hit
+                plan.append((position, names, "persistent"))
+            else:
+                plan.append((position, names, "compute"))
+
+        to_compute = [names for _, names, source in plan if source == "compute"]
+        if to_compute:
+            if self._engine is not None:
+                computed = list(self._engine.compute_batch(to_compute))
+            else:
+                computed = [self.compute(names) for names in to_compute]
+            if len(computed) != len(to_compute):
+                raise RuntimeError(
+                    "engine returned %d records for %d sequences"
+                    % (len(computed), len(to_compute))
+                )
+        else:
+            computed = []
+
+        computed_iter = iter(computed)
+        resolved: Dict[Tuple[str, ...], SequenceEvaluation] = {}
+        for position, names, source in plan:
+            if source == "alias":
+                results[position] = resolved[names]
+                continue
+            if source == "persistent":
+                record = persistent_records[names]
+            else:
+                record = next(computed_iter)
+            self._record(names, record, from_persistent=(source == "persistent"))
+            resolved[names] = record
+            results[position] = record
+        return results  # type: ignore[return-value]
 
     def qor(self, sequence: Sequence[Union[str, int]]) -> float:
         """QoR value of a sequence (the quantity BOiLS minimises)."""
@@ -154,7 +371,20 @@ class QoREvaluator:
             trajectory.append(best)
         return trajectory
 
-    def reset_history(self) -> None:
-        """Clear the evaluation history and counters (cache is kept)."""
+    def reset_history(self, clear_cache: bool = False) -> None:
+        """Clear the evaluation history and counters.
+
+        The in-memory memoisation cache is kept by default (so repeated
+        runs on the same evaluator stay cheap); pass ``clear_cache=True``
+        to start the next run from a clean slate — required when run
+        results must be independent of what previous runs evaluated (the
+        parallel grid runner does this so that ``--jobs 1`` and
+        ``--jobs N`` produce identical tables).  The persistent on-disk
+        cache is never cleared by this method.
+        """
         self.history = []
         self._num_evaluations = 0
+        self._num_computed = 0
+        self._num_persistent_hits = 0
+        if clear_cache:
+            self._cache = {}

@@ -1,0 +1,91 @@
+"""Tests for the persistent on-disk QoR cache."""
+
+import pytest
+
+from repro.circuits import make_adder
+from repro.engine import PersistentQoRCache
+from repro.qor import QoREvaluator
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    with PersistentQoRCache(tmp_path) as cache:
+        yield cache
+
+
+class TestCacheBasics:
+    def test_roundtrip(self, cache):
+        assert cache.get("circ", ("balance", "rewrite")) is None
+        cache.put("circ", ("balance", "rewrite"), 12, 3)
+        assert cache.get("circ", ("balance", "rewrite")) == (12, 3)
+        assert len(cache) == 1
+
+    def test_keys_are_namespaced_by_circuit(self, cache):
+        cache.put("a", ("balance",), 10, 2)
+        assert cache.get("b", ("balance",)) is None
+
+    def test_put_is_idempotent(self, cache):
+        cache.put("circ", ("fraig",), 9, 2)
+        cache.put("circ", ("fraig",), 9, 2)
+        assert len(cache) == 1
+
+    def test_put_many(self, cache):
+        cache.put_many("circ", [(("balance",), 10, 2), (("rewrite",), 11, 3)])
+        assert cache.get("circ", ("rewrite",)) == (11, 3)
+        assert len(cache) == 2
+
+    def test_hit_miss_counters(self, cache):
+        cache.put("circ", ("balance",), 10, 2)
+        cache.get("circ", ("balance",))
+        cache.get("circ", ("missing",))
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_explicit_database_path(self, tmp_path):
+        with PersistentQoRCache(tmp_path / "sub" / "custom.sqlite") as cache:
+            cache.put("circ", ("balance",), 1, 1)
+        assert (tmp_path / "sub" / "custom.sqlite").exists()
+
+
+class TestEvaluatorIntegration:
+    def test_roundtrip_across_two_evaluator_instances(self, tmp_path):
+        """A second evaluator on the same circuit computes nothing."""
+        aig = make_adder(4)
+        sequences = [["balance"], ["rewrite", "fraig"], ["dsdb"]]
+
+        with PersistentQoRCache(tmp_path) as cache:
+            first = QoREvaluator(aig, persistent_cache=cache)
+            first_records = [first.evaluate(seq) for seq in sequences]
+            assert first.num_computed == 3
+            assert first.num_persistent_hits == 0
+
+        # Fresh cache handle + fresh evaluator: everything is served from
+        # disk, nothing is recomputed, records are bit-identical.
+        with PersistentQoRCache(tmp_path) as cache:
+            second = QoREvaluator(make_adder(4), persistent_cache=cache)
+            second_records = [second.evaluate(seq) for seq in sequences]
+            assert second_records == first_records
+            assert second.num_computed == 0
+            assert second.num_persistent_hits == 3
+            # Persistent hits still count as per-run evaluations.
+            assert second.num_evaluations == 3
+            assert len(second.history) == 3
+
+    def test_memo_hit_shadows_persistent_hit(self, tmp_path):
+        with PersistentQoRCache(tmp_path) as cache:
+            evaluator = QoREvaluator(make_adder(4), persistent_cache=cache)
+            evaluator.evaluate(["balance"])
+            evaluator.evaluate(["balance"])  # in-memory memo hit
+            assert evaluator.num_evaluations == 1
+            assert evaluator.num_persistent_hits == 0
+
+    def test_cache_key_is_structural(self, tmp_path):
+        """Two independently generated copies of a circuit share entries."""
+        with PersistentQoRCache(tmp_path) as cache:
+            a = QoREvaluator(make_adder(4), persistent_cache=cache)
+            b = QoREvaluator(make_adder(4), persistent_cache=cache)
+            assert a.cache_key == b.cache_key
+            c = QoREvaluator(make_adder(5), persistent_cache=cache)
+            assert c.cache_key != a.cache_key
+            d = QoREvaluator(make_adder(4), lut_size=4, persistent_cache=cache)
+            assert d.cache_key != a.cache_key
