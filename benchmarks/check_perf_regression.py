@@ -1,0 +1,80 @@
+"""Perf regression gate: compare BENCH_substrate.json to the baseline.
+
+Usage (CI runs this after the benchmark suite)::
+
+    python benchmarks/check_perf_regression.py \
+        [--artifact benchmarks/artifacts/BENCH_substrate.json] \
+        [--baseline benchmarks/baselines/BENCH_substrate_baseline.json] \
+        [--tolerance 0.25]
+
+The committed baseline stores the optimised/reference *speedup ratios*
+of the four hot paths.  Ratios are what stays comparable across
+machines: absolute seconds vary with hardware, but the ratio of two
+measurements taken back-to-back on the same interpreter does not.  The
+gate fails when any path's current speedup falls more than ``tolerance``
+(default 25 %) below its committed baseline, i.e. when an edit has eaten
+a quarter of a hot path's win.
+
+To refresh the baseline after an intentional change, run the benchmark
+suite and copy the artifact over the baseline file::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_substrate_performance.py -q
+    cp benchmarks/artifacts/BENCH_substrate.json \
+       benchmarks/baselines/BENCH_substrate_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_substrate.json"
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_substrate_baseline.json"
+
+
+def check(artifact_path: Path, baseline_path: Path, tolerance: float) -> int:
+    artifact = json.loads(artifact_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    failures = []
+    for name, base_entry in sorted(baseline.get("paths", {}).items()):
+        base_speedup = base_entry.get("speedup")
+        if base_speedup is None:
+            continue  # informational entries (e.g. engine throughput)
+        current_entry = artifact.get("paths", {}).get(name)
+        if current_entry is None:
+            failures.append(f"{name}: missing from artifact")
+            continue
+        current = float(current_entry["speedup"])
+        floor = (1.0 - tolerance) * float(base_speedup)
+        status = "OK" if current >= floor else "REGRESSED"
+        print(f"{name:32s} baseline {base_speedup:6.2f}x  current {current:6.2f}x  "
+              f"floor {floor:6.2f}x  {status}")
+        if current < floor:
+            failures.append(
+                f"{name}: speedup {current:.2f}x fell below {floor:.2f}x "
+                f"(baseline {base_speedup:.2f}x, tolerance {tolerance:.0%})"
+            )
+
+    if failures:
+        print("\nPerformance regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nAll hot-path speedups within tolerance.")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact", type=Path, default=DEFAULT_ARTIFACT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args()
+    return check(args.artifact, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

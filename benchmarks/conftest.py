@@ -69,6 +69,23 @@ def artifact_dir() -> Path:
     return ARTIFACT_DIR
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_bench_substrate_artifact():
+    """Start every benchmark session from an empty BENCH_substrate.json.
+
+    Entries are merged into the artifact by whichever benchmark files run
+    (substrate speedups, engine throughput), so it must be cleared once
+    per session — regardless of file ordering — to guarantee every entry
+    comes from *this* run.  A partial rerun then leaves untested paths
+    missing from the artifact, which ``check_perf_regression.py`` reports
+    loudly, instead of silently re-validating stale numbers.
+    """
+    path = ARTIFACT_DIR / "BENCH_substrate.json"
+    if path.exists():
+        path.unlink()
+    yield
+
+
 def write_artifact(name: str, content: str) -> Path:
     """Write a text artefact (CSV / ASCII figure) next to the benchmarks."""
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)

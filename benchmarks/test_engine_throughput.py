@@ -19,6 +19,7 @@ import os
 import time
 
 from benchmarks.conftest import write_artifact
+from benchmarks.test_substrate_performance import record_bench_entry
 from repro.bo.space import SequenceSpace
 from repro.engine import EvaluationEngine, EvaluatorSpec
 
@@ -61,3 +62,11 @@ def test_engine_throughput_serial_vs_parallel():
         f"serial,1,{batch_size},{serial_seconds:.4f},{serial_rate:.2f}\n"
         f"parallel,{jobs},{batch_size},{parallel_seconds:.4f},{parallel_rate:.2f}\n",
     )
+    # Serial sequences/second rides along in the substrate artifact so the
+    # end-to-end evaluation rate is tracked next to the hot-path ratios.
+    record_bench_entry("engine_throughput", {
+        "batch_size": batch_size,
+        "jobs": jobs,
+        "serial_sequences_per_second": serial_rate,
+        "parallel_sequences_per_second": parallel_rate,
+    })

@@ -1,0 +1,106 @@
+"""Reference (pre-optimisation) cut enumeration, kept for equivalence tests.
+
+This module preserves the original pure-``set``/``sorted`` implementation
+of k-feasible cut enumeration exactly as it shipped before the bitset
+rework in :mod:`repro.aig.cuts`.  It exists for two reasons:
+
+* the golden equivalence suite asserts that the optimised enumeration is
+  **bit-identical** to this one on seeded circuits, and
+* the substrate performance benchmark measures the optimised/reference
+  speedup ratio, which is what the CI perf gate tracks.
+
+Do not "optimise" this file — its slowness is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.aig.cuts import Cut
+from repro.aig.graph import AIG, lit_var
+
+
+def _filter_dominated_reference(cuts: List[Cut]) -> List[Cut]:
+    """Remove cuts dominated by (i.e. supersets of) another cut."""
+    result: List[Cut] = []
+    for cut in sorted(cuts, key=lambda c: c.size):
+        if any(set(existing.leaves).issubset(cut.leaves) for existing in result):
+            continue
+        result.append(cut)
+    return result
+
+
+def enumerate_cuts_reference(
+    aig: AIG,
+    k: int = 6,
+    max_cuts: int = 8,
+    include_trivial: bool = True,
+    depths: Optional[Sequence[int]] = None,
+) -> Dict[int, List[Cut]]:
+    """The original set-based priority-cut enumeration (see module docstring)."""
+    cuts: Dict[int, List[Cut]] = {0: [Cut((0,))]}
+    for var in aig.pis:
+        cuts[var] = [Cut((var,))]
+
+    if depths is not None:
+
+        def priority(cut: Cut):
+            arrival = 1 + max(depths[leaf] for leaf in cut.leaves)
+            return (arrival, cut.size, cut.leaves)
+
+    else:
+
+        def priority(cut: Cut):
+            return (cut.size, cut.leaves)
+
+    def merge(a: Cut, b: Cut) -> Optional[Cut]:
+        union = tuple(sorted(set(a.leaves) | set(b.leaves)))
+        if len(union) > k:
+            return None
+        return Cut(union)
+
+    merge_base: Dict[int, List[Cut]] = {0: [Cut((0,))]}
+    for var in aig.pis:
+        merge_base[var] = [Cut((var,))]
+
+    for node in aig.nodes():
+        if not node.is_and:
+            continue
+        assert node.fanin0 is not None and node.fanin1 is not None
+        v0 = lit_var(node.fanin0)
+        v1 = lit_var(node.fanin1)
+        merged: List[Cut] = []
+        for c0 in merge_base.get(v0, [Cut((v0,))]):
+            for c1 in merge_base.get(v1, [Cut((v1,))]):
+                combined = merge(c0, c1)
+                if combined is not None:
+                    merged.append(combined)
+        merged = _filter_dominated_reference(merged)
+        merged.sort(key=priority)
+        merged = merged[:max_cuts]
+        merge_base[node.var] = [Cut((node.var,))] + merged
+        node_cuts = [Cut((node.var,))] if include_trivial else []
+        node_cuts.extend(c for c in merged if c.leaves != (node.var,))
+        cuts[node.var] = node_cuts
+    return cuts
+
+
+def cut_cone_vars_reference(aig: AIG, root: int, cut: Cut) -> List[int]:
+    """The original recursive cone walk (leaves excluded, root included)."""
+    leaves = set(cut.leaves)
+    visited: Dict[int, bool] = {}
+    order: List[int] = []
+
+    def visit(var: int) -> None:
+        if var in visited or var in leaves:
+            return
+        visited[var] = True
+        node = aig.node(var)
+        if node.is_and:
+            assert node.fanin0 is not None and node.fanin1 is not None
+            visit(lit_var(node.fanin0))
+            visit(lit_var(node.fanin1))
+        order.append(var)
+
+    visit(root)
+    return order

@@ -109,8 +109,16 @@ class AIG:
         self._po_names: List[Optional[str]] = []
         # Structural hashing: (fanin0, fanin1) -> var of existing AND node.
         self._strash: Dict[Tuple[Literal, Literal], int] = {}
-        # Cached levels, invalidated on mutation.
+        # Flat per-variable arrays maintained alongside ``_nodes``: the hot
+        # paths (cut enumeration, mapping, cone walks) index these instead
+        # of chasing AigNode dataclasses.  The graph is append-only, so the
+        # arrays grow in lock-step and never need invalidation.
+        self._is_and: bytearray = bytearray(1)
+        self._fanin0: List[Literal] = [0]
+        self._fanin1: List[Literal] = [0]
+        # Cached levels / fanout counts, invalidated on mutation.
         self._levels: Optional[List[int]] = None
+        self._fanouts: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -120,7 +128,11 @@ class AIG:
         var = len(self._nodes)
         self._nodes.append(AigNode(var=var, kind="pi", name=name))
         self._pis.append(var)
+        self._is_and.append(0)
+        self._fanin0.append(0)
+        self._fanin1.append(0)
         self._levels = None
+        self._fanouts = None
         return lit(var)
 
     def add_and(self, a: Literal, b: Literal) -> Literal:
@@ -151,7 +163,11 @@ class AIG:
         var = len(self._nodes)
         self._nodes.append(AigNode(var=var, kind="and", fanin0=a, fanin1=b))
         self._strash[key] = var
+        self._is_and.append(1)
+        self._fanin0.append(a)
+        self._fanin1.append(b)
         self._levels = None
+        self._fanouts = None
         return lit(var)
 
     def add_po(self, literal: Literal, name: Optional[str] = None) -> int:
@@ -159,12 +175,14 @@ class AIG:
         self._check_literal(literal)
         self._pos.append(literal)
         self._po_names.append(name)
+        self._fanouts = None
         return len(self._pos) - 1
 
     def set_po(self, index: int, literal: Literal) -> None:
         """Redirect an existing primary output to a new literal."""
         self._check_literal(literal)
         self._pos[index] = literal
+        self._fanouts = None
 
     # ------------------------------------------------------------------
     # Derived logic helpers (convenience constructors used by generators)
@@ -272,61 +290,80 @@ class AIG:
         return self._nodes[var].is_and
 
     def fanins(self, var: int) -> Tuple[Literal, Literal]:
-        node = self._nodes[var]
-        if not node.is_and:
+        if not self._is_and[var]:
             raise ValueError(f"node {var} is not an AND node")
-        assert node.fanin0 is not None and node.fanin1 is not None
-        return node.fanin0, node.fanin1
+        return self._fanin0[var], self._fanin1[var]
+
+    # ------------------------------------------------------------------
+    # Flat-array views (hot-path accessors)
+    # ------------------------------------------------------------------
+    def node_arrays(self) -> Tuple[bytearray, List[Literal], List[Literal]]:
+        """``(is_and, fanin0, fanin1)`` flat arrays indexed by variable.
+
+        ``is_and[var]`` is 1 for AND nodes; ``fanin0``/``fanin1`` hold the
+        fanin literals (0 for constants and PIs).  The arrays are the
+        graph's own storage — treat them as read-only.
+        """
+        return self._is_and, self._fanin0, self._fanin1
+
+    def levels_array(self) -> List[int]:
+        """Cached per-variable levels; treat as read-only (no copy)."""
+        if self._levels is None:
+            levels = [0] * len(self._nodes)
+            is_and, fanin0, fanin1 = self._is_and, self._fanin0, self._fanin1
+            for var in range(1, len(levels)):
+                if is_and[var]:
+                    l0 = levels[fanin0[var] >> 1]
+                    l1 = levels[fanin1[var] >> 1]
+                    levels[var] = 1 + (l0 if l0 >= l1 else l1)
+            self._levels = levels
+        return self._levels
+
+    def fanout_array(self) -> List[int]:
+        """Cached per-variable fanout counts; treat as read-only (no copy)."""
+        if self._fanouts is None:
+            counts = [0] * len(self._nodes)
+            is_and, fanin0, fanin1 = self._is_and, self._fanin0, self._fanin1
+            for var in range(1, len(counts)):
+                if is_and[var]:
+                    counts[fanin0[var] >> 1] += 1
+                    counts[fanin1[var] >> 1] += 1
+            for po in self._pos:
+                counts[po >> 1] += 1
+            self._fanouts = counts
+        return self._fanouts
 
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
     def levels(self) -> List[int]:
         """Return the level (AND-depth from PIs) of every variable."""
-        if self._levels is None:
-            levels = [0] * len(self._nodes)
-            for node in self._nodes:
-                if node.is_and:
-                    assert node.fanin0 is not None and node.fanin1 is not None
-                    levels[node.var] = 1 + max(
-                        levels[lit_var(node.fanin0)], levels[lit_var(node.fanin1)]
-                    )
-            self._levels = levels
-        return list(self._levels)
+        return list(self.levels_array())
 
     def depth(self) -> int:
         """Maximum AND-level over all primary outputs."""
         if not self._pos:
             return 0
-        levels = self.levels()
-        return max(levels[lit_var(po)] for po in self._pos)
+        levels = self.levels_array()
+        return max(levels[po >> 1] for po in self._pos)
 
     def fanout_counts(self) -> List[int]:
         """Number of fanout references (including PO references) per variable."""
-        counts = [0] * len(self._nodes)
-        for node in self._nodes:
-            if node.is_and:
-                assert node.fanin0 is not None and node.fanin1 is not None
-                counts[lit_var(node.fanin0)] += 1
-                counts[lit_var(node.fanin1)] += 1
-        for po in self._pos:
-            counts[lit_var(po)] += 1
-        return counts
+        return list(self.fanout_array())
 
     def reachable_vars(self) -> List[int]:
         """Variables in the transitive fanin of the primary outputs."""
-        seen = [False] * len(self._nodes)
-        stack = [lit_var(po) for po in self._pos]
+        seen = bytearray(len(self._nodes))
+        is_and, fanin0, fanin1 = self._is_and, self._fanin0, self._fanin1
+        stack = [po >> 1 for po in self._pos]
         while stack:
             var = stack.pop()
             if seen[var]:
                 continue
-            seen[var] = True
-            node = self._nodes[var]
-            if node.is_and:
-                assert node.fanin0 is not None and node.fanin1 is not None
-                stack.append(lit_var(node.fanin0))
-                stack.append(lit_var(node.fanin1))
+            seen[var] = 1
+            if is_and[var]:
+                stack.append(fanin0[var] >> 1)
+                stack.append(fanin1[var] >> 1)
         return [v for v in range(len(self._nodes)) if seen[v]]
 
     def stats(self) -> Dict[str, int]:
@@ -366,12 +403,21 @@ class AIG:
             base = mapping[lit_var(old_lit)]
             return base ^ (old_lit & 1)
 
-        reachable = set(self.reachable_vars())
-        for node in self._nodes:
-            if node.is_and and node.var in reachable:
-                assert node.fanin0 is not None and node.fanin1 is not None
-                mapping[node.var] = new.add_and(
-                    translate(node.fanin0), translate(node.fanin1)
+        is_and, fanin0, fanin1 = self._is_and, self._fanin0, self._fanin1
+        reachable = bytearray(len(self._nodes))
+        stack = [po >> 1 for po in self._pos]
+        while stack:
+            var = stack.pop()
+            if reachable[var]:
+                continue
+            reachable[var] = 1
+            if is_and[var]:
+                stack.append(fanin0[var] >> 1)
+                stack.append(fanin1[var] >> 1)
+        for var in range(1, len(self._nodes)):
+            if is_and[var] and reachable[var]:
+                mapping[var] = new.add_and(
+                    translate(fanin0[var]), translate(fanin1[var])
                 )
         for po_lit, po_name in zip(self._pos, self._po_names):
             if po_map is not None:

@@ -7,17 +7,26 @@ as the next element (with the prefix fixed) and the best one is kept.
 The construction therefore consumes ``K · n`` evaluations in the worst
 case; if the budget is smaller, construction simply stops early and the
 best prefix evaluated so far is reported.
+
+The solver implements the batch protocol
+(:meth:`~repro.bo.base.SequenceOptimiser.suggest` /
+:meth:`~repro.bo.base.SequenceOptimiser.observe`): all candidate
+extensions of the current position are proposed as one batch and scored
+through :meth:`~repro.qor.QoREvaluator.evaluate_many`, so an attached
+:class:`repro.engine.EvaluationEngine` fans the position out across
+worker processes.  Ties are broken by candidate order exactly as the
+sequential loop did, so the constructed sequence is identical.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.bo.base import OptimisationResult, SequenceOptimiser
 from repro.bo.space import SequenceSpace
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 class GreedySearch(SequenceOptimiser):
@@ -27,33 +36,94 @@ class GreedySearch(SequenceOptimiser):
 
     def __init__(self, space: Optional[SequenceSpace] = None, seed: int = 0) -> None:
         super().__init__(space=space, seed=seed)
+        self._reset_state()
 
+    # ------------------------------------------------------------------
+    # Run state
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self._prefix: List[int] = []
+        self._pending_ops: List[int] = []   # untried ops at the current position
+        self._suggested_ops: List[int] = []  # ops proposed in the last batch
+        self._best_op: Optional[int] = None
+        self._best_qor = np.inf
+
+    def _start_position(self) -> None:
+        """Shuffle the alphabet for the next position (seed-dependent ties)."""
+        operations = list(range(self.space.num_operations))
+        self.rng.shuffle(operations)
+        self._pending_ops = operations
+        self._best_op = None
+        self._best_qor = np.inf
+
+    def _finish_position(self) -> bool:
+        """Commit the best operation of the finished position."""
+        if self._best_op is None:
+            return False
+        self._prefix.append(self._best_op)
+        return True
+
+    @property
+    def _done(self) -> bool:
+        return len(self._prefix) >= self.space.sequence_length
+
+    # ------------------------------------------------------------------
+    # Batch protocol
+    # ------------------------------------------------------------------
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """Up to ``n`` candidate prefixes extending the current position.
+
+        Greedy evaluates the prefix itself (shorter sequences are legal
+        flows), so each row is the prefix plus one trial operation, padded
+        with the protocol's ``-1`` sentinels; drivers strip those before
+        evaluation (``SequenceOptimiser._evaluate_batch`` does so, and
+        ``SequenceSpace.to_names`` rejects them loudly otherwise).
+        """
+        n = max(1, int(n))
+        if self._done:
+            return np.empty((0, self.space.sequence_length), dtype=int)
+        if not self._pending_ops and self._best_op is None:
+            self._start_position()
+        chunk = self._pending_ops[:n]
+        self._pending_ops = self._pending_ops[n:]
+        self._suggested_ops = chunk
+        length = self.space.sequence_length
+        rows = np.full((len(chunk), length), -1, dtype=int)
+        for row, op in zip(rows, chunk):
+            candidate = self._prefix + [op]
+            row[: len(candidate)] = candidate
+        return rows
+
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """Fold scored candidates into the position's running best."""
+        for op, record in zip(self._suggested_ops, records):
+            # Strict < keeps the sequential loop's first-wins tie-breaking
+            # (candidates arrive in the shuffled trial order).
+            if record.qor < self._best_qor:
+                self._best_qor = record.qor
+                self._best_op = op
+        self._suggested_ops = []
+        if not self._pending_ops:
+            # Position exhausted: commit and open the next one.
+            if self._finish_position():
+                self._best_op = None
+                self._best_qor = np.inf
+
+    # ------------------------------------------------------------------
     def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Greedily extend the sequence until length K or budget exhaustion."""
+        """Greedily extend the sequence until length K or budget exhaustion.
+
+        Batches are chunked to the remaining budget, which reproduces the
+        sequential loop's accounting exactly: memoisation hits inside a
+        chunk are free, so a position may take several chunks to finish.
+        """
         if budget < 1:
             raise ValueError("budget must be at least 1")
-        prefix: List[int] = []
-        # Candidate order is shuffled per position so that ties between
-        # operations are broken differently across seeds.
-        for _ in range(self.space.sequence_length):
-            if evaluator.num_evaluations >= budget:
+        self._reset_state()
+        while not self._done and evaluator.num_evaluations < budget:
+            rows = self.suggest(budget - evaluator.num_evaluations)
+            if rows.shape[0] == 0:
                 break
-            best_op: Optional[int] = None
-            best_qor = np.inf
-            operations = list(range(self.space.num_operations))
-            self.rng.shuffle(operations)
-            for op in operations:
-                if evaluator.num_evaluations >= budget:
-                    break
-                candidate = prefix + [op]
-                # Pad the candidate to full length by repeating the last
-                # chosen operation?  No — the paper's greedy evaluates the
-                # prefix itself: shorter sequences are legal flows.
-                qor = evaluator.qor(self.space.to_names(candidate))
-                if qor < best_qor:
-                    best_qor = qor
-                    best_op = op
-            if best_op is None:
-                break
-            prefix.append(best_op)
+            records = self._evaluate_batch(evaluator, rows)
+            self.observe(rows, records)
         return self._build_result(evaluator, evaluator.aig.name)

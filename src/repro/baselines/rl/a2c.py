@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -10,7 +10,7 @@ from repro.baselines.rl.env import SynthesisEnvironment
 from repro.baselines.rl.networks import PolicyValueNetwork
 from repro.bo.base import OptimisationResult, SequenceOptimiser
 from repro.bo.space import SequenceSpace
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 class A2COptimiser(SequenceOptimiser):
@@ -19,6 +19,15 @@ class A2COptimiser(SequenceOptimiser):
     Every episode is one tested sequence; the optimiser keeps collecting
     episodes, updating the policy/value networks after each one, until the
     evaluation budget (in tested sequences) is exhausted.
+
+    The batch protocol is episode-shaped: :meth:`suggest` rolls out one
+    episode with the current policy and returns its sequence, and
+    :meth:`observe` performs the A2C update for that episode.  Completed
+    sequences are registered through
+    :meth:`~repro.qor.QoREvaluator.evaluate_many`, so an attached
+    :class:`repro.engine.EvaluationEngine` scores them in the worker
+    pool.  (A2C updates after every episode, so its batches are single
+    episodes by construction.)
     """
 
     name = "DRiLLS (A2C)"
@@ -41,34 +50,60 @@ class A2COptimiser(SequenceOptimiser):
         self.use_graph_features = use_graph_features
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Collect episodes until ``budget`` sequences have been tested."""
-        env = SynthesisEnvironment(evaluator, space=self.space,
-                                   use_graph_features=self.use_graph_features)
-        network = PolicyValueNetwork(
+    # Batch protocol (episode-shaped)
+    # ------------------------------------------------------------------
+    def attach_environment(self, env: SynthesisEnvironment) -> None:
+        """Bind the MDP and build the policy/value networks for it."""
+        self._env = env
+        self._network = PolicyValueNetwork(
             state_dim=env.state_dim,
             num_actions=env.num_actions,
             hidden_dim=self.hidden_dim,
             learning_rate=self.learning_rate,
             seed=self.seed,
         )
-        episode_returns: List[float] = []
+        self._episode_returns: List[float] = []
+        self._pending_episode = None
+
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """Roll out one episode with the current policy; returns its sequence."""
+        if getattr(self, "_env", None) is None:
+            raise RuntimeError("attach_environment() must be called before suggest()")
+        states, actions, rewards = self._rollout(self._env, self._network)
+        self._pending_episode = (states, actions, rewards)
+        return np.array([self._env.current_sequence()], dtype=int)
+
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """A2C update for the episode proposed by the last :meth:`suggest`."""
+        assert self._pending_episode is not None
+        states, actions, rewards = self._pending_episode
+        self._pending_episode = None
+        returns = self._discounted_returns(rewards)
+        values = np.array([self._network.state_value(s) for s in states])
+        advantages = returns - values
+        if np.std(advantages) > 1e-8:
+            advantages = (advantages - advantages.mean()) / advantages.std()
+        self._network.policy_gradient_step(
+            np.array(states), np.array(actions), advantages,
+            entropy_coefficient=self.entropy_coefficient,
+        )
+        self._network.value_step(np.array(states), returns)
+        self._episode_returns.append(float(np.sum(rewards)))
+
+    # ------------------------------------------------------------------
+    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
+        """Collect episodes until ``budget`` sequences have been tested."""
+        self.attach_environment(SynthesisEnvironment(
+            evaluator, space=self.space,
+            use_graph_features=self.use_graph_features, auto_register=False,
+        ))
         while evaluator.num_evaluations < budget:
-            states, actions, rewards = self._rollout(env, network)
-            returns = self._discounted_returns(rewards)
-            values = np.array([network.state_value(s) for s in states])
-            advantages = returns - values
-            if np.std(advantages) > 1e-8:
-                advantages = (advantages - advantages.mean()) / advantages.std()
-            network.policy_gradient_step(
-                np.array(states), np.array(actions), advantages,
-                entropy_coefficient=self.entropy_coefficient,
-            )
-            network.value_step(np.array(states), returns)
-            episode_returns.append(float(np.sum(rewards)))
+            rows = self.suggest(1)
+            records = self._evaluate_batch(evaluator, rows)
+            self.observe(rows, records)
 
         result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata["episode_returns"] = episode_returns
+        result.metadata["episode_returns"] = self._episode_returns
         return result
 
     # ------------------------------------------------------------------

@@ -39,10 +39,17 @@ class SynthesisEnvironment:
         evaluator: QoREvaluator,
         space: Optional[SequenceSpace] = None,
         use_graph_features: bool = False,
+        auto_register: bool = True,
     ) -> None:
         self.evaluator = evaluator
         self.space = space if space is not None else SequenceSpace()
         self.use_graph_features = use_graph_features
+        #: When ``True`` (default) every completed episode registers its
+        #: sequence with the evaluator directly.  The batch-protocol
+        #: optimisers set ``False`` and submit finished sequences through
+        #: :meth:`~repro.qor.QoREvaluator.evaluate_many` instead, so an
+        #: attached engine can score them in worker processes.
+        self.auto_register = auto_register
         self.mapper: LutMapper = evaluator.mapper
         self._initial_aig = evaluator.aig
         self._initial_stats = self._initial_aig.stats()
@@ -92,7 +99,7 @@ class SynthesisEnvironment:
         reward = self._current_qor - new_qor
         self._current_qor = new_qor
         done = len(self._sequence) >= self.episode_length
-        if done:
+        if done and self.auto_register:
             # Register the completed sequence with the evaluator so that the
             # run's sample count and history match the other optimisers.
             self.evaluator.evaluate(self.space.to_names(self._sequence))

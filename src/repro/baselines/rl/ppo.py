@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -10,7 +10,7 @@ from repro.baselines.rl.env import SynthesisEnvironment
 from repro.baselines.rl.networks import PolicyValueNetwork
 from repro.bo.base import OptimisationResult, SequenceOptimiser
 from repro.bo.space import SequenceSpace
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 class PPOOptimiser(SequenceOptimiser):
@@ -19,6 +19,23 @@ class PPOOptimiser(SequenceOptimiser):
     Episodes are collected in small batches; each batch is reused for a few
     epochs of clipped policy updates, which is PPO's defining difference
     from A2C.
+
+    The batch protocol mirrors that structure: :meth:`suggest` rolls out
+    up to ``episodes_per_batch`` episodes with the fixed current policy
+    and returns their sequences as one batch, and :meth:`observe` runs
+    the clipped update epochs on the collected batch.  All finished
+    sequences are registered through
+    :meth:`~repro.qor.QoREvaluator.evaluate_many`, so an attached engine
+    scores a whole PPO batch in parallel.
+
+    Near budget exhaustion the caller caps the batch at the *remaining*
+    budget so a batch can never overshoot it.  This is slightly more
+    conservative than the old per-episode inner loop: a memoised
+    duplicate episode costs no budget, so with one evaluation left the
+    old loop could still group a duplicate with a fresh episode into one
+    update batch where this cap yields two single-episode updates.  The
+    budget accounting is identical; only the update grouping in that
+    corner differs.
     """
 
     name = "DRiLLS (PPO)"
@@ -47,54 +64,81 @@ class PPOOptimiser(SequenceOptimiser):
         self.use_graph_features = use_graph_features
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Collect PPO batches until ``budget`` sequences have been tested."""
-        env = SynthesisEnvironment(evaluator, space=self.space,
-                                   use_graph_features=self.use_graph_features)
-        network = PolicyValueNetwork(
+    # Batch protocol (episode-batch-shaped)
+    # ------------------------------------------------------------------
+    def attach_environment(self, env: SynthesisEnvironment) -> None:
+        """Bind the MDP and build the policy/value networks for it."""
+        self._env = env
+        self._network = PolicyValueNetwork(
             state_dim=env.state_dim,
             num_actions=env.num_actions,
             hidden_dim=self.hidden_dim,
             learning_rate=self.learning_rate,
             seed=self.seed,
         )
-        episode_returns: List[float] = []
+        self._episode_returns: List[float] = []
+        self._pending_batch: List[tuple] = []
+
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """Roll out up to ``min(n, episodes_per_batch)`` episodes."""
+        if getattr(self, "_env", None) is None:
+            raise RuntimeError("attach_environment() must be called before suggest()")
+        count = min(max(1, int(n)), self.episodes_per_batch)
+        self._pending_batch = []
+        rows: List[List[int]] = []
+        for _ in range(count):
+            states, actions, rewards, old_probs = self._rollout(self._env, self._network)
+            self._pending_batch.append((states, actions, rewards, old_probs))
+            rows.append(self._env.current_sequence())
+        return np.array(rows, dtype=int)
+
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """Clipped-surrogate update epochs on the collected episode batch."""
+        batch_states: List[np.ndarray] = []
+        batch_actions: List[int] = []
+        batch_returns: List[float] = []
+        batch_old_probs: List[float] = []
+        for states, actions, rewards, old_probs in self._pending_batch:
+            returns = self._discounted_returns(rewards)
+            batch_states.extend(states)
+            batch_actions.extend(actions)
+            batch_returns.extend(returns.tolist())
+            batch_old_probs.extend(old_probs)
+            self._episode_returns.append(float(np.sum(rewards)))
+        self._pending_batch = []
+        if not batch_states:
+            return
+        states_arr = np.array(batch_states)
+        actions_arr = np.array(batch_actions, dtype=int)
+        returns_arr = np.array(batch_returns)
+        old_probs_arr = np.array(batch_old_probs)
+        values = np.array([self._network.state_value(s) for s in batch_states])
+        advantages = returns_arr - values
+        if np.std(advantages) > 1e-8:
+            advantages = (advantages - advantages.mean()) / advantages.std()
+        for _ in range(self.update_epochs):
+            self._network.policy_gradient_step(
+                states_arr, actions_arr, advantages,
+                entropy_coefficient=self.entropy_coefficient,
+                old_probs=old_probs_arr,
+                clip_epsilon=self.clip_epsilon,
+            )
+            self._network.value_step(states_arr, returns_arr)
+
+    # ------------------------------------------------------------------
+    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
+        """Collect PPO batches until ``budget`` sequences have been tested."""
+        self.attach_environment(SynthesisEnvironment(
+            evaluator, space=self.space,
+            use_graph_features=self.use_graph_features, auto_register=False,
+        ))
         while evaluator.num_evaluations < budget:
-            batch_states: List[np.ndarray] = []
-            batch_actions: List[int] = []
-            batch_returns: List[float] = []
-            batch_old_probs: List[float] = []
-            for _ in range(self.episodes_per_batch):
-                if evaluator.num_evaluations >= budget:
-                    break
-                states, actions, rewards, old_probs = self._rollout(env, network)
-                returns = self._discounted_returns(rewards)
-                batch_states.extend(states)
-                batch_actions.extend(actions)
-                batch_returns.extend(returns.tolist())
-                batch_old_probs.extend(old_probs)
-                episode_returns.append(float(np.sum(rewards)))
-            if not batch_states:
-                break
-            states_arr = np.array(batch_states)
-            actions_arr = np.array(batch_actions, dtype=int)
-            returns_arr = np.array(batch_returns)
-            old_probs_arr = np.array(batch_old_probs)
-            values = np.array([network.state_value(s) for s in batch_states])
-            advantages = returns_arr - values
-            if np.std(advantages) > 1e-8:
-                advantages = (advantages - advantages.mean()) / advantages.std()
-            for _ in range(self.update_epochs):
-                network.policy_gradient_step(
-                    states_arr, actions_arr, advantages,
-                    entropy_coefficient=self.entropy_coefficient,
-                    old_probs=old_probs_arr,
-                    clip_epsilon=self.clip_epsilon,
-                )
-                network.value_step(states_arr, returns_arr)
+            rows = self.suggest(budget - evaluator.num_evaluations)
+            records = self._evaluate_batch(evaluator, rows)
+            self.observe(rows, records)
 
         result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata["episode_returns"] = episode_returns
+        result.metadata["episode_returns"] = self._episode_returns
         return result
 
     # ------------------------------------------------------------------

@@ -96,8 +96,11 @@ class SequenceOptimiser(ABC):
 
         Returns an ``(m, K)`` array with ``1 <= m <= n`` (an optimiser may
         propose fewer than asked — e.g. a sequential BO round yields one
-        candidate).  Implemented by batch-capable optimisers; the default
-        raises :class:`NotImplementedError`.
+        candidate).  Rows proposing sequences shorter than ``K`` (greedy
+        prefixes) are right-padded with ``-1`` sentinels; drivers must
+        strip those before evaluation, which :meth:`_evaluate_batch` does.
+        Implemented by batch-capable optimisers; the default raises
+        :class:`NotImplementedError`.
         """
         raise NotImplementedError(f"{type(self).__name__} does not implement suggest()")
 
@@ -128,11 +131,15 @@ class SequenceOptimiser(ABC):
         Goes through :meth:`QoREvaluator.evaluate_many`, so uncached work
         runs on the evaluator's attached engine (if any) and accounting
         matches the equivalent sequence of single evaluations exactly.
+        ``-1`` padding sentinels (variable-length proposals, see
+        :meth:`suggest`) are stripped before conversion.
         """
         rows = np.atleast_2d(np.asarray(rows, dtype=int))
         if rows.size == 0:
             return []
-        return evaluator.evaluate_many([self.space.to_names(row) for row in rows])
+        return evaluator.evaluate_many(
+            [self.space.to_names([op for op in row if op >= 0]) for row in rows]
+        )
 
     def _build_result(self, evaluator: QoREvaluator, circuit_name: str) -> OptimisationResult:
         """Package the evaluator's history into an :class:`OptimisationResult`."""

@@ -142,14 +142,16 @@ class BOiLS(SequenceOptimiser):
         best_value = float(self._y[incumbent_idx])
         self._last_best_value = best_value
 
-        # Step 1: fit the surrogate (refit decays periodically).
+        # Step 1: fit the surrogate (refit decays periodically).  Rounds
+        # that keep the hyperparameters extend the previous Cholesky
+        # factor incrementally instead of refactorising from scratch.
         if self._rounds % self.fit_every == 0 and len(self._y) >= 2:
             self._gp.fit_hyperparameters(
                 self._X, self._y, num_steps=self.adam_steps,
                 param_names=["theta_match", "theta_gap"],
             )
         else:
-            self._gp.fit(self._X, self._y)
+            self._gp.update_or_fit(self._X, self._y)
 
         # Step 2: maximise the acquisition inside the trust region.
         acquisition_fn = get_acquisition(self.acquisition_name)

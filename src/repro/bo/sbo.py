@@ -7,11 +7,22 @@ modifications: sequences are modelled with a *positional* categorical
 kernel (no sub-sequence structure) and the acquisition is maximised by
 unrestricted stochastic local search over the whole space (no trust
 region).
+
+The solver implements the batch protocol
+(:meth:`~repro.bo.base.SequenceOptimiser.suggest` /
+:meth:`~repro.bo.base.SequenceOptimiser.observe`): the random initial
+design is proposed as one batch and each acquisition round proposes up to
+``batch_size`` distinct candidates from the scored pool, so an attached
+:class:`repro.engine.EvaluationEngine` evaluates whole batches across
+worker processes.  With the default ``batch_size=1`` the optimisation
+trace matches the sequential algorithm.  Rounds that do not refit the
+kernel hyperparameters condition the GP incrementally
+(:meth:`repro.gp.GaussianProcess.update_or_fit`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -21,7 +32,7 @@ from repro.bo.space import SequenceSpace
 from repro.gp.gp import GaussianProcess
 from repro.gp.kernels.categorical import TransformedOverlapKernel
 from repro.gp.kernels.continuous import SquaredExponentialKernel
-from repro.qor.evaluator import QoREvaluator
+from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 
 
 class StandardBO(SequenceOptimiser):
@@ -34,6 +45,9 @@ class StandardBO(SequenceOptimiser):
         integer encoding (default); ``"onehot-se"`` — squared-exponential
         kernel on a one-hot encoding (closer to a vanilla continuous-BO
         port such as HEBO's default pipeline).
+    batch_size:
+        Black-box evaluations proposed per acquisition round; ``1``
+        reproduces the sequential baseline.
     """
 
     name = "SBO"
@@ -49,6 +63,7 @@ class StandardBO(SequenceOptimiser):
         adam_steps: int = 10,
         search_candidates: int = 300,
         noise_variance: float = 1e-4,
+        batch_size: int = 1,
     ) -> None:
         super().__init__(space=space, seed=seed)
         self.num_initial = num_initial
@@ -58,6 +73,20 @@ class StandardBO(SequenceOptimiser):
         self.adam_steps = adam_steps
         self.search_candidates = search_candidates
         self.noise_variance = noise_variance
+        self.batch_size = max(1, batch_size)
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    # Run state
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._evaluated: Set[Tuple[int, ...]] = set()
+        self._kernel = None
+        self._fit_param_names: List[str] = []
+        self._gp: Optional[GaussianProcess] = None
+        self._rounds = 0
 
     # ------------------------------------------------------------------
     def _encode(self, X: np.ndarray) -> np.ndarray:
@@ -78,65 +107,92 @@ class StandardBO(SequenceOptimiser):
         return kernel, ["lengthscale", "variance"]
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Run standard BO for ``budget`` black-box evaluations."""
-        space = self.space
-        rng = self.rng
+    # Batch protocol
+    # ------------------------------------------------------------------
+    def suggest(self, n: int = 1) -> np.ndarray:
+        """Propose the next batch: initial design or acquisition picks."""
+        n = max(1, int(n))
+        if self._X is None:
+            return self.space.sample(min(self.num_initial, n), self.rng)
+        return self._suggest_candidates(min(n, self.batch_size))
+
+    def _suggest_candidates(self, count: int) -> np.ndarray:
+        assert self._X is not None and self._y is not None
+        self._rounds += 1
+        best_value = float(np.max(self._y))
+        encoded = self._encode(self._X)
+        if self._rounds % self.fit_every == 0 and len(self._y) >= 2:
+            self._gp.fit_hyperparameters(encoded, self._y, num_steps=self.adam_steps,
+                                         param_names=self._fit_param_names)
+        else:
+            self._gp.update_or_fit(encoded, self._y)
+
         acquisition_fn = get_acquisition(self.acquisition_name)
 
-        num_initial = min(self.num_initial, max(1, budget))
-        X = space.sample(num_initial, rng)
-        y = np.array([-self._evaluate(evaluator, row) for row in X], dtype=float)
-        evaluated: Set[Tuple[int, ...]] = {tuple(row.tolist()) for row in X}
+        def acquisition(candidates: np.ndarray) -> np.ndarray:
+            mean, std = self._gp.predict(self._encode(candidates))
+            if self.acquisition_name == "ucb":
+                return acquisition_fn(mean, std)
+            return acquisition_fn(mean, std, best_value)
 
-        kernel, fit_params = self._make_kernel()
-        gp = GaussianProcess(kernel, noise_variance=self.noise_variance)
+        # Global candidate pool: random samples plus hill-climbing
+        # around the incumbent, with no trust-region restriction.
+        incumbent = self._X[int(np.argmax(self._y))]
+        candidates = [self.space.sample(self.search_candidates // 2, self.rng)]
+        local = np.array(
+            [self.space.random_neighbour(incumbent, self.rng,
+                                         num_changes=int(self.rng.integers(1, 4)))
+             for _ in range(self.search_candidates // 2)],
+            dtype=int,
+        )
+        candidates.append(local)
+        pool = np.vstack(candidates)
+        scores = acquisition(pool)
+        order = np.argsort(-scores)
+        rows: List[np.ndarray] = []
+        taken: Set[Tuple[int, ...]] = set(self._evaluated)
+        for idx in order:
+            if len(rows) >= count:
+                break
+            key = tuple(pool[idx].tolist())
+            if key in taken:
+                continue
+            taken.add(key)
+            rows.append(pool[idx])
+        while len(rows) < count:
+            # Pool exhausted (everything already evaluated): fall back to
+            # fresh uniform draws, mirroring the sequential baseline.
+            rows.append(self.space.sample(1, self.rng)[0])
+        return np.array(rows, dtype=int)
 
-        rounds = 0
+    def observe(self, rows: np.ndarray, records: Sequence[SequenceEvaluation]) -> None:
+        """Absorb scored rows into the GP data set."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=int))
+        values = np.array([-record.qor for record in records], dtype=float)
+        if self._X is None:
+            self._X = rows.copy()
+            self._y = values
+            self._kernel, self._fit_param_names = self._make_kernel()
+            self._gp = GaussianProcess(self._kernel, noise_variance=self.noise_variance)
+        else:
+            self._X = np.vstack([self._X, rows])
+            self._y = np.append(self._y, values)
+        for row in rows:
+            self._evaluated.add(tuple(row.tolist()))
+
+    # ------------------------------------------------------------------
+    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
+        """Run standard BO for ``budget`` black-box evaluations."""
+        self._reset_state()
+
+        rows = self.suggest(max(1, budget))
+        self.observe(rows, self._evaluate_batch(evaluator, rows))
+
         while evaluator.num_evaluations < budget:
-            rounds += 1
-            best_value = float(np.max(y))
-            encoded = self._encode(X)
-            if rounds % self.fit_every == 0 and len(y) >= 2:
-                gp.fit_hyperparameters(encoded, y, num_steps=self.adam_steps,
-                                       param_names=fit_params)
-            else:
-                gp.fit(encoded, y)
-
-            def acquisition(candidates: np.ndarray) -> np.ndarray:
-                mean, std = gp.predict(self._encode(candidates))
-                if self.acquisition_name == "ucb":
-                    return acquisition_fn(mean, std)
-                return acquisition_fn(mean, std, best_value)
-
-            # Global candidate pool: random samples plus hill-climbing
-            # around the incumbent, with no trust-region restriction.
-            incumbent = X[int(np.argmax(y))]
-            candidates = [space.sample(self.search_candidates // 2, rng)]
-            local = np.array(
-                [space.random_neighbour(incumbent, rng,
-                                        num_changes=int(rng.integers(1, 4)))
-                 for _ in range(self.search_candidates // 2)],
-                dtype=int,
-            )
-            candidates.append(local)
-            pool = np.vstack(candidates)
-            scores = acquisition(pool)
-            order = np.argsort(-scores)
-            chosen = None
-            for idx in order:
-                key = tuple(pool[idx].tolist())
-                if key not in evaluated:
-                    chosen = pool[idx]
-                    break
-            if chosen is None:
-                chosen = space.sample(1, rng)[0]
-
-            value = -self._evaluate(evaluator, chosen)
-            evaluated.add(tuple(chosen.tolist()))
-            X = np.vstack([X, chosen[None, :]])
-            y = np.append(y, value)
+            rows = self.suggest(budget - evaluator.num_evaluations)
+            self.observe(rows, self._evaluate_batch(evaluator, rows))
 
         result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata.update({"kernel_params": kernel.get_params(), "num_rounds": rounds})
+        result.metadata.update({"kernel_params": self._kernel.get_params(),
+                                "num_rounds": self._rounds})
         return result

@@ -47,8 +47,24 @@ class SequenceSpace:
     # Conversions
     # ------------------------------------------------------------------
     def to_names(self, indices: Sequence[int]) -> List[str]:
-        """Convert an integer vector into operation names."""
-        return [self.alphabet[int(i)] for i in indices]
+        """Convert an integer vector into operation names.
+
+        Negative indices are rejected: ``-1`` is the batch protocol's
+        variable-length padding sentinel (see
+        :meth:`repro.bo.base.SequenceOptimiser.suggest`) and must be
+        stripped before conversion, not silently wrapped to the last
+        alphabet entry.
+        """
+        result = []
+        for i in indices:
+            index = int(i)
+            if index < 0:
+                raise ValueError(
+                    f"negative operation index {index}: strip -1 padding "
+                    "sentinels before converting a protocol row to names"
+                )
+            result.append(self.alphabet[index])
+        return result
 
     def to_indices(self, sequence: Sequence[Union[str, int]]) -> np.ndarray:
         """Convert a sequence of names/indices into an integer vector."""

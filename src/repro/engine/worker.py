@@ -122,7 +122,15 @@ def run_grid_cell(payload: Dict[str, object]) -> Tuple[int, object]:
         seed=int(payload["seed"]),  # type: ignore[arg-type]
         **dict(payload.get("overrides") or {}),  # type: ignore[arg-type]
     )
-    result = optimiser.optimise(evaluator, budget=int(payload["budget"]))  # type: ignore[arg-type]
+    # Persistent-cache writes are buffered and committed once per cell:
+    # one SQLite transaction instead of one per evaluation, so workers do
+    # not contend for the writer lock at high --jobs.
+    evaluator.defer_persistent_writes(True)
+    try:
+        result = optimiser.optimise(evaluator, budget=int(payload["budget"]))  # type: ignore[arg-type]
+    finally:
+        # Turning deferral off flushes anything still buffered.
+        evaluator.defer_persistent_writes(False)
     result.circuit = spec.circuit
     return int(payload["index"]), result  # type: ignore[arg-type]
 

@@ -1,0 +1,170 @@
+"""Reference (pre-optimisation) K-LUT mapper, kept for equivalence tests.
+
+Preserves the dict-based two-phase mapper exactly as it shipped before the
+array-backed rework of :mod:`repro.mapping.lut_mapper`.  The golden
+equivalence suite asserts the optimised mapper is bit-identical to this
+one; the substrate benchmark measures the speedup ratio the CI perf gate
+tracks.  Do not optimise this file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.aig._reference import enumerate_cuts_reference
+from repro.aig.cuts import Cut
+from repro.aig.graph import AIG, lit_var
+from repro.mapping.lut_mapper import Lut, MappingResult
+
+
+class ReferenceLutMapper:
+    """The original dict-chasing two-phase mapper (see module docstring)."""
+
+    def __init__(self, lut_size: int = 6, max_cuts: int = 8, area_iterations: int = 2) -> None:
+        if lut_size < 2:
+            raise ValueError("lut_size must be at least 2")
+        self.lut_size = lut_size
+        self.max_cuts = max_cuts
+        self.area_iterations = area_iterations
+
+    # ------------------------------------------------------------------
+    def map(self, aig: AIG) -> MappingResult:
+        if aig.num_ands == 0:
+            return MappingResult(area=0, delay=0, luts=[], lut_size=self.lut_size)
+
+        cuts = enumerate_cuts_reference(aig, k=self.lut_size, max_cuts=self.max_cuts,
+                                        include_trivial=False, depths=aig.levels())
+        and_vars = [n.var for n in aig.and_nodes()]
+        fanouts = aig.fanout_counts()
+
+        best_cut: Dict[int, Cut] = {}
+        arrival: Dict[int, int] = {0: 0}
+        for pi in aig.pis:
+            arrival[pi] = 0
+        area_flow: Dict[int, float] = {0: 0.0}
+        for pi in aig.pis:
+            area_flow[pi] = 0.0
+
+        for var in and_vars:
+            node_cuts = cuts.get(var) or [Cut(tuple(sorted(
+                {lit_var(f) for f in aig.fanins(var)})))]
+            best = None
+            for cut in node_cuts:
+                arr = 1 + max(arrival.get(leaf, 0) for leaf in cut.leaves)
+                flow = 1.0 + sum(
+                    area_flow.get(leaf, 0.0) / max(1, fanouts[leaf]) for leaf in cut.leaves
+                )
+                key = (arr, flow, cut.size, cut.leaves)
+                if best is None or key < best[0]:
+                    best = (key, cut)
+            assert best is not None
+            (arr, flow, _, _), cut = best
+            best_cut[var] = cut
+            arrival[var] = arr
+            area_flow[var] = flow
+
+        delay = max((arrival.get(lit_var(po), 0) for po in aig.pos), default=0)
+
+        required = self._required_times(aig, and_vars, best_cut, arrival, delay)
+        for _ in range(self.area_iterations):
+            refs = self._mapping_references(aig, and_vars, best_cut)
+            for var in and_vars:
+                node_cuts = cuts.get(var, [])
+                if not node_cuts:
+                    continue
+                best = None
+                for cut in node_cuts:
+                    arr = 1 + max(arrival.get(leaf, 0) for leaf in cut.leaves)
+                    if arr > required[var]:
+                        continue
+                    area_cost = 1.0 + sum(
+                        0.0 if (not aig.is_and(leaf)) or refs.get(leaf, 0) > 0
+                        else area_flow.get(leaf, 1.0)
+                        for leaf in cut.leaves
+                    )
+                    key = (area_cost, arr, cut.size, cut.leaves)
+                    if best is None or key < best[0]:
+                        best = (key, cut)
+                if best is not None:
+                    best_cut[var] = best[1]
+                    arrival[var] = 1 + max(arrival.get(leaf, 0) for leaf in best[1].leaves)
+            required = self._required_times(aig, and_vars, best_cut, arrival, delay)
+
+        luts = self._materialise(aig, best_cut)
+        lut_delay = self._cover_depth(aig, luts)
+        return MappingResult(area=len(luts), delay=lut_delay, luts=luts,
+                             lut_size=self.lut_size)
+
+    # ------------------------------------------------------------------
+    def _required_times(
+        self,
+        aig: AIG,
+        and_vars: Sequence[int],
+        best_cut: Dict[int, Cut],
+        arrival: Dict[int, int],
+        delay: int,
+    ) -> Dict[int, int]:
+        required = {var: delay for var in and_vars}
+        for pi in aig.pis:
+            required[pi] = delay
+        required[0] = delay
+        for po in aig.pos:
+            var = lit_var(po)
+            if var in required:
+                required[var] = min(required[var], delay)
+        for var in reversed(list(and_vars)):
+            cut = best_cut.get(var)
+            if cut is None:
+                continue
+            for leaf in cut.leaves:
+                if leaf in required:
+                    required[leaf] = min(required[leaf], required[var] - 1)
+        return required
+
+    def _mapping_references(
+        self, aig: AIG, and_vars: Sequence[int], best_cut: Dict[int, Cut]
+    ) -> Dict[int, int]:
+        refs: Dict[int, int] = {}
+        stack = [lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))]
+        visited = set()
+        while stack:
+            var = stack.pop()
+            if var in visited:
+                continue
+            visited.add(var)
+            cut = best_cut.get(var)
+            if cut is None:
+                continue
+            for leaf in cut.leaves:
+                refs[leaf] = refs.get(leaf, 0) + 1
+                if aig.is_and(leaf) and leaf not in visited:
+                    stack.append(leaf)
+        for po in aig.pos:
+            var = lit_var(po)
+            refs[var] = refs.get(var, 0) + 1
+        return refs
+
+    def _materialise(self, aig: AIG, best_cut: Dict[int, Cut]) -> List[Lut]:
+        selected: Dict[int, Lut] = {}
+        stack = [lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))]
+        while stack:
+            var = stack.pop()
+            if var in selected:
+                continue
+            cut = best_cut.get(var)
+            if cut is None:
+                f0, f1 = aig.fanins(var)
+                cut = Cut(tuple(sorted({lit_var(f0), lit_var(f1)})))
+            selected[var] = Lut(root=var, leaves=cut.leaves)
+            for leaf in cut.leaves:
+                if aig.is_and(leaf) and leaf not in selected:
+                    stack.append(leaf)
+        return [selected[var] for var in sorted(selected)]
+
+    def _cover_depth(self, aig: AIG, luts: List[Lut]) -> int:
+        depth: Dict[int, int] = {0: 0}
+        for pi in aig.pis:
+            depth[pi] = 0
+        for lut in luts:
+            depth[lut.root] = 1 + max(depth.get(leaf, 0) for leaf in lut.leaves)
+        return max((depth.get(lit_var(po), 0) for po in aig.pos), default=0)

@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.aig.cuts import Cut, enumerate_cuts
-from repro.aig.graph import AIG, lit_var
+from repro.aig.cuts import enumerate_cuts
+from repro.aig.graph import AIG
 
 
 @dataclass(frozen=True)
@@ -74,75 +74,106 @@ class LutMapper:
 
     # ------------------------------------------------------------------
     def map(self, aig: AIG) -> MappingResult:
-        """Map an AIG and return area/delay statistics plus the LUT cover."""
+        """Map an AIG and return area/delay statistics plus the LUT cover.
+
+        Per-node state (arrival times, area flow, required times, cover
+        reference counts) lives in flat lists indexed by variable, and the
+        inner loops work on pre-extracted leaf tuples — no dataclass or
+        dict chasing.  Selection keys are unchanged, so the cover is
+        bit-identical to :class:`repro.mapping._reference.ReferenceLutMapper`.
+        """
         if aig.num_ands == 0:
             # Outputs are PIs or constants: zero LUTs, zero levels.
             return MappingResult(area=0, delay=0, luts=[], lut_size=self.lut_size)
 
         cuts = enumerate_cuts(aig, k=self.lut_size, max_cuts=self.max_cuts,
                               include_trivial=False, depths=aig.levels())
-        po_vars = {lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))}
-        and_vars = [n.var for n in aig.and_nodes()]
-        fanouts = aig.fanout_counts()
+        num_vars = aig.num_vars
+        is_and = aig.node_arrays()[0]
+        and_vars = [var for var in range(1, num_vars) if is_and[var]]
+        fanouts = aig.fanout_array()
+        po_and_vars = [po >> 1 for po in aig.pos if is_and[po >> 1]]
+
+        # Per-node cut lists with pre-extracted leaf tuples.
+        node_cut_leaves: List[List[Tuple[int, ...]]] = [[] for _ in range(num_vars)]
+        for var in and_vars:
+            node_cuts = cuts.get(var)
+            if node_cuts:
+                node_cut_leaves[var] = [cut.leaves for cut in node_cuts]
+            else:  # pragma: no cover - defensive, mirrors reference
+                f0, f1 = aig.fanins(var)
+                node_cut_leaves[var] = [tuple(sorted({f0 >> 1, f1 >> 1}))]
 
         # Phase 1: depth-oriented cut selection.
-        best_cut: Dict[int, Cut] = {}
-        arrival: Dict[int, int] = {0: 0}
-        for pi in aig.pis:
-            arrival[pi] = 0
-        area_flow: Dict[int, float] = {0: 0.0}
-        for pi in aig.pis:
-            area_flow[pi] = 0.0
+        best_leaves: List[Optional[Tuple[int, ...]]] = [None] * num_vars
+        arrival = [0] * num_vars
+        area_flow = [0.0] * num_vars
+        # area_flow[leaf] / max(1, fanouts[leaf]) is re-read once per cut
+        # per fanout; precompute it as values become final (phase 1 runs in
+        # topological order, so a leaf's flow is fixed before it is read).
+        flow_term = [0.0] * num_vars
 
         for var in and_vars:
-            node_cuts = cuts.get(var) or [Cut(tuple(sorted(
-                {lit_var(f) for f in aig.fanins(var)})))]
+            best_key = None
             best = None
-            for cut in node_cuts:
-                arr = 1 + max(arrival.get(leaf, 0) for leaf in cut.leaves)
-                flow = 1.0 + sum(
-                    area_flow.get(leaf, 0.0) / max(1, fanouts[leaf]) for leaf in cut.leaves
-                )
-                key = (arr, flow, cut.size, cut.leaves)
-                if best is None or key < best[0]:
-                    best = (key, cut)
+            for leaves in node_cut_leaves[var]:
+                arr = 0
+                flow = 0.0
+                for leaf in leaves:
+                    a = arrival[leaf]
+                    if a > arr:
+                        arr = a
+                    flow += flow_term[leaf]
+                key = (arr + 1, 1.0 + flow, len(leaves), leaves)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = leaves
             assert best is not None
-            (arr, flow, _, _), cut = best
-            best_cut[var] = cut
-            arrival[var] = arr
-            area_flow[var] = flow
+            best_leaves[var] = best
+            arrival[var] = best_key[0]
+            area_flow[var] = best_key[1]
+            flow_term[var] = best_key[1] / max(1, fanouts[var])
 
-        delay = max((arrival.get(lit_var(po), 0) for po in aig.pos), default=0)
+        delay = max((arrival[po >> 1] for po in aig.pos), default=0)
 
         # Phase 2: area recovery under the fixed required times.
-        required = self._required_times(aig, and_vars, best_cut, arrival, delay)
+        required = self._required_times(aig, and_vars, best_leaves, delay)
         for _ in range(self.area_iterations):
-            refs = self._mapping_references(aig, and_vars, best_cut)
+            refs = self._mapping_references(aig, is_and, po_and_vars, best_leaves)
             for var in and_vars:
-                node_cuts = cuts.get(var, [])
+                node_cuts = cuts.get(var)
                 if not node_cuts:
                     continue
+                best_key = None
                 best = None
-                for cut in node_cuts:
-                    arr = 1 + max(arrival.get(leaf, 0) for leaf in cut.leaves)
-                    if arr > required[var]:
+                allowed = required[var]
+                for leaves in node_cut_leaves[var]:
+                    arr = 0
+                    for leaf in leaves:
+                        a = arrival[leaf]
+                        if a > arr:
+                            arr = a
+                    arr += 1
+                    if arr > allowed:
                         continue
                     # Exact-ish local area: LUTs that would become
-                    # unreferenced count as savings.
-                    area_cost = 1.0 + sum(
-                        0.0 if (not aig.is_and(leaf)) or refs.get(leaf, 0) > 0
-                        else area_flow.get(leaf, 1.0)
-                        for leaf in cut.leaves
-                    )
-                    key = (area_cost, arr, cut.size, cut.leaves)
-                    if best is None or key < best[0]:
-                        best = (key, cut)
+                    # unreferenced count as savings.  (Skipping the zero
+                    # terms keeps the float sum bit-identical: adding 0.0
+                    # to a non-negative partial sum is the identity.)
+                    area_cost = 0.0
+                    for leaf in leaves:
+                        if is_and[leaf] and refs[leaf] == 0:
+                            area_cost += area_flow[leaf]
+                    key = (1.0 + area_cost, arr, len(leaves), leaves)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = leaves
                 if best is not None:
-                    best_cut[var] = best[1]
-                    arrival[var] = 1 + max(arrival.get(leaf, 0) for leaf in best[1].leaves)
-            required = self._required_times(aig, and_vars, best_cut, arrival, delay)
+                    best_leaves[var] = best
+                    arrival[var] = best_key[1]
+            required = self._required_times(aig, and_vars, best_leaves, delay)
 
-        luts = self._materialise(aig, best_cut)
+        luts = self._materialise(aig, is_and, po_and_vars, best_leaves)
         lut_delay = self._cover_depth(aig, luts)
         return MappingResult(area=len(luts), delay=lut_delay, luts=luts,
                              lut_size=self.lut_size)
@@ -152,79 +183,78 @@ class LutMapper:
         self,
         aig: AIG,
         and_vars: Sequence[int],
-        best_cut: Dict[int, Cut],
-        arrival: Dict[int, int],
+        best_leaves: Sequence[Optional[Tuple[int, ...]]],
         delay: int,
-    ) -> Dict[int, int]:
-        required = {var: delay for var in and_vars}
-        for pi in aig.pis:
-            required[pi] = delay
-        required[0] = delay
-        for po in aig.pos:
-            var = lit_var(po)
-            if var in required:
-                required[var] = min(required[var], delay)
-        for var in reversed(list(and_vars)):
-            cut = best_cut.get(var)
-            if cut is None:
+    ) -> List[int]:
+        required = [delay] * aig.num_vars
+        for var in reversed(and_vars):
+            leaves = best_leaves[var]
+            if leaves is None:
                 continue
-            for leaf in cut.leaves:
-                if leaf in required:
-                    required[leaf] = min(required[leaf], required[var] - 1)
+            limit = required[var] - 1
+            for leaf in leaves:
+                if limit < required[leaf]:
+                    required[leaf] = limit
         return required
 
     def _mapping_references(
-        self, aig: AIG, and_vars: Sequence[int], best_cut: Dict[int, Cut]
-    ) -> Dict[int, int]:
+        self,
+        aig: AIG,
+        is_and,
+        po_and_vars: Sequence[int],
+        best_leaves: Sequence[Optional[Tuple[int, ...]]],
+    ) -> List[int]:
         """How many selected LUTs / POs reference each variable as a leaf."""
-        refs: Dict[int, int] = {}
-        stack = [lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))]
-        visited = set()
+        refs = [0] * aig.num_vars
+        stack = list(po_and_vars)
+        visited = bytearray(aig.num_vars)
         while stack:
             var = stack.pop()
-            if var in visited:
+            if visited[var]:
                 continue
-            visited.add(var)
-            cut = best_cut.get(var)
-            if cut is None:
+            visited[var] = 1
+            leaves = best_leaves[var]
+            if leaves is None:
                 continue
-            for leaf in cut.leaves:
-                refs[leaf] = refs.get(leaf, 0) + 1
-                if aig.is_and(leaf) and leaf not in visited:
+            for leaf in leaves:
+                refs[leaf] += 1
+                if is_and[leaf] and not visited[leaf]:
                     stack.append(leaf)
         for po in aig.pos:
-            var = lit_var(po)
-            refs[var] = refs.get(var, 0) + 1
+            refs[po >> 1] += 1
         return refs
 
-    def _materialise(self, aig: AIG, best_cut: Dict[int, Cut]) -> List[Lut]:
+    def _materialise(
+        self,
+        aig: AIG,
+        is_and,
+        po_and_vars: Sequence[int],
+        best_leaves: Sequence[Optional[Tuple[int, ...]]],
+    ) -> List[Lut]:
         """Top-down cover extraction from the POs."""
         selected: Dict[int, Lut] = {}
-        stack = [lit_var(po) for po in aig.pos if aig.is_and(lit_var(po))]
+        stack = list(po_and_vars)
         while stack:
             var = stack.pop()
             if var in selected:
                 continue
-            cut = best_cut.get(var)
-            if cut is None:
-                # Shouldn't happen; map the node with its structural cut.
+            leaves = best_leaves[var]
+            if leaves is None:  # pragma: no cover - defensive, mirrors reference
                 f0, f1 = aig.fanins(var)
-                cut = Cut(tuple(sorted({lit_var(f0), lit_var(f1)})))
-            selected[var] = Lut(root=var, leaves=cut.leaves)
-            for leaf in cut.leaves:
-                if aig.is_and(leaf) and leaf not in selected:
+                leaves = tuple(sorted({f0 >> 1, f1 >> 1}))
+            selected[var] = Lut(root=var, leaves=leaves)
+            for leaf in leaves:
+                if is_and[leaf] and leaf not in selected:
                     stack.append(leaf)
         # Topological order by AIG variable index (valid because cuts only
         # reference lower (earlier) variables).
         return [selected[var] for var in sorted(selected)]
 
     def _cover_depth(self, aig: AIG, luts: List[Lut]) -> int:
-        depth: Dict[int, int] = {0: 0}
-        for pi in aig.pis:
-            depth[pi] = 0
+        depth = [0] * aig.num_vars
         for lut in luts:
-            depth[lut.root] = 1 + max(depth.get(leaf, 0) for leaf in lut.leaves)
-        return max((depth.get(lit_var(po), 0) for po in aig.pos), default=0)
+            depth[lut.root] = 1 + max(depth[leaf] for leaf in lut.leaves)
+        return max((depth[po >> 1] for po in aig.pos), default=0)
 
 
 def map_aig(aig: AIG, lut_size: int = 6, max_cuts: int = 8) -> MappingResult:

@@ -137,6 +137,11 @@ class QoREvaluator:
         self._num_evaluations = 0
         self._num_computed = 0
         self._num_persistent_hits = 0
+        # Deferred persistent writes (see defer_persistent_writes()):
+        # buffered (sequence, area, delay) rows flushed in one put_many.
+        self._defer_persistent = False
+        self._pending_writes: List[Tuple[Tuple[str, ...], int, int]] = []
+        self._pending_index: Dict[Tuple[str, ...], Tuple[int, int]] = {}
         self.history: List[SequenceEvaluation] = []
 
         # Reference area/delay (denominators of Equation 1).
@@ -182,6 +187,36 @@ class QoREvaluator:
         if self._cache_key is None:
             self._cache_key = f"{aig_fingerprint(self.aig)}:lut{self.lut_size}"
         return self._cache_key
+
+    # ------------------------------------------------------------------
+    # Deferred persistent writes
+    # ------------------------------------------------------------------
+    def defer_persistent_writes(self, defer: bool = True) -> None:
+        """Buffer persistent-cache writes instead of committing per entry.
+
+        With deferral on, fresh computations are collected in memory and
+        written in a single :meth:`PersistentQoRCache.put_many`
+        transaction by :meth:`flush_persistent_writes`.  The grid runner
+        uses this to commit once per cell rather than once per
+        evaluation, which removes SQLite writer contention at high
+        ``--jobs``.  Turning deferral off flushes any buffered rows.
+        """
+        if self._defer_persistent and not defer:
+            self.flush_persistent_writes()
+        self._defer_persistent = bool(defer)
+
+    def flush_persistent_writes(self) -> int:
+        """Commit buffered rows in one transaction; returns the row count."""
+        count = len(self._pending_writes)
+        if count and self._persistent is not None:
+            self._persistent.put_many(self.cache_key, self._pending_writes)
+        self._pending_writes = []
+        self._pending_index = {}
+        return count
+
+    @property
+    def num_pending_persistent_writes(self) -> int:
+        return len(self._pending_writes)
 
     # ------------------------------------------------------------------
     # Engine attachment
@@ -235,6 +270,11 @@ class QoREvaluator:
     def _persistent_lookup(self, names: Tuple[str, ...]) -> Optional[SequenceEvaluation]:
         if self._persistent is None:
             return None
+        pending = self._pending_index.get(names)
+        if pending is not None:
+            # Computed earlier in this run but not yet committed; serve it
+            # as a persistent hit so accounting matches the eager path.
+            return self._make_record(names, pending[0], pending[1])
         hit = self._persistent.get(self.cache_key, names)
         if hit is None:
             return None
@@ -257,7 +297,11 @@ class QoREvaluator:
         if self._cache_enabled:
             self._cache[names] = record
         if self._persistent is not None and not from_persistent:
-            self._persistent.put(self.cache_key, names, record.area, record.delay)
+            if self._defer_persistent:
+                self._pending_writes.append((names, record.area, record.delay))
+                self._pending_index[names] = (record.area, record.delay)
+            else:
+                self._persistent.put(self.cache_key, names, record.area, record.delay)
 
     # ------------------------------------------------------------------
     # Public evaluation API

@@ -15,7 +15,7 @@ from repro.aig.graph import AIG, Literal, lit_not, lit_var, lit_is_compl
 
 def balance(aig: AIG) -> AIG:
     """Return a depth-balanced, functionally equivalent copy of ``aig``."""
-    fanouts = aig.fanout_counts()
+    fanouts = aig.fanout_array()
     new = AIG(name=aig.name)
     mapping: Dict[int, Literal] = {0: 0}
     arrival: Dict[int, int] = {0: 0}

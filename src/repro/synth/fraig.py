@@ -152,6 +152,7 @@ def _confirm_equivalence(
 
 
 def _combined_support(aig: AIG, a: int, b: int, limit: int) -> Optional[set]:
+    is_and, fanin0, fanin1 = aig.node_arrays()
     support = set()
     for root in (a, b):
         stack = [root]
@@ -161,12 +162,10 @@ def _combined_support(aig: AIG, a: int, b: int, limit: int) -> Optional[set]:
             if v in seen:
                 continue
             seen.add(v)
-            node = aig.node(v)
-            if node.is_and:
-                assert node.fanin0 is not None and node.fanin1 is not None
-                stack.append(lit_var(node.fanin0))
-                stack.append(lit_var(node.fanin1))
-            elif node.is_pi:
+            if is_and[v]:
+                stack.append(fanin0[v] >> 1)
+                stack.append(fanin1[v] >> 1)
+            elif aig.is_pi(v):
                 support.add(v)
             if len(support) > limit:
                 return None

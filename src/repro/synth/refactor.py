@@ -55,7 +55,7 @@ def refactor(
         return aig.copy()
     cut_size = min(cut_size, max_table_vars)
     cuts = enumerate_cuts(aig, k=cut_size, max_cuts=max_cuts, include_trivial=False)
-    fanouts = aig.fanout_counts()
+    fanouts = aig.fanout_array()
     replacements: Dict[int, Replacement] = {}
     claimed: set = set()
 

@@ -46,7 +46,7 @@ def _delay_restructure(
     """
     if aig.num_ands == 0:
         return aig.copy()
-    levels = aig.levels()
+    levels = aig.levels_array()
     depth = aig.depth()
     if depth == 0:
         return aig.copy()
@@ -97,13 +97,14 @@ def _delay_restructure(
 def _required_times(aig: AIG, depth: int) -> List[int]:
     """Latest allowed level per node assuming all POs are required at ``depth``."""
     required = [depth] * aig.num_vars
-    for node in reversed(list(aig.nodes())):
-        if not node.is_and:
+    is_and, fanin0, fanin1 = aig.node_arrays()
+    for var in range(aig.num_vars - 1, 0, -1):
+        if not is_and[var]:
             continue
-        assert node.fanin0 is not None and node.fanin1 is not None
-        for fanin in (node.fanin0, node.fanin1):
-            fv = lit_var(fanin)
-            required[fv] = min(required[fv], required[node.var] - 1)
+        limit = required[var] - 1
+        for fv in (fanin0[var] >> 1, fanin1[var] >> 1):
+            if limit < required[fv]:
+                required[fv] = limit
     return required
 
 

@@ -53,8 +53,8 @@ def resub(
     rng = rng if rng is not None else np.random.default_rng(17)
     signatures = random_simulation(aig, num_words=num_sim_words, rng=rng)
     cuts = enumerate_cuts(aig, k=cut_size, max_cuts=max_cuts, include_trivial=False)
-    fanouts = aig.fanout_counts()
-    levels = aig.levels()
+    fanouts = aig.fanout_array()
+    levels = aig.levels_array()
     replacements: Dict[int, Replacement] = {}
     claimed: set = set()
 
@@ -202,6 +202,7 @@ def _expanded_cut(aig: AIG, root: int, cut: Cut, extra: List[int]) -> Optional[T
 
 def _transitive_pis_or_bound(aig: AIG, var: int, bound: int) -> Optional[set]:
     """Transitive-fanin frontier of ``var`` down to PIs, or ``None`` if too wide."""
+    is_and, fanin0, fanin1 = aig.node_arrays()
     seen = set()
     stack = [var]
     frontier = set()
@@ -210,11 +211,9 @@ def _transitive_pis_or_bound(aig: AIG, var: int, bound: int) -> Optional[set]:
         if v in seen:
             continue
         seen.add(v)
-        node = aig.node(v)
-        if node.is_and:
-            assert node.fanin0 is not None and node.fanin1 is not None
-            stack.append(lit_var(node.fanin0))
-            stack.append(lit_var(node.fanin1))
+        if is_and[v]:
+            stack.append(fanin0[v] >> 1)
+            stack.append(fanin1[v] >> 1)
         else:
             frontier.add(v)
         if len(seen) > 4 * bound:

@@ -76,7 +76,7 @@ def rewrite(aig: AIG, zero_cost: bool = False, cut_size: int = 4, max_cuts: int 
     if aig.num_ands == 0:
         return aig.copy()
     cuts = enumerate_cuts(aig, k=cut_size, max_cuts=max_cuts, include_trivial=False)
-    fanouts = aig.fanout_counts()
+    fanouts = aig.fanout_array()
     replacements: Dict[int, Replacement] = {}
     # Nodes already claimed as interior of an accepted replacement cone; we
     # avoid planning overlapping replacements in a single pass, which keeps

@@ -49,35 +49,32 @@ def mffc_size(aig: AIG, root: int, cut: Cut, fanout_counts: Sequence[int]) -> in
     that are referenced *only* from inside that cone (plus the root
     itself); these are exactly the nodes that die if the root is
     re-expressed over the cut leaves.
+
+    A node joins the MFFC when every one of its fanout references comes
+    from a node already in the MFFC.  Processing the cone in reverse
+    topological order and bumping per-fanin counters as members join makes
+    this a single O(cone) sweep.
     """
-    cone = [v for v in cut_cone_vars(aig, root, cut) if aig.is_and(v)]
-    cone_set = set(cone)
-    if root not in cone_set:
+    is_and, fanin0, fanin1 = aig.node_arrays()
+    cone = [v for v in cut_cone_vars(aig, root, cut) if is_and[v]]
+    if not cone or cone[-1] != root:
         return 0
-    # Count internal references (from inside the cone) per cone node.
-    internal_refs: Dict[int, int] = {v: 0 for v in cone}
-    for var in cone:
-        f0, f1 = aig.fanins(var)
-        for fanin in (f0, f1):
-            fv = lit_var(fanin)
-            if fv in internal_refs:
-                internal_refs[fv] += 1
-    # A node is in the MFFC when all of its fanout references come from
-    # MFFC nodes.  Work top-down from the root.
-    in_mffc = {root}
+    mffc_refs: Dict[int, int] = {}
+
+    def join(var: int) -> None:
+        for fv in (fanin0[var] >> 1, fanin1[var] >> 1):
+            mffc_refs[fv] = mffc_refs.get(fv, 0) + 1
+
+    count = 1
+    join(root)
     for var in reversed(cone):
         if var == root:
             continue
         total_refs = fanout_counts[var]
-        refs_from_mffc = 0
-        for candidate in cone:
-            if candidate not in in_mffc:
-                continue
-            f0, f1 = aig.fanins(candidate)
-            refs_from_mffc += int(lit_var(f0) == var) + int(lit_var(f1) == var)
-        if total_refs > 0 and refs_from_mffc == total_refs:
-            in_mffc.add(var)
-    return len(in_mffc)
+        if total_refs > 0 and mffc_refs.get(var, 0) == total_refs:
+            count += 1
+            join(var)
+    return count
 
 
 def rebuild_with_replacements(

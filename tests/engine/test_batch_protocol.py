@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.baselines import GeneticAlgorithm, GreedySearch, RandomSearch
-from repro.bo import BOiLS, SequenceSpace
+from repro.baselines.rl import A2COptimiser, PPOOptimiser
+from repro.bo import BOiLS, SequenceSpace, StandardBO
+from repro.bo.base import SequenceOptimiser
 from repro.circuits import make_adder
 from repro.engine import EvaluationEngine, EvaluatorSpec
 from repro.qor import QoREvaluator
@@ -25,12 +27,20 @@ class TestProtocolSurface:
         assert RandomSearch(space=space).supports_batch
         assert GeneticAlgorithm(space=space).supports_batch
         assert BOiLS(space=space).supports_batch
+        assert StandardBO(space=space).supports_batch
+        assert GreedySearch(space=space).supports_batch
+        assert A2COptimiser(space=space).supports_batch
+        assert PPOOptimiser(space=space).supports_batch
 
     def test_non_batch_optimiser_raises(self, space):
-        greedy = GreedySearch(space=space)
-        assert not greedy.supports_batch
+        class MinimalOptimiser(SequenceOptimiser):
+            def optimise(self, evaluator, budget):  # pragma: no cover
+                raise NotImplementedError
+
+        minimal = MinimalOptimiser(space=space)
+        assert not minimal.supports_batch
         with pytest.raises(NotImplementedError):
-            greedy.suggest(2)
+            minimal.suggest(2)
 
     def test_suggest_respects_n(self, space):
         optimiser = RandomSearch(space=space, seed=0)

@@ -106,3 +106,63 @@ class TestCachingAndHistory:
         assert evaluator.negative_qor(["balance"]) == pytest.approx(
             -evaluator.qor(["balance"])
         )
+
+
+class TestDeferredPersistentWrites:
+    """Batched persistent-cache commits (used by the grid runner)."""
+
+    @pytest.fixture()
+    def cache(self, tmp_path):
+        from repro.engine.cache import PersistentQoRCache
+
+        with PersistentQoRCache(tmp_path) as cache:
+            yield cache
+
+    def test_flush_commits_in_one_batch(self, small_adder, cache):
+        evaluator = QoREvaluator(small_adder, persistent_cache=cache)
+        evaluator.defer_persistent_writes(True)
+        evaluator.evaluate(["balance"])
+        evaluator.evaluate(["rewrite"])
+        evaluator.evaluate(["balance"])  # memo hit: not re-buffered
+        assert len(cache) == 0
+        assert evaluator.num_pending_persistent_writes == 2
+        assert evaluator.flush_persistent_writes() == 2
+        assert len(cache) == 2
+        assert evaluator.num_pending_persistent_writes == 0
+
+    def test_deferred_matches_eager_accounting(self, small_adder, tmp_path):
+        from repro.engine.cache import PersistentQoRCache
+
+        counters = {}
+        for mode in ("eager", "deferred"):
+            with PersistentQoRCache(tmp_path / mode) as cache:
+                evaluator = QoREvaluator(small_adder, persistent_cache=cache)
+                evaluator.defer_persistent_writes(mode == "deferred")
+                for seq in (["balance"], ["rewrite"], ["balance"]):
+                    evaluator.evaluate(seq)
+                evaluator.flush_persistent_writes()
+                counters[mode] = (evaluator.num_evaluations,
+                                  evaluator.num_computed,
+                                  evaluator.num_persistent_hits,
+                                  len(cache))
+        assert counters["eager"] == counters["deferred"]
+
+    def test_pending_rows_served_as_persistent_hits(self, small_adder, cache):
+        evaluator = QoREvaluator(small_adder, persistent_cache=cache)
+        evaluator.defer_persistent_writes(True)
+        evaluator.evaluate(["balance"])
+        evaluator.reset_history(clear_cache=True)
+        # The memo is gone and the row is not yet committed; the pending
+        # buffer must serve it with persistent-hit accounting.
+        evaluator.evaluate(["balance"])
+        assert evaluator.num_persistent_hits == 1
+        assert evaluator.num_computed == 0
+
+    def test_disabling_deferral_flushes(self, small_adder, cache):
+        evaluator = QoREvaluator(small_adder, persistent_cache=cache)
+        evaluator.defer_persistent_writes(True)
+        evaluator.evaluate(["fraig"])
+        evaluator.defer_persistent_writes(False)
+        assert len(cache) == 1
+        evaluator.evaluate(["dsdb"])  # eager again
+        assert len(cache) == 2
