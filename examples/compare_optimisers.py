@@ -1,44 +1,73 @@
 #!/usr/bin/env python3
-"""Compare BOiLS against the paper's baselines on a few circuits.
+"""Compare BOiLS against the paper's baselines with a resumable campaign.
 
-Reproduces a miniature version of Figure 3's top table: every method gets
-the same evaluation budget on the same circuits, and the script prints the
-per-circuit best QoR improvement plus the win counts.
+Reproduces a miniature version of Figure 3's top table through the
+declarative :mod:`repro.api` workflow: one :class:`Campaign` describes
+the whole (problem × method × seed) grid, ``run_campaign`` executes it
+into a run directory (one per grid scale, printed at start-up), and
+killing the script at any point loses nothing — rerunning it with the
+same knobs (or ``repro resume --store <printed directory>``) picks up
+exactly where it stopped, bit-identically.
 
 Run:  python examples/compare_optimisers.py            (quick, ~1 minute)
       REPRO_BUDGET=60 REPRO_SEEDS=3 python examples/compare_optimisers.py
 """
 
-import os
+from pathlib import Path
 
-from repro.experiments import ExperimentConfig, build_qor_table, run_experiment
+from repro.api import Campaign, Problem, run_campaign
+from repro.experiments import build_qor_table
 from repro.experiments.figures import render_figure3_table
+
+OUTPUT = Path(__file__).parent / "output"
+
+
+def store_for(campaign: Campaign) -> Path:
+    """One run directory per grid scale, so changing the REPRO_* knobs
+    starts a fresh campaign instead of clashing with the stored one."""
+    k = campaign.problems[0].sequence_length
+    return OUTPUT / (f"compare-b{campaign.budget}-s{len(campaign.seeds)}-k{k}")
 
 
 def main() -> None:
-    config = ExperimentConfig(
-        budget=int(os.environ.get("REPRO_BUDGET", 12)),
-        num_seeds=int(os.environ.get("REPRO_SEEDS", 1)),
-        sequence_length=int(os.environ.get("REPRO_SEQ_LENGTH", 6)),
-        circuits=("adder", "sqrt", "multiplier"),
+    campaign = Campaign(
+        name="compare-optimisers",
+        problems=tuple(Problem(circuit, sequence_length=6)
+                       for circuit in ("adder", "sqrt", "multiplier")),
         methods=("boils", "sbo", "rs", "greedy", "ga"),
+        seeds=(0,),
+        budget=12,
         method_overrides={
-            "boils": {"num_initial": 4, "local_search_queries": 100, "adam_steps": 3,
-                      "fit_every": 2},
+            "boils": {"num_initial": 4, "local_search_queries": 100,
+                      "adam_steps": 3, "fit_every": 2},
             "sbo": {"num_initial": 4, "adam_steps": 3, "fit_every": 2},
         },
-    )
+    # The REPRO_BUDGET / REPRO_SEEDS / REPRO_SEQ_LENGTH environment knobs
+    # are an explicit layer now — nothing ambient:
+    ).with_env_overrides()
 
-    print(f"running {len(config.methods)} methods x {len(config.circuits)} circuits "
-          f"x {config.num_seeds} seeds, budget {config.budget} ...\n")
-    results = run_experiment(config, progress=lambda msg: print(f"  [{msg}]"))
+    store = store_for(campaign)
+    cells = campaign.cells()
+    print(f"running {len(campaign.methods)} methods x "
+          f"{len(campaign.problems)} problems x {len(campaign.seeds)} seeds "
+          f"({len(cells)} cells), budget {campaign.budget}")
+    print(f"run directory: {store} (safe to kill + rerun)\n")
 
+    records = run_campaign(campaign, store=store,
+                           progress=lambda msg: print(f"  [{msg}]"))
+
+    results = [record.to_result() for record in records]
     table = build_qor_table(results)
     print()
     print(render_figure3_table(table))
     print()
     for method in table.methods:
-        print(f"{method:12s} wins on {table.wins(method)} / {len(table.circuits)} circuits")
+        print(f"{method:12s} wins on {table.wins(method)} circuit(s), "
+              f"average improvement {table.row_average()[method]:.2f}%")
+    best = max(records, key=lambda record: record.best_improvement)
+    print(f"\nbest single run: {best.method_display} on {best.circuit} "
+          f"({best.best_improvement:.2f}%, metadata keys: "
+          f"{sorted(best.metadata)})")
 
 
 if __name__ == "__main__":

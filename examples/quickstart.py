@@ -1,62 +1,65 @@
 #!/usr/bin/env python3
 """Quickstart: optimise a synthesis flow for one circuit with BOiLS.
 
-This is the 60-second tour of the public API:
+This is the 60-second tour of the public API (:mod:`repro.api`):
 
-1. build (or load) a circuit as an AIG,
-2. wrap it in a QoR evaluator (Equation 1 of the paper: LUT count and LUT
-   levels after K-LUT mapping, normalised by the ``resyn2`` reference),
-3. run BOiLS for a small budget of tested sequences,
-4. inspect the best sequence it found.
+1. declare a :class:`Problem` — circuit, search-space size, objective,
+2. hand it to :func:`run_problem` with a method name and a budget,
+3. inspect the best sequence it found.
+
+The whole thing is five lines::
+
+    from repro.api import Problem, run_problem
+
+    result = run_problem(Problem("multiplier", width=6, sequence_length=8),
+                         "boils", budget=20)
+    print(result.best_improvement)
 
 Run:  python examples/quickstart.py
+      REPRO_BUDGET=40 python examples/quickstart.py     (bigger run)
 """
 
-from repro import get_circuit
-from repro.bo import BOiLS, SequenceSpace
-from repro.mapping import map_aig
-from repro.qor import QoREvaluator
-from repro.synth.operations import apply_sequence, sequence_to_string
+import os
+
+from repro.api import Problem, run_problem
+from repro.synth.operations import sequence_to_string
 
 
 def main() -> None:
-    # --- 1. A circuit.  Any of the ten EPFL-style benchmarks works; the
-    # width parameter controls instance size (larger = slower, closer to
-    # the paper's full-size instances).
-    aig = get_circuit("multiplier", width=6)
-    print(f"circuit: {aig.name}  |  {aig.stats()}")
-
-    # --- 2. The QoR black box.  The evaluator applies a sequence of
-    # synthesis operations, maps the result onto 6-input LUTs and returns
-    # area/reference_area + delay/reference_delay.
-    evaluator = QoREvaluator(aig, lut_size=6)
+    # --- 1. The problem.  Any registered circuit works; the width
+    # parameter controls instance size (larger = slower, closer to the
+    # paper's full-size instances).  The objective defaults to the
+    # paper's Equation 1; try objective="area" or "delay" for the
+    # single-metric variants.
+    problem = Problem("multiplier", width=6, sequence_length=8)
+    evaluator = problem.build_evaluator()
+    print(f"circuit: {evaluator.aig.name}  |  {evaluator.aig.stats()}")
     print(f"resyn2 reference: {evaluator.reference_area} LUTs, "
           f"{evaluator.reference_delay} levels")
 
-    # --- 3. BOiLS.  The space is Alg^K: sequences of K operations drawn
-    # from the paper's eleven-operation alphabet.
-    space = SequenceSpace(sequence_length=8)
-    optimiser = BOiLS(
-        space=space,
+    # --- 2. Run BOiLS.  Constructor overrides ride along as keyword
+    # arguments; the method's registered grid defaults fill in the rest.
+    result = run_problem(
+        problem,
+        "boils",
         seed=0,
-        num_initial=5,            # random sequences before the GP kicks in
+        budget=int(os.environ.get("REPRO_BUDGET", 20)),
+        num_initial=5,             # random sequences before the GP kicks in
         local_search_queries=150,  # acquisition budget per BO round
         fit_every=2,               # refit SSK decays every 2 rounds
     )
-    result = optimiser.optimise(evaluator, budget=20)
 
-    # --- 4. Results.
+    # --- 3. Results.
     print(f"\nbest sequence ({sequence_to_string(result.best_sequence)}):")
     for op in result.best_sequence:
-        print(f"  - {op}")
-    print(f"QoR improvement over resyn2: {result.best_improvement:.2f}%")
-    print(f"mapped result: {result.best_area} LUTs, {result.best_delay} levels")
-
-    # The sequence is just a list of operation names: apply it directly to
-    # get the optimised AIG and map it yourself.
-    optimised = apply_sequence(aig, result.best_sequence)
-    mapping = map_aig(optimised)
-    print(f"re-checked mapping: {mapping.area} LUTs, {mapping.delay} levels")
+        print(f"   - {op}")
+    print(f"\narea / delay    : {result.best_area} LUTs / "
+          f"{result.best_delay} levels")
+    print(f"QoR improvement : {result.best_improvement:.2f}% over resyn2")
+    print(f"evaluations     : {result.num_evaluations}")
+    print(f"metadata        : trust-region radius "
+          f"{result.metadata['trust_region_radius']}, "
+          f"{result.metadata['num_restarts']} restart(s)")
 
 
 if __name__ == "__main__":

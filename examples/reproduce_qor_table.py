@@ -17,6 +17,11 @@ Run (quick, a few minutes):
 Run closer to paper scale (hours; uses all ten circuits, K=20, 5 seeds):
     REPRO_BUDGET=200 REPRO_SEEDS=5 REPRO_SEQ_LENGTH=20 \
         python examples/reproduce_qor_table.py --full
+
+Note: this example deliberately sticks to the *legacy* API
+(``ExperimentConfig`` + ``run_experiment``) to exercise the
+compatibility shims; see ``compare_optimisers.py`` for the declarative
+``Campaign`` workflow that new code should use.
 """
 
 import argparse

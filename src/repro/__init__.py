@@ -19,8 +19,13 @@ The package is organised in layers, bottom-up:
 * :mod:`repro.engine` — the parallel execution layer: worker-pool batch
   evaluation, the persistent on-disk QoR cache and the parallel
   (method × circuit × seed) grid runner.
+* :mod:`repro.registry` — decorator-based, entry-point-extensible
+  registries for optimisers, objectives and circuits.
+* :mod:`repro.api` — the declarative public surface: ``Problem`` /
+  ``Campaign``, resumable ``CampaignStore`` run directories, and the
+  ``run_campaign`` / ``resume_campaign`` / ``run_problem`` drivers.
 * :mod:`repro.experiments` — runners regenerating every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation (legacy shims over :mod:`repro.api`).
 """
 
 import sys

@@ -1,0 +1,185 @@
+"""The declarative :class:`Problem`: one circuit + space + objective.
+
+A problem is everything that defines *what is being optimised*, with no
+run mechanics attached: the circuit (any registered name), its bit-width,
+the LUT size of the mapping, the sequence length ``K`` of the search
+space, the QoR objective and (optionally) a non-default reference flow.
+Problems are frozen, JSON-round-trippable and cheap — build them freely::
+
+    Problem("adder")                          # paper defaults, Equation 1
+    Problem("multiplier", width=8, objective="area")
+    Problem("sqrt", objective={"objective": "weighted",
+                               "w_area": 2.0, "w_delay": 1.0})
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.bo.space import SequenceSpace
+from repro.circuits.registry import get_circuit_spec, resolve_width
+from repro.engine.spec import EvaluatorSpec
+from repro.qor.evaluator import QoREvaluator
+from repro.qor.objectives import Objective, canonical_spec_string, resolve_objective
+
+
+_SAFE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def objective_slug(objective: object) -> str:
+    """Filename-safe identifier of an objective spec.
+
+    Bare keys pass through (``"area"``); parameterised specs get a short
+    content hash (``"weighted-1a2b3c"``) so distinct weightings never
+    collide in cell ids or run directories.
+    """
+    canonical = canonical_spec_string(objective)
+    if not canonical.lstrip().startswith("{"):
+        return canonical
+    key = json.loads(canonical).get("objective", "objective")
+    digest = hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:6]
+    return f"{key}-{digest}"
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One optimisation problem: circuit × space × objective.
+
+    Attributes
+    ----------
+    circuit:
+        Registered circuit name (bundled or user-registered, see
+        :func:`repro.circuits.registry.register_circuit`).
+    width:
+        Bit-width, or ``None`` for the registry default (scaled by
+        ``REPRO_WIDTH_SCALE``).  :meth:`resolved` pins it, which campaign
+        manifests do so a resumed run rebuilds identical circuits.
+    lut_size:
+        LUT input count used for mapping (the paper uses 6).
+    sequence_length:
+        ``K``, the number of operations per tested sequence.
+    objective:
+        QoR objective spec (``"eq1"`` default, ``"area"``, ``"delay"``,
+        ``{"objective": "weighted", ...}`` or any registered key).
+    reference_sequence:
+        Reference flow for the QoR denominators; ``None`` = ``resyn2``.
+    name:
+        Optional human-readable id; defaults to a derived slug.
+    """
+
+    circuit: str
+    width: Optional[int] = None
+    lut_size: int = 6
+    sequence_length: int = 20
+    objective: object = "eq1"
+    reference_sequence: Optional[Tuple[str, ...]] = None
+    name: Optional[str] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.reference_sequence is not None:
+            object.__setattr__(self, "reference_sequence",
+                               tuple(self.reference_sequence))
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "Problem":
+        """Resolve every registry reference; raises early on unknowns."""
+        get_circuit_spec(self.circuit)
+        resolve_objective(self.objective)
+        if self.sequence_length < 1:
+            raise ValueError("sequence_length must be positive")
+        if self.lut_size < 2:
+            raise ValueError("lut_size must be at least 2")
+        if self.name is not None and not _SAFE_NAME.match(self.name):
+            # The name becomes a cell-record filename stem; reject path
+            # separators and other unsafe characters before any compute.
+            raise ValueError(
+                f"problem name {self.name!r} must match "
+                "[A-Za-z0-9][A-Za-z0-9._-]* (it is used as a filename)"
+            )
+        return self
+
+    def resolved(self) -> "Problem":
+        """A copy with the canonical circuit name and a pinned width."""
+        canonical = get_circuit_spec(self.circuit).name
+        return replace(
+            self,
+            circuit=canonical,
+            width=resolve_width(canonical, self.width),
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used in cell ids and run directories."""
+        if self.name:
+            return self.name
+        resolved = self.resolved()
+        parts = [resolved.circuit, f"w{resolved.width}", f"lut{self.lut_size}",
+                 f"k{self.sequence_length}"]
+        slug = objective_slug(self.objective)
+        if slug != "eq1":
+            parts.append(slug)
+        return "-".join(parts)
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def space(self) -> SequenceSpace:
+        return SequenceSpace(sequence_length=self.sequence_length)
+
+    def evaluator_spec(self) -> EvaluatorSpec:
+        """The picklable evaluator spec workers rebuild the black box from."""
+        return EvaluatorSpec.for_circuit(
+            self.circuit,
+            width=self.width,
+            lut_size=self.lut_size,
+            reference_sequence=self.reference_sequence,
+            objective=self.objective,
+        )
+
+    def build_evaluator(
+        self,
+        cache: bool = True,
+        persistent_cache: Optional[object] = None,
+    ) -> QoREvaluator:
+        """Instantiate the circuit and its QoR evaluator."""
+        return self.evaluator_spec().build_evaluator(
+            cache=cache, persistent_cache=persistent_cache)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        # Objective instances serialise as their spec; str/dict specs pass
+        # through verbatim so to_dict/from_dict round-trips stay equal.
+        objective = (self.objective.spec()
+                     if isinstance(self.objective, Objective) else self.objective)
+        return {
+            "circuit": self.circuit,
+            "width": self.width,
+            "lut_size": self.lut_size,
+            "sequence_length": self.sequence_length,
+            "objective": objective,
+            "reference_sequence": (
+                list(self.reference_sequence)
+                if self.reference_sequence is not None else None
+            ),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Problem":
+        reference = payload.get("reference_sequence")
+        return cls(
+            circuit=str(payload["circuit"]),
+            width=(int(payload["width"])  # type: ignore[arg-type]
+                   if payload.get("width") is not None else None),
+            lut_size=int(payload.get("lut_size", 6)),  # type: ignore[arg-type]
+            sequence_length=int(payload.get("sequence_length", 20)),  # type: ignore[arg-type]
+            objective=payload.get("objective", "eq1"),
+            reference_sequence=tuple(reference) if reference is not None else None,
+            name=payload.get("name") or None,  # type: ignore[arg-type]
+        )

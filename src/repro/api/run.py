@@ -1,0 +1,183 @@
+"""Campaign execution: ``run``, ``resume`` and the one-problem helper.
+
+:func:`run_campaign` is the single driver behind the CLI's ``run`` /
+``resume`` subcommands and the legacy grid entry points: it expands a
+:class:`~repro.api.campaign.Campaign` into cells, skips any cell that
+already has a record in the :class:`~repro.api.store.CampaignStore`,
+dispatches the rest serially or across a process pool (reusing the
+engine's grid workers — ``jobs=N`` is bit-identical to ``jobs=1``), and
+persists each finished cell atomically.  Kill it at any point; running
+it again completes exactly the missing cells and returns the same grid
+an uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.api.campaign import Campaign, CampaignCell
+from repro.api.problem import Problem
+from repro.api.store import CampaignStore, RunRecord
+from repro.bo.base import OptimisationResult
+from repro.engine import worker
+from repro.engine.engine import EvaluationEngine, resolve_jobs
+
+ProgressCallback = Callable[[str], None]
+
+
+def _cell_payload(cell: CampaignCell, campaign: Campaign) -> Dict[str, object]:
+    return {
+        "index": cell.index,
+        "cell_id": cell.cell_id,
+        "spec": cell.problem.evaluator_spec().to_payload(),
+        "method_key": cell.method,
+        "seed": cell.seed,
+        "budget": campaign.budget,
+        "sequence_length": cell.problem.sequence_length,
+        "overrides": campaign.overrides_for(cell.method),
+    }
+
+
+def _progress_message(cell: CampaignCell, status: str) -> str:
+    return f"{cell.method} / {cell.problem.key} / seed {cell.seed} [{status}]"
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: Optional[Union[str, CampaignStore]] = None,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[RunRecord]:
+    """Run (or continue) a campaign; returns records in cell order.
+
+    Parameters
+    ----------
+    campaign:
+        The declarative grid to run.  Validated up front so unknown
+        methods/circuits/objectives fail before any compute is spent.
+    store:
+        Optional run directory (path or :class:`CampaignStore`).  With a
+        store, completed cells are loaded from disk and skipped
+        bit-identically, and every fresh cell is persisted the moment it
+        finishes — this is the checkpoint/restart mechanism behind
+        ``repro run`` / ``repro resume``.
+    jobs:
+        Worker processes for pending cells (1 = serial, 0 = all CPUs).
+        Results are independent of ``jobs``.
+    cache_dir:
+        Optional persistent QoR cache shared across cells and runs.
+    progress:
+        Callback receiving one human-readable line per cell.
+    """
+    campaign = campaign.validate().resolved()
+    campaign_store: Optional[CampaignStore] = None
+    if store is not None:
+        campaign_store = store if isinstance(store, CampaignStore) else CampaignStore(store)
+        campaign = campaign_store.initialise(campaign)
+
+    cells = campaign.cells()
+    completed = campaign_store.completed_cell_ids() if campaign_store else set()
+    records: List[Optional[RunRecord]] = [None] * len(cells)
+    pending: List[CampaignCell] = []
+    for cell in cells:
+        if cell.cell_id in completed:
+            records[cell.index] = campaign_store.read_record(cell.cell_id)
+            if progress is not None:
+                progress(_progress_message(cell, "cached"))
+        else:
+            pending.append(cell)
+
+    cells_by_index = {cell.index: cell for cell in cells}
+
+    def _finish(index: int, result: OptimisationResult) -> None:
+        cell = cells_by_index[index]
+        record = RunRecord.from_result(result, cell, campaign.budget)
+        records[index] = record
+        if campaign_store is not None:
+            campaign_store.write_record(record)
+        if progress is not None:
+            progress(_progress_message(cell, "done"))
+
+    jobs = resolve_jobs(jobs)
+    payloads = [_cell_payload(cell, campaign) for cell in pending]
+    if jobs <= 1 or len(payloads) <= 1:
+        worker.init_grid_worker(cache_dir)
+        for payload in payloads:
+            index, result = worker.run_grid_cell(payload)
+            _finish(index, result)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(payloads)),
+            initializer=worker.init_grid_worker,
+            initargs=(cache_dir,),
+        ) as pool:
+            futures = [pool.submit(worker.run_grid_cell, payload)
+                       for payload in payloads]
+            for future in as_completed(futures):
+                index, result = future.result()
+                _finish(index, result)
+
+    missing = [i for i, record in enumerate(records) if record is None]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"campaign cells {missing} produced no record")
+    return records  # type: ignore[return-value]
+
+
+def resume_campaign(
+    store: Union[str, CampaignStore],
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[RunRecord]:
+    """Continue the campaign stored in a run directory.
+
+    Loads the manifest, runs exactly the cells that have no record yet
+    and returns the full grid.  A directory whose every cell is complete
+    returns immediately with the stored records.
+    """
+    campaign_store = store if isinstance(store, CampaignStore) else CampaignStore(store)
+    campaign = campaign_store.load_campaign()
+    return run_campaign(campaign, campaign_store, jobs=jobs,
+                        cache_dir=cache_dir, progress=progress)
+
+
+def run_problem(
+    problem: Problem,
+    method: str = "boils",
+    *,
+    seed: int = 0,
+    budget: int = 20,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    **overrides: object,
+) -> OptimisationResult:
+    """Run one optimiser on one problem — the five-line quickstart path.
+
+    ``overrides`` are constructor keyword arguments for the chosen
+    method (e.g. ``num_initial=5`` for BOiLS), applied on top of its
+    registered grid defaults.
+    """
+    # Imported here: the runner shims import repro.api for conversions.
+    from repro.engine.cache import PersistentQoRCache
+    from repro.experiments.runner import make_optimiser
+
+    problem = problem.validate()
+    spec = problem.evaluator_spec()
+    cache = PersistentQoRCache(cache_dir) if cache_dir else None
+    try:
+        evaluator = spec.build_evaluator(persistent_cache=cache)
+        optimiser = make_optimiser(method, space=problem.space(), seed=seed,
+                                   **overrides)
+        with EvaluationEngine(spec, jobs=resolve_jobs(jobs),
+                              evaluator=evaluator) as engine:
+            evaluator.attach_engine(engine)
+            result = optimiser.optimise(evaluator, budget=budget)
+        result.circuit = spec.circuit
+        return result
+    finally:
+        if cache is not None:
+            cache.close()

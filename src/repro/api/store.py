@@ -1,0 +1,286 @@
+"""Resumable run directories: manifest + per-cell JSONL run records.
+
+A :class:`CampaignStore` is a plain directory::
+
+    <root>/
+      manifest.json            # the (resolved) campaign + format version
+      cells/
+        <cell_id>.jsonl        # one RunRecord per line (currently one)
+
+Records are written atomically (temp file + ``os.replace``), so a killed
+run leaves either a complete cell file or none — never a torn one.  On
+resume, cells with a record on disk are loaded verbatim and skipped;
+because every cell is deterministically seeded and starts from fresh
+evaluator state, the merged result grid is bit-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.api.campaign import Campaign, CampaignCell, CAMPAIGN_FORMAT_VERSION
+from repro.bo.base import OptimisationResult
+from repro.qor.objectives import canonical_spec_string
+
+
+def _jsonify(value: object) -> object:
+    """Recursively convert a value into plain JSON-serialisable types.
+
+    Run metadata routinely contains numpy scalars and arrays (kernel
+    hyperparameters, episode returns); those become native ints, floats
+    and lists.  Python floats survive JSON bit-exactly (``repr`` is the
+    shortest round-trip representation), which is what makes stored
+    histories comparable with ``==`` on resume.
+    """
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonify(item) for item in value]
+    return repr(value)
+
+
+@dataclass
+class RunRecord:
+    """The persisted outcome of one campaign cell.
+
+    A JSON-serialisable superset of :class:`OptimisationResult`: the full
+    result payload (including optimiser-specific :attr:`metadata`) plus
+    the cell identity and objective it was produced under.
+    """
+
+    cell_id: str
+    problem_key: str
+    method: str
+    method_display: str
+    circuit: str
+    seed: int
+    budget: int
+    objective: str
+    best_sequence: Tuple[str, ...]
+    best_qor: float
+    best_improvement: float
+    best_area: int
+    best_delay: int
+    num_evaluations: int
+    history: List[float] = field(default_factory=list)
+    best_trajectory: List[float] = field(default_factory=list)
+    evaluated_points: List[Tuple[int, int]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls,
+        result: OptimisationResult,
+        cell: CampaignCell,
+        budget: int,
+    ) -> "RunRecord":
+        return cls(
+            cell_id=cell.cell_id,
+            problem_key=cell.problem.key,
+            method=cell.method,
+            method_display=result.method,
+            circuit=result.circuit,
+            seed=result.seed,
+            budget=budget,
+            objective=canonical_spec_string(cell.problem.objective),
+            best_sequence=tuple(result.best_sequence),
+            best_qor=result.best_qor,
+            best_improvement=result.best_improvement,
+            best_area=result.best_area,
+            best_delay=result.best_delay,
+            num_evaluations=result.num_evaluations,
+            history=list(result.history),
+            best_trajectory=list(result.best_trajectory),
+            evaluated_points=[(int(a), int(d)) for a, d in result.evaluated_points],
+            metadata=dict(result.metadata),
+        )
+
+    def to_result(self) -> OptimisationResult:
+        """The equivalent :class:`OptimisationResult` (for tables/figures)."""
+        return OptimisationResult(
+            method=self.method_display,
+            circuit=self.circuit,
+            seed=self.seed,
+            best_sequence=tuple(self.best_sequence),
+            best_qor=self.best_qor,
+            best_improvement=self.best_improvement,
+            best_area=self.best_area,
+            best_delay=self.best_delay,
+            num_evaluations=self.num_evaluations,
+            history=list(self.history),
+            best_trajectory=list(self.best_trajectory),
+            evaluated_points=[tuple(point) for point in self.evaluated_points],
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["best_sequence"] = list(self.best_sequence)
+        payload["evaluated_points"] = [list(point) for point in self.evaluated_points]
+        payload["metadata"] = _jsonify(self.metadata)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
+        return cls(
+            cell_id=str(payload["cell_id"]),
+            problem_key=str(payload["problem_key"]),
+            method=str(payload["method"]),
+            method_display=str(payload.get("method_display", payload["method"])),
+            circuit=str(payload["circuit"]),
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            budget=int(payload["budget"]),  # type: ignore[arg-type]
+            objective=str(payload.get("objective", "eq1")),
+            best_sequence=tuple(payload.get("best_sequence", ())),  # type: ignore[arg-type]
+            best_qor=float(payload["best_qor"]),  # type: ignore[arg-type]
+            best_improvement=float(payload["best_improvement"]),  # type: ignore[arg-type]
+            best_area=int(payload["best_area"]),  # type: ignore[arg-type]
+            best_delay=int(payload["best_delay"]),  # type: ignore[arg-type]
+            num_evaluations=int(payload["num_evaluations"]),  # type: ignore[arg-type]
+            history=list(payload.get("history", [])),  # type: ignore[arg-type]
+            best_trajectory=list(payload.get("best_trajectory", [])),  # type: ignore[arg-type]
+            evaluated_points=[(int(a), int(d))
+                              for a, d in payload.get("evaluated_points", [])],  # type: ignore[union-attr]
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+
+class StoreError(RuntimeError):
+    """A run directory is missing, torn, or belongs to another campaign."""
+
+
+class CampaignStore:
+    """A campaign run directory with checkpoint/restart semantics."""
+
+    MANIFEST_NAME = "manifest.json"
+    CELLS_DIR = "cells"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST_NAME
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / self.CELLS_DIR
+
+    def exists(self) -> bool:
+        return self.manifest_path.is_file()
+
+    # ------------------------------------------------------------------
+    def initialise(self, campaign: Campaign) -> Campaign:
+        """Create (or re-open) the run directory for ``campaign``.
+
+        The manifest stores the *resolved* campaign — circuit widths
+        pinned — so resuming under a different environment still
+        rebuilds identical circuits.  Re-opening with a different
+        campaign raises :class:`StoreError` rather than silently mixing
+        two grids in one directory.
+        """
+        resolved = campaign.resolved()
+        if self.exists():
+            existing = self.load_campaign()
+            if existing.to_dict() != resolved.to_dict():
+                raise StoreError(
+                    f"run directory {self.root} already holds campaign "
+                    f"{existing.name!r} with a different configuration; "
+                    "use a fresh directory (or `repro resume` to continue it)"
+                )
+            return existing
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": CAMPAIGN_FORMAT_VERSION,
+            "campaign": resolved.to_dict(),
+        }
+        self._atomic_write(self.manifest_path,
+                           json.dumps(manifest, indent=2) + "\n")
+        return resolved
+
+    def load_campaign(self) -> Campaign:
+        if not self.exists():
+            raise StoreError(f"no campaign manifest in {self.root}")
+        payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        return Campaign.from_dict(payload["campaign"])
+
+    # ------------------------------------------------------------------
+    # Cell records
+    # ------------------------------------------------------------------
+    def cell_path(self, cell_id: str) -> Path:
+        return self.cells_dir / f"{cell_id}.jsonl"
+
+    def completed_cell_ids(self) -> Set[str]:
+        if not self.cells_dir.is_dir():
+            return set()
+        return {path.stem for path in self.cells_dir.glob("*.jsonl")}
+
+    def write_record(self, record: RunRecord) -> Path:
+        """Atomically persist one cell's record (complete-or-absent)."""
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cell_path(record.cell_id)
+        self._atomic_write(path, json.dumps(record.to_dict()) + "\n")
+        return path
+
+    def read_record(self, cell_id: str) -> RunRecord:
+        path = self.cell_path(cell_id)
+        try:
+            lines = [line for line in
+                     path.read_text(encoding="utf-8").splitlines() if line.strip()]
+            if not lines:
+                raise ValueError("empty record file")
+            return RunRecord.from_dict(json.loads(lines[-1]))
+        except (OSError, ValueError) as error:
+            raise StoreError(f"cannot read cell record {path}: {error}") from error
+
+    def load_records(
+        self, cells: Optional[Sequence[CampaignCell]] = None
+    ) -> List[RunRecord]:
+        """Records for ``cells`` (campaign order) or every stored cell."""
+        if cells is not None:
+            return [self.read_record(cell.cell_id) for cell in cells
+                    if self.cell_path(cell.cell_id).is_file()]
+        return [self.read_record(path.stem)
+                for path in sorted(self.cells_dir.glob("*.jsonl"))]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=str(path.parent),
+            prefix=f".{path.name}.", suffix=".tmp", delete=False,
+        )
+        try:
+            with handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise

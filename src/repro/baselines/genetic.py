@@ -21,9 +21,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+from repro.registry import register_optimiser
 
 
 @dataclass
@@ -37,6 +38,7 @@ class GAConfig:
     elite_fraction: float = 0.1
 
 
+@register_optimiser("ga", display_name="GA")
 class GeneticAlgorithm(SequenceOptimiser):
     """Tournament-selection GA over operation sequences (the paper's GA)."""
 
@@ -53,6 +55,7 @@ class GeneticAlgorithm(SequenceOptimiser):
         self._population: Optional[np.ndarray] = None
         self._fitness: Optional[np.ndarray] = None
         self._population_size = self.config.population_size
+        self._generations = 0
 
     # ------------------------------------------------------------------
     # Batch protocol
@@ -81,27 +84,23 @@ class GeneticAlgorithm(SequenceOptimiser):
             self._population = rows.copy()
             self._fitness = fitness
         else:
+            self._generations += 1
             self._population, self._fitness = self._select_survivors(
                 self._population, self._fitness, rows, fitness,
             )
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Evolve sequences until the evaluation budget is exhausted."""
-        if budget < 1:
-            raise ValueError("budget must be at least 1")
+    # Drive hooks
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self._population = None
         self._fitness = None
         self._population_size = min(self.config.population_size, budget)
+        self._generations = 0
 
-        while evaluator.num_evaluations < budget:
-            rows = self.suggest(budget - evaluator.num_evaluations)
-            records = self._evaluate_batch(evaluator, rows)
-            self.observe(rows, records)
-
-        result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata["population_size"] = self._population_size
-        return result
+    def run_metadata(self) -> dict:
+        return {"population_size": self._population_size,
+                "num_generations": self._generations}
 
     # ------------------------------------------------------------------
     def _tournament(self, population: np.ndarray, fitness: np.ndarray) -> np.ndarray:

@@ -24,11 +24,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+from repro.registry import register_optimiser
 
 
+@register_optimiser("greedy", display_name="Greedy")
 class GreedySearch(SequenceOptimiser):
     """Position-by-position greedy construction (the paper's Greedy)."""
 
@@ -110,20 +112,14 @@ class GreedySearch(SequenceOptimiser):
                 self._best_qor = np.inf
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Greedily extend the sequence until length K or budget exhaustion.
-
-        Batches are chunked to the remaining budget, which reproduces the
-        sequential loop's accounting exactly: memoisation hits inside a
-        chunk are free, so a position may take several chunks to finish.
-        """
-        if budget < 1:
-            raise ValueError("budget must be at least 1")
+    # Drive hooks.  The driver chunks batches to the remaining budget,
+    # which reproduces the sequential loop's accounting exactly:
+    # memoisation hits inside a chunk are free, so a position may take
+    # several chunks to finish; an empty suggest() (sequence complete)
+    # ends the run.
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self._reset_state()
-        while not self._done and evaluator.num_evaluations < budget:
-            rows = self.suggest(budget - evaluator.num_evaluations)
-            if rows.shape[0] == 0:
-                break
-            records = self._evaluate_batch(evaluator, rows)
-            self.observe(rows, records)
-        return self._build_result(evaluator, evaluator.aig.name)
+
+    def run_metadata(self) -> dict:
+        return {"constructed_length": len(self._prefix)}

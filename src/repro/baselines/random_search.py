@@ -20,11 +20,13 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+from repro.registry import register_optimiser
 
 
+@register_optimiser("rs", display_name="RS")
 class RandomSearch(SequenceOptimiser):
     """Latin-hypercube random search baseline (the paper's RS)."""
 
@@ -91,18 +93,8 @@ class RandomSearch(SequenceOptimiser):
         """Random search is memoryless — nothing to update."""
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Evaluate ``budget`` sequences drawn from the stratified sampler."""
-        if budget < 1:
-            raise ValueError("budget must be at least 1")
+    # Drive hooks (an empty suggest() ends the run: space exhausted)
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self._seen = set()
         self._primary_drawn = False
-        while evaluator.num_evaluations < budget:
-            rows = self.suggest(budget - evaluator.num_evaluations)
-            if rows.size == 0:
-                # Search space exhausted before the budget: nothing fresh
-                # left to test.
-                break
-            records = self._evaluate_batch(evaluator, rows)
-            self.observe(rows, records)
-        return self._build_result(evaluator, evaluator.aig.name)

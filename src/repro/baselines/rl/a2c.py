@@ -8,11 +8,13 @@ import numpy as np
 
 from repro.baselines.rl.env import SynthesisEnvironment
 from repro.baselines.rl.networks import PolicyValueNetwork
-from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+from repro.registry import register_optimiser
 
 
+@register_optimiser("a2c", display_name="DRiLLS (A2C)")
 class A2COptimiser(SequenceOptimiser):
     """On-policy actor-critic over the synthesis MDP.
 
@@ -91,20 +93,17 @@ class A2COptimiser(SequenceOptimiser):
         self._episode_returns.append(float(np.sum(rewards)))
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Collect episodes until ``budget`` sequences have been tested."""
+    # Drive hooks: episodes are collected until ``budget`` sequences have
+    # been tested (suggest ignores ``n`` — A2C updates per episode).
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self.attach_environment(SynthesisEnvironment(
             evaluator, space=self.space,
             use_graph_features=self.use_graph_features, auto_register=False,
         ))
-        while evaluator.num_evaluations < budget:
-            rows = self.suggest(1)
-            records = self._evaluate_batch(evaluator, rows)
-            self.observe(rows, records)
 
-        result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata["episode_returns"] = self._episode_returns
-        return result
+    def run_metadata(self) -> dict:
+        return {"episode_returns": self._episode_returns}
 
     # ------------------------------------------------------------------
     def _rollout(self, env: SynthesisEnvironment, network: PolicyValueNetwork):

@@ -110,11 +110,10 @@ class SynthesisEnvironment:
 
     # ------------------------------------------------------------------
     def _qor_of(self, aig: AIG) -> float:
+        # Follows the evaluator's objective (Equation 1 by default), so
+        # the per-step reward shaping matches what the run optimises.
         mapping = self.mapper.map(aig)
-        return (
-            mapping.area / self.evaluator.reference_area
-            + mapping.delay / self.evaluator.reference_delay
-        )
+        return self.evaluator._qor_value(mapping.area, mapping.delay)
 
     def _features(self) -> np.ndarray:
         """State features of the current partially-optimised AIG."""
@@ -125,7 +124,7 @@ class SynthesisEnvironment:
             stats["levels"] / max(1, self._initial_stats["levels"]),
             mapping.area / self._initial_area,
             mapping.delay / self._initial_delay,
-            self._current_qor / 2.0,
+            self._current_qor / self.evaluator.reference_qor,
             len(self._sequence) / self.episode_length,
         ]
         previous = np.zeros(self.num_actions)

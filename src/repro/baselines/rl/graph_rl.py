@@ -15,8 +15,10 @@ from typing import Optional
 
 from repro.baselines.rl.a2c import A2COptimiser
 from repro.bo.space import SequenceSpace
+from repro.registry import register_optimiser
 
 
+@register_optimiser("graph-rl", display_name="Graph-RL")
 class GraphRLOptimiser(A2COptimiser):
     """A2C with graph-structural state features (the paper's Graph-RL)."""
 

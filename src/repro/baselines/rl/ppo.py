@@ -8,11 +8,13 @@ import numpy as np
 
 from repro.baselines.rl.env import SynthesisEnvironment
 from repro.baselines.rl.networks import PolicyValueNetwork
-from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+from repro.registry import register_optimiser
 
 
+@register_optimiser("ppo", display_name="DRiLLS (PPO)")
 class PPOOptimiser(SequenceOptimiser):
     """Clipped-surrogate PPO over the synthesis MDP.
 
@@ -126,20 +128,18 @@ class PPOOptimiser(SequenceOptimiser):
             self._network.value_step(states_arr, returns_arr)
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Collect PPO batches until ``budget`` sequences have been tested."""
+    # Drive hooks: PPO batches are collected until ``budget`` sequences
+    # have been tested (the driver passes the remaining budget as ``n``,
+    # so a batch never overshoots it).
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self.attach_environment(SynthesisEnvironment(
             evaluator, space=self.space,
             use_graph_features=self.use_graph_features, auto_register=False,
         ))
-        while evaluator.num_evaluations < budget:
-            rows = self.suggest(budget - evaluator.num_evaluations)
-            records = self._evaluate_batch(evaluator, rows)
-            self.observe(rows, records)
 
-        result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata["episode_returns"] = self._episode_returns
-        return result
+    def run_metadata(self) -> dict:
+        return {"episode_returns": self._episode_returns}
 
     # ------------------------------------------------------------------
     def _rollout(self, env: SynthesisEnvironment, network: PolicyValueNetwork):

@@ -1,28 +1,36 @@
-"""Common interface shared by every sequence optimiser in the repo.
+"""The ask/tell contract shared by every sequence optimiser in the repo.
 
-BOiLS, SBO and all the baselines (random search, greedy, GA, RL) implement
-the same contract: given a :class:`repro.qor.QoREvaluator` and an
-evaluation budget, run and return an :class:`OptimisationResult`.  This is
-what lets the experiment runners treat every method uniformly when
-regenerating the paper's tables and figures.
+BOiLS, SBO and all the baselines (random search, greedy, GA, RL) are thin
+implementations of one first-class protocol:
 
-Batch protocol
---------------
-Optimisers that can propose several sequences at once additionally
-implement the ``suggest``/``observe`` pair: :meth:`SequenceOptimiser.suggest`
-returns up to ``n`` integer-encoded candidates and
-:meth:`SequenceOptimiser.observe` feeds the scored records back.  Their
-``optimise`` loops submit whole batches through
-:meth:`QoREvaluator.evaluate_many`, which dispatches any uncached work to
-an attached :class:`repro.engine.EvaluationEngine` worker pool — so the
-same optimiser code runs serially or in parallel, with identical results.
+* :meth:`SequenceOptimiser.suggest` — *ask*: propose up to ``n``
+  integer-encoded candidate sequences;
+* :meth:`SequenceOptimiser.observe` — *tell*: absorb the scored records
+  for a previously suggested batch.
+
+The budget loop itself lives in exactly one place, the generic
+:func:`drive` driver: it asks, scores every batch through
+:meth:`QoREvaluator.evaluate_many` (which dispatches uncached work to an
+attached :class:`repro.engine.EvaluationEngine` worker pool — the same
+optimiser code runs serially or in parallel, with identical results),
+tells, and repeats until the evaluation budget is exhausted, the
+optimiser has nothing left to propose, a callback stops the run early or
+a wall-clock budget expires.
+
+:meth:`SequenceOptimiser.optimise` is a convenience wrapper over
+:func:`drive`: it calls the :meth:`SequenceOptimiser.prepare` hook,
+drives the loop, and packages the evaluator history plus the optimiser's
+:meth:`SequenceOptimiser.run_metadata` extras into an
+:class:`OptimisationResult`.  Individual optimisers no longer own bespoke
+budget loops.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import time
+from abc import ABC
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,8 +80,106 @@ class OptimisationResult:
     metadata: Dict[str, object] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class DriveProgress:
+    """Snapshot handed to :func:`drive` callbacks after each round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based ask/tell round just completed.
+    num_evaluations:
+        Budget consumed so far (the evaluator's distinct-evaluation count).
+    budget:
+        Total evaluation budget of the run.
+    elapsed_seconds:
+        Wall-clock time since :func:`drive` started.
+    best:
+        Best evaluation seen so far (never ``None`` after a round that
+        scored at least one sequence).
+    """
+
+    round_index: int
+    num_evaluations: int
+    budget: int
+    elapsed_seconds: float
+    best: Optional[SequenceEvaluation]
+
+
+#: Per-round progress callback; return value ignored.
+DriveCallback = Callable[[DriveProgress], None]
+#: Early-stop predicate; return ``True`` to end the run after this round.
+StopCondition = Callable[[DriveProgress], bool]
+
+
+def drive(
+    optimiser: "SequenceOptimiser",
+    evaluator: QoREvaluator,
+    budget: int,
+    *,
+    on_round: Optional[DriveCallback] = None,
+    stop_when: Optional[StopCondition] = None,
+    max_seconds: Optional[float] = None,
+) -> int:
+    """Run one optimiser's ask/tell loop for ``budget`` evaluations.
+
+    The single generic budget loop behind every optimiser in the repo:
+
+    1. *ask* — ``optimiser.suggest(remaining_budget)``;
+    2. *score* — the batch goes through
+       :meth:`QoREvaluator.evaluate_many` (parallel when an engine is
+       attached), with ``-1`` padding sentinels stripped;
+    3. *tell* — ``optimiser.observe(rows, records)``;
+    4. repeat while budget remains, stopping early when the optimiser
+       proposes nothing (search space or construction exhausted), the
+       ``stop_when`` predicate fires, or ``max_seconds`` of wall-clock
+       time have elapsed.
+
+    Memoised re-visits are free (they do not consume budget), exactly as
+    in the historical per-optimiser loops.  Returns the number of
+    ask/tell rounds executed.
+
+    Callbacks observe; they cannot alter proposals or records.  A
+    ``stop_when``/``max_seconds`` stop is checked *after* observe, so the
+    optimiser state stays consistent with the evaluator history.
+    """
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    start = time.monotonic()
+    rounds = 0
+    while evaluator.num_evaluations < budget:
+        rows = np.asarray(optimiser.suggest(budget - evaluator.num_evaluations))
+        if rows.size == 0:
+            break
+        rows = np.atleast_2d(rows.astype(int))
+        records = optimiser._evaluate_batch(evaluator, rows)
+        optimiser.observe(rows, records)
+        rounds += 1
+        if on_round is not None or stop_when is not None:
+            progress = DriveProgress(
+                round_index=rounds,
+                num_evaluations=evaluator.num_evaluations,
+                budget=budget,
+                elapsed_seconds=time.monotonic() - start,
+                best=evaluator.best_so_far(),
+            )
+            if on_round is not None:
+                on_round(progress)
+            if stop_when is not None and stop_when(progress):
+                break
+        if max_seconds is not None and time.monotonic() - start >= max_seconds:
+            break
+    return rounds
+
+
 class SequenceOptimiser(ABC):
-    """Base class: one optimiser instance encapsulates its own settings."""
+    """Base class: one optimiser instance encapsulates its own settings.
+
+    Subclasses implement the ask/tell pair (:meth:`suggest` /
+    :meth:`observe`) plus the optional :meth:`prepare` and
+    :meth:`run_metadata` hooks; the budget loop is the shared
+    :func:`drive` driver and :meth:`optimise` is a thin wrapper over it.
+    """
 
     #: Human-readable method name used in result tables.
     name: str = "optimiser"
@@ -84,12 +190,43 @@ class SequenceOptimiser(ABC):
         self.rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
-    @abstractmethod
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Run the optimiser for ``budget`` black-box evaluations."""
+    # Run lifecycle hooks
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
+        """Reset per-run state before :func:`drive` starts (optional hook)."""
+
+    def run_metadata(self) -> Dict[str, object]:
+        """Optimiser-specific extras recorded on the run's result.
+
+        Called once, after the drive loop finishes; whatever it returns is
+        merged into :attr:`OptimisationResult.metadata` (and therefore
+        into persisted :class:`repro.api.RunRecord`s).
+        """
+        return {}
+
+    def optimise(
+        self,
+        evaluator: QoREvaluator,
+        budget: int,
+        *,
+        on_round: Optional[DriveCallback] = None,
+        stop_when: Optional[StopCondition] = None,
+        max_seconds: Optional[float] = None,
+    ) -> OptimisationResult:
+        """Run the optimiser for ``budget`` black-box evaluations.
+
+        Equivalent to :meth:`prepare` + :func:`drive` +
+        :meth:`_build_result`; the keyword arguments are forwarded to the
+        driver.
+        """
+        self.prepare(evaluator, budget)
+        drive(self, evaluator, budget, on_round=on_round,
+              stop_when=stop_when, max_seconds=max_seconds)
+        return self._build_result(evaluator, evaluator.aig.name,
+                                  metadata=self.run_metadata())
 
     # ------------------------------------------------------------------
-    # Batch protocol (optional)
+    # Ask/tell protocol
     # ------------------------------------------------------------------
     def suggest(self, n: int = 1) -> np.ndarray:
         """Propose up to ``n`` integer-encoded sequences to evaluate next.
@@ -99,8 +236,10 @@ class SequenceOptimiser(ABC):
         candidate).  Rows proposing sequences shorter than ``K`` (greedy
         prefixes) are right-padded with ``-1`` sentinels; drivers must
         strip those before evaluation, which :meth:`_evaluate_batch` does.
-        Implemented by batch-capable optimisers; the default raises
-        :class:`NotImplementedError`.
+        This is the *ask* half of the first-class contract every bundled
+        optimiser implements; the default raises
+        :class:`NotImplementedError` so legacy subclasses that override
+        :meth:`optimise` wholesale still work.
         """
         raise NotImplementedError(f"{type(self).__name__} does not implement suggest()")
 
@@ -141,8 +280,18 @@ class SequenceOptimiser(ABC):
             [self.space.to_names([op for op in row if op >= 0]) for row in rows]
         )
 
-    def _build_result(self, evaluator: QoREvaluator, circuit_name: str) -> OptimisationResult:
-        """Package the evaluator's history into an :class:`OptimisationResult`."""
+    def _build_result(
+        self,
+        evaluator: QoREvaluator,
+        circuit_name: str,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> OptimisationResult:
+        """Package the evaluator's history into an :class:`OptimisationResult`.
+
+        ``metadata`` (usually :meth:`run_metadata`) is attached to the
+        result so optimiser-specific extras — trust-region restarts, GA
+        generations, episode returns — survive into persisted records.
+        """
         best = evaluator.best_so_far()
         if best is None:
             raise RuntimeError("optimiser finished without evaluating any sequence")
@@ -161,4 +310,5 @@ class SequenceOptimiser(ABC):
             history=history,
             best_trajectory=evaluator.best_trajectory(),
             evaluated_points=points,
+            metadata=dict(metadata or {}),
         )

@@ -31,14 +31,20 @@ from typing import List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.bo.acquisition import get_acquisition
-from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.bo.trust_region import TrustRegion, TrustRegionConfig, TrustRegionLocalSearch
 from repro.gp.gp import GaussianProcess
 from repro.gp.kernels.ssk import SubsequenceStringKernel
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+from repro.registry import register_optimiser
 
 
+@register_optimiser(
+    "boils", display_name="BOiLS",
+    defaults={"num_initial": 5, "local_search_queries": 200, "adam_steps": 5,
+              "fit_every": 2},
+)
 class BOiLS(SequenceOptimiser):
     """The paper's solver: SSK-GP surrogate + trust-region EI maximisation.
 
@@ -222,27 +228,17 @@ class BOiLS(SequenceOptimiser):
             self._evaluated.add(tuple(row.tolist()))
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Run Algorithm 2 for ``budget`` black-box evaluations."""
+    # Drive hooks (Algorithm 2 = prepare + generic ask/tell drive)
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self._reset_state()
 
-        # Initial design: one batch of N_init random sequences.
-        rows = self.suggest(max(1, budget))
-        records = self._evaluate_batch(evaluator, rows)
-        self.observe(rows, records)
-
-        while evaluator.num_evaluations < budget:
-            rows = self.suggest(budget - evaluator.num_evaluations)
-            records = self._evaluate_batch(evaluator, rows)
-            self.observe(rows, records)
-
-        result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata.update(
-            {
-                "kernel_params": self._kernel.get_params(),
-                "trust_region_radius": self._trust_region.radius,
-                "num_restarts": self._num_restarts,
-                "num_rounds": self._rounds,
-            }
-        )
-        return result
+    def run_metadata(self) -> dict:
+        if self._kernel is None:
+            return {"num_rounds": self._rounds, "num_restarts": self._num_restarts}
+        return {
+            "kernel_params": self._kernel.get_params(),
+            "trust_region_radius": self._trust_region.radius,
+            "num_restarts": self._num_restarts,
+            "num_rounds": self._rounds,
+        }

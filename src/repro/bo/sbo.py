@@ -27,14 +27,19 @@ from typing import List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.bo.acquisition import get_acquisition
-from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.gp.gp import GaussianProcess
 from repro.gp.kernels.categorical import TransformedOverlapKernel
 from repro.gp.kernels.continuous import SquaredExponentialKernel
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+from repro.registry import register_optimiser
 
 
+@register_optimiser(
+    "sbo", display_name="SBO",
+    defaults={"num_initial": 5, "adam_steps": 5, "fit_every": 2},
+)
 class StandardBO(SequenceOptimiser):
     """GP-EI Bayesian optimisation with a generic (non-sequence) kernel.
 
@@ -181,18 +186,13 @@ class StandardBO(SequenceOptimiser):
             self._evaluated.add(tuple(row.tolist()))
 
     # ------------------------------------------------------------------
-    def optimise(self, evaluator: QoREvaluator, budget: int) -> OptimisationResult:
-        """Run standard BO for ``budget`` black-box evaluations."""
+    # Drive hooks
+    # ------------------------------------------------------------------
+    def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self._reset_state()
 
-        rows = self.suggest(max(1, budget))
-        self.observe(rows, self._evaluate_batch(evaluator, rows))
-
-        while evaluator.num_evaluations < budget:
-            rows = self.suggest(budget - evaluator.num_evaluations)
-            self.observe(rows, self._evaluate_batch(evaluator, rows))
-
-        result = self._build_result(evaluator, evaluator.aig.name)
-        result.metadata.update({"kernel_params": self._kernel.get_params(),
-                                "num_rounds": self._rounds})
-        return result
+    def run_metadata(self) -> dict:
+        if self._kernel is None:
+            return {"num_rounds": self._rounds}
+        return {"kernel_params": self._kernel.get_params(),
+                "num_rounds": self._rounds}

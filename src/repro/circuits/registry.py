@@ -1,20 +1,35 @@
-"""Named registry of the ten benchmark circuits.
+"""Named registry of the benchmark circuits.
 
 The registry maps the circuit names used throughout the paper's tables
 (``adder``, ``bar``, ``div``, ``hyp``, ``log2``, ``max``, ``multiplier``,
 ``sin``, ``sqrt``, ``square``) to generator functions and default
 parameters, and offers a width-scale knob so experiments can trade run
 time for instance size uniformly across the suite.
+
+The name table is a :class:`repro.registry.Registry`, so user circuits
+plug in without touching this module — either decorate a generator::
+
+    from repro.circuits.registry import register_circuit
+
+    @register_circuit("lfsr", display_name="LFSR", default_width=16)
+    def make_lfsr(width: int) -> AIG:
+        ...
+
+or publish it from an installed package through the ``repro.circuits``
+entry-point group (exporting the generator or a full
+:class:`CircuitSpec`).  Registered circuits are first-class everywhere a
+bundled one is: ``repro.api.Problem``, the CLI, grid campaigns.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.aig.graph import AIG
 from repro.circuits import generators
+from repro.registry import CIRCUITS, RegistryError
 
 
 @dataclass(frozen=True)
@@ -47,7 +62,37 @@ class CircuitSpec:
     large: bool = False
 
 
-_SPECS: List[CircuitSpec] = [
+def register_circuit(
+    name: str,
+    *,
+    display_name: Optional[str] = None,
+    default_width: int = 8,
+    paper_width: Optional[int] = None,
+    large: bool = False,
+    replace: bool = False,
+):
+    """Decorator registering a circuit generator under ``name``."""
+
+    def _decorate(generator: Callable[[int], AIG]) -> Callable[[int], AIG]:
+        spec = CircuitSpec(
+            name=name,
+            display_name=display_name if display_name is not None else name,
+            generator=generator,
+            default_width=default_width,
+            paper_width=paper_width if paper_width is not None else default_width,
+            large=large,
+        )
+        CIRCUITS.register(name, spec, replace=replace)
+        return generator
+
+    return _decorate
+
+
+def _register_builtin(spec: CircuitSpec) -> None:
+    CIRCUITS.register(spec.name, spec)
+
+
+_BUILTIN_SPECS = [
     CircuitSpec("adder", "Adder", generators.make_adder, 16, 128),
     CircuitSpec("bar", "Barrel Shifter", generators.make_barrel_shifter, 16, 128),
     CircuitSpec("div", "Divisor", generators.make_divisor, 8, 64, large=True),
@@ -59,8 +104,9 @@ _SPECS: List[CircuitSpec] = [
     CircuitSpec("sqrt", "Square-root", generators.make_square_root, 10, 128),
     CircuitSpec("square", "Square", generators.make_square, 8, 64),
 ]
+for _spec in _BUILTIN_SPECS:
+    _register_builtin(_spec)
 
-_BY_NAME: Dict[str, CircuitSpec] = {spec.name: spec for spec in _SPECS}
 # Aliases matching the paper's display names and common variations.
 _ALIASES: Dict[str, str] = {
     "barrel shifter": "bar",
@@ -74,25 +120,50 @@ _ALIASES: Dict[str, str] = {
     "mult": "multiplier",
 }
 
-CIRCUIT_NAMES: List[str] = [spec.name for spec in _SPECS]
-"""Canonical circuit names, in the paper's table order."""
+# Snapshot the bundled specs directly (not via CIRCUITS.items()): entry
+# points may contribute bare generator callables that only _as_spec
+# normalises, and iterating the registry here would also force the
+# entry-point scan at import time.
+CIRCUIT_NAMES: List[str] = [spec.name for spec in _BUILTIN_SPECS]
+"""Canonical bundled circuit names, in the paper's table order."""
 
-LARGE_CIRCUITS: List[str] = [spec.name for spec in _SPECS if spec.large]
+LARGE_CIRCUITS: List[str] = [spec.name for spec in _BUILTIN_SPECS if spec.large]
 """The four large circuits used in Figure 3's middle and bottom rows."""
 
 
+def _as_spec(name: str, entry: object) -> CircuitSpec:
+    """Normalise a registry entry (entry points may export a generator)."""
+    if isinstance(entry, CircuitSpec):
+        return entry
+    if callable(entry):
+        spec = CircuitSpec(name=name, display_name=name, generator=entry,
+                           default_width=8, paper_width=8)
+        CIRCUITS.register(name, spec, replace=True)
+        return spec
+    raise RegistryError(
+        f"circuit {name!r} registered as {entry!r}; expected a CircuitSpec "
+        "or a generator callable"
+    )
+
+
 def list_circuits() -> List[CircuitSpec]:
-    """All circuit specifications in canonical order."""
-    return list(_SPECS)
+    """All circuit specifications, bundled ones first in table order."""
+    return [_as_spec(name, entry) for name, entry in CIRCUITS.items()]
 
 
 def get_circuit_spec(name: str) -> CircuitSpec:
-    """Look up a circuit spec by canonical name, display name or alias."""
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in _BY_NAME:
-        raise KeyError(f"unknown circuit {name!r}; available: {CIRCUIT_NAMES}")
-    return _BY_NAME[key]
+    """Look up a circuit spec by canonical name, display name or alias.
+
+    Registered names take precedence: the exact (case-sensitive) key is
+    tried first, then the lowercase form, then the built-in alias table —
+    so a user circuit is always reachable under the name it registered.
+    """
+    key = name.strip()
+    if key not in CIRCUITS:
+        key = key.lower()
+        if key not in CIRCUITS:
+            key = _ALIASES.get(key, key)
+    return _as_spec(key, CIRCUITS.get(key))
 
 
 def _width_scale() -> float:

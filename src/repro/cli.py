@@ -1,28 +1,35 @@
 """Command-line interface for the BOiLS reproduction.
 
-Provides the handful of operations a user wants without writing Python:
+The primary workflow is campaign-based (built on :mod:`repro.api`):
 
-* ``list-circuits`` / ``list-methods`` — what is available,
-* ``stats`` — generate a circuit and print its AIG / mapping statistics,
-* ``evaluate`` — score one synthesis sequence (Equation 1),
-* ``optimise`` — run any registered optimiser on a circuit,
-* ``table`` — run a small method × circuit grid and print the Figure-3-style
-  QoR table.
+* ``run``    — run a declarative campaign (from a JSON file or inline
+  flags) into a resumable run directory,
+* ``resume`` — continue a killed or partial run directory; completed
+  cells are skipped bit-identically,
+* ``show``   — inspect a run directory: manifest, cell status, and the
+  QoR table over the completed cells,
+* ``list-circuits`` / ``list-methods`` / ``list-objectives`` — what the
+  registries currently offer (including entry-point plugins).
+
+Legacy single-shot subcommands (``stats``, ``evaluate``, ``optimise``,
+``table``) are kept as thin shims over the same machinery.
 
 Examples
 --------
 ::
 
-    python -m repro.cli list-circuits
+    python -m repro.cli run --circuits adder,sqrt --methods boils,rs \
+        --budget 20 --seeds 3 --store runs/demo --jobs 4
+    python -m repro.cli resume --store runs/demo --jobs 4
+    python -m repro.cli show --store runs/demo
+
+    python -m repro.cli run --campaign my_campaign.json --store runs/full
+    python -m repro.cli run --circuits adder --objective weighted:2,1 ...
+
     python -m repro.cli stats --circuit multiplier --width 6
-    python -m repro.cli evaluate --circuit adder --sequence RwRfBlFr
+    python -m repro.cli evaluate --circuit adder --sequence RwRfBl
     python -m repro.cli optimise --circuit sqrt --method boils --budget 20
-    python -m repro.cli table --circuits adder,sqrt --methods boils,rs --budget 10
-
-Parallel execution and caching (see :mod:`repro.engine`)::
-
-    python -m repro.cli optimise --circuit sqrt --method ga --jobs 4
-    python -m repro.cli table --circuits adder,sqrt --jobs 4 --cache-dir .qor-cache
+    python -m repro.cli table --circuits adder,sqrt --methods boils,rs
 """
 
 from __future__ import annotations
@@ -31,6 +38,15 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api import (
+    Campaign,
+    CampaignStore,
+    Problem,
+    StoreError,
+    parse_objective_argument,
+    resume_campaign,
+    run_campaign,
+)
 from repro.bo.space import SequenceSpace
 from repro.circuits import get_circuit, list_circuits
 from repro.engine import (
@@ -48,8 +64,10 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.experiments.figures import render_figure3_table
+from repro.experiments.runner import method_display_names
 from repro.mapping import map_aig
 from repro.qor import QoREvaluator
+from repro.registry import OBJECTIVES
 from repro.synth.operations import sequence_to_string, string_to_sequence
 
 
@@ -58,9 +76,65 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro", description="BOiLS reproduction command-line interface")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-circuits", help="list the bundled benchmark circuits")
-    sub.add_parser("list-methods", help="list the registered optimisation methods")
+    # ------------------------------------------------------------------
+    # Campaign workflow
+    # ------------------------------------------------------------------
+    run = sub.add_parser(
+        "run", help="run a declarative campaign (resumable with --store)")
+    run.add_argument("--campaign", default=None, metavar="FILE",
+                     help="campaign JSON file; inline flags are ignored "
+                          "when given")
+    run.add_argument("--name", default="campaign", help="campaign name")
+    run.add_argument("--circuits", default="adder,sqrt",
+                     help="comma-separated circuit names")
+    run.add_argument("--methods", default="boils,rs",
+                     help="comma-separated method keys")
+    run.add_argument("--budget", type=int, default=20,
+                     help="black-box evaluations per cell")
+    run.add_argument("--seeds", default="1",
+                     help="seed count (N -> 0..N-1) or an explicit comma "
+                          "list; use a trailing comma for one specific "
+                          "seed (e.g. '5,' runs seed 5 only)")
+    run.add_argument("--sequence-length", type=int, default=8)
+    run.add_argument("--lut-size", type=int, default=6)
+    run.add_argument("--width", type=int, default=None,
+                     help="circuit bit-width override (default: registry)")
+    run.add_argument("--objective", default="eq1",
+                     help="QoR objective: a registered key (eq1, area, "
+                          "delay), weighted:W_AREA,W_DELAY, or inline JSON")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help="run directory for checkpoint/restart; omit for "
+                          "an in-memory run")
+    run.add_argument("--env-overrides", action="store_true",
+                     help="apply the REPRO_BUDGET/REPRO_SEEDS/... "
+                          "environment layer to the campaign")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for cells (1 = serial, 0 = all "
+                          "CPUs)")
+    run.add_argument("--cache-dir", default=None,
+                     help="directory of the persistent QoR cache shared "
+                          "across runs (default: REPRO_CACHE_DIR, else off)")
 
+    resume = sub.add_parser(
+        "resume", help="continue a partial run directory (completed cells "
+                       "are skipped bit-identically)")
+    resume.add_argument("--store", required=True, metavar="DIR")
+    resume.add_argument("--jobs", type=int, default=1)
+    resume.add_argument("--cache-dir", default=None)
+
+    show = sub.add_parser("show", help="inspect a campaign run directory")
+    show.add_argument("--store", required=True, metavar="DIR")
+
+    # ------------------------------------------------------------------
+    # Registry listings
+    # ------------------------------------------------------------------
+    sub.add_parser("list-circuits", help="list the registered benchmark circuits")
+    sub.add_parser("list-methods", help="list the registered optimisation methods")
+    sub.add_parser("list-objectives", help="list the registered QoR objectives")
+
+    # ------------------------------------------------------------------
+    # Legacy single-shot shims
+    # ------------------------------------------------------------------
     stats = sub.add_parser("stats", help="print AIG and mapping statistics of a circuit")
     stats.add_argument("--circuit", required=True)
     stats.add_argument("--width", type=int, default=None)
@@ -70,11 +144,14 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--circuit", required=True)
     evaluate.add_argument("--width", type=int, default=None)
     evaluate.add_argument("--lut-size", type=int, default=6)
+    evaluate.add_argument("--objective", default="eq1")
     evaluate.add_argument(
         "--sequence", required=True,
         help="mnemonic string (RwRfBl...) or comma-separated operation names")
 
-    optimise = sub.add_parser("optimise", help="run an optimiser on a circuit")
+    optimise = sub.add_parser(
+        "optimise", help="run an optimiser on a circuit (legacy shim; "
+                         "prefer `repro run`)")
     optimise.add_argument("--circuit", required=True)
     optimise.add_argument("--width", type=int, default=None)
     optimise.add_argument("--method", default="boils", choices=available_methods())
@@ -82,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     optimise.add_argument("--sequence-length", type=int, default=8)
     optimise.add_argument("--seed", type=int, default=0)
     optimise.add_argument("--lut-size", type=int, default=6)
+    optimise.add_argument("--objective", default="eq1")
     optimise.add_argument("--jobs", type=int, default=1,
                           help="worker processes for batch evaluation "
                                "(1 = serial, 0 = all CPUs)")
@@ -89,7 +167,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="directory of the persistent QoR cache shared "
                                "across runs (default: REPRO_CACHE_DIR, else off)")
 
-    table = sub.add_parser("table", help="run a grid and print the QoR table")
+    table = sub.add_parser(
+        "table", help="run a grid and print the QoR table (legacy shim; "
+                      "prefer `repro run`)")
     table.add_argument("--circuits", default="adder,sqrt",
                        help="comma-separated circuit names")
     table.add_argument("--methods", default="boils,rs",
@@ -97,6 +177,8 @@ def _build_parser() -> argparse.ArgumentParser:
     table.add_argument("--budget", type=int, default=10)
     table.add_argument("--seeds", type=int, default=1)
     table.add_argument("--sequence-length", type=int, default=6)
+    table.add_argument("--lut-size", type=int, default=6,
+                       help="LUT input count used for mapping")
     table.add_argument("--jobs", type=int, default=1,
                        help="worker processes for grid cells "
                             "(1 = serial, 0 = all CPUs)")
@@ -113,8 +195,125 @@ def _parse_sequence(text: str) -> List[str]:
     return string_to_sequence(text)
 
 
+def _parse_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _parse_seeds(text: str) -> List[int]:
+    """``"3"`` means seeds 0..2; ``"0,2,5"`` means exactly those."""
+    parts = _parse_csv(text)
+    if len(parts) == 1 and "," not in text:
+        return list(range(max(1, int(parts[0]))))
+    return [int(part) for part in parts]
+
+
+def _resolve_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
+    """Persistent-cache directory from a flag or ``REPRO_CACHE_DIR``."""
+    if cache_dir:
+        return cache_dir
+    env_default = default_cache_dir()
+    return str(env_default) if env_default else None
+
+
+def _deprecation_note(command: str) -> None:
+    print(f"note: `repro {command}` is a legacy shim; the campaign workflow "
+          "(`repro run` / `resume` / `show`) is the supported interface",
+          file=sys.stderr)
+
+
+def _print_records_table(records) -> None:
+    print(render_figure3_table(
+        build_qor_table([record.to_result() for record in records])))
+
+
 # ----------------------------------------------------------------------
-# Sub-command implementations
+# Campaign sub-commands
+# ----------------------------------------------------------------------
+def _campaign_from_args(args) -> Campaign:
+    if args.campaign:
+        campaign = Campaign.load(args.campaign)
+    else:
+        objective = parse_objective_argument(args.objective)
+        problems = tuple(
+            Problem(
+                circuit=circuit,
+                width=args.width,
+                lut_size=args.lut_size,
+                sequence_length=args.sequence_length,
+                objective=objective,
+            )
+            for circuit in _parse_csv(args.circuits)
+        )
+        campaign = Campaign(
+            name=args.name,
+            problems=problems,
+            methods=tuple(_parse_csv(args.methods)),
+            seeds=tuple(_parse_seeds(args.seeds)),
+            budget=args.budget,
+        )
+    if args.env_overrides:
+        campaign = campaign.with_env_overrides()
+    return campaign
+
+
+def _cmd_run(args) -> int:
+    campaign = _campaign_from_args(args)
+    cells = campaign.cells()
+    print(f"campaign {campaign.name!r}: {len(campaign.problems)} problem(s) "
+          f"x {len(campaign.methods)} method(s) x {len(campaign.seeds)} "
+          f"seed(s) = {len(cells)} cells, budget {campaign.budget}",
+          file=sys.stderr)
+    records = run_campaign(
+        campaign,
+        store=args.store,
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args.cache_dir),
+        progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+    )
+    _print_records_table(records)
+    if args.store:
+        print(f"run directory: {args.store} "
+              f"(continue with `repro resume --store {args.store}`)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    records = resume_campaign(
+        args.store,
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args.cache_dir),
+        progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+    )
+    _print_records_table(records)
+    return 0
+
+
+def _cmd_show(args) -> int:
+    store = CampaignStore(args.store)
+    campaign = store.load_campaign()
+    cells = campaign.cells()
+    completed = store.completed_cell_ids()
+    print(f"campaign      : {campaign.name}")
+    print(f"problems      : {', '.join(p.key for p in campaign.problems)}")
+    print(f"methods       : {', '.join(campaign.methods)}")
+    print(f"seeds         : {', '.join(str(s) for s in campaign.seeds)}")
+    print(f"budget        : {campaign.budget}")
+    done = sum(1 for cell in cells if cell.cell_id in completed)
+    print(f"cells         : {done}/{len(cells)} complete")
+    for cell in cells:
+        status = "done" if cell.cell_id in completed else "pending"
+        print(f"  [{status:7s}] {cell.cell_id}")
+    finished = [cell for cell in cells if cell.cell_id in completed]
+    if finished:
+        records = [store.read_record(cell.cell_id) for cell in finished]
+        print()
+        _print_records_table(records)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Registry listings
 # ----------------------------------------------------------------------
 def _cmd_list_circuits(_args) -> int:
     print(f"{'name':12s}{'display name':18s}{'default width':>14s}{'paper width':>12s}")
@@ -126,11 +325,21 @@ def _cmd_list_circuits(_args) -> int:
 
 
 def _cmd_list_methods(_args) -> int:
+    display = method_display_names()
     for key in available_methods():
+        print(f"{key:12s}{display.get(key, key)}")
+    return 0
+
+
+def _cmd_list_objectives(_args) -> int:
+    for key in OBJECTIVES.keys():
         print(key)
     return 0
 
 
+# ----------------------------------------------------------------------
+# Legacy single-shot shims
+# ----------------------------------------------------------------------
 def _cmd_stats(args) -> int:
     aig = get_circuit(args.circuit, width=args.width)
     mapping = map_aig(aig, lut_size=args.lut_size)
@@ -148,7 +357,8 @@ def _cmd_stats(args) -> int:
 def _cmd_evaluate(args) -> int:
     sequence = _parse_sequence(args.sequence)
     aig = get_circuit(args.circuit, width=args.width)
-    evaluator = QoREvaluator(aig, lut_size=args.lut_size)
+    evaluator = QoREvaluator(aig, lut_size=args.lut_size,
+                             objective=parse_objective_argument(args.objective))
     record = evaluator.evaluate(sequence)
     print(f"sequence          : {sequence_to_string(record.sequence)} "
           f"({', '.join(record.sequence)})")
@@ -159,17 +369,11 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-def _resolve_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
-    """Persistent-cache directory from a flag or ``REPRO_CACHE_DIR``."""
-    if cache_dir:
-        return cache_dir
-    env_default = default_cache_dir()
-    return str(env_default) if env_default else None
-
-
 def _cmd_optimise(args) -> int:
-    spec = EvaluatorSpec.for_circuit(args.circuit, width=args.width,
-                                     lut_size=args.lut_size)
+    _deprecation_note("optimise")
+    spec = EvaluatorSpec.for_circuit(
+        args.circuit, width=args.width, lut_size=args.lut_size,
+        objective=parse_objective_argument(args.objective))
     cache_dir = _resolve_cache_dir(args.cache_dir)
     cache = PersistentQoRCache(cache_dir) if cache_dir else None
     evaluator = spec.build_evaluator(persistent_cache=cache)
@@ -199,12 +403,14 @@ def _cmd_optimise(args) -> int:
 
 
 def _cmd_table(args) -> int:
+    _deprecation_note("table")
     config = ExperimentConfig(
         budget=args.budget,
         num_seeds=args.seeds,
         sequence_length=args.sequence_length,
-        circuits=tuple(c.strip() for c in args.circuits.split(",") if c.strip()),
-        methods=tuple(m.strip() for m in args.methods.split(",") if m.strip()),
+        lut_size=args.lut_size,
+        circuits=tuple(_parse_csv(args.circuits)),
+        methods=tuple(_parse_csv(args.methods)),
         method_overrides={
             "boils": {"num_initial": 4, "local_search_queries": 100, "adam_steps": 3,
                       "fit_every": 2},
@@ -223,8 +429,12 @@ def _cmd_table(args) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+    "show": _cmd_show,
     "list-circuits": _cmd_list_circuits,
     "list-methods": _cmd_list_methods,
+    "list-objectives": _cmd_list_objectives,
     "stats": _cmd_stats,
     "evaluate": _cmd_evaluate,
     "optimise": _cmd_optimise,
@@ -238,7 +448,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, StoreError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -31,7 +31,8 @@ def grid_cell_payloads(config) -> List[Dict[str, object]]:
     index = 0
     for circuit_name in config.circuits:
         spec = EvaluatorSpec.for_circuit(
-            circuit_name, width=config.circuit_width, lut_size=config.lut_size
+            circuit_name, width=config.circuit_width, lut_size=config.lut_size,
+            objective=getattr(config, "objective", None),
         )
         for method_key in config.methods:
             for seed in range(config.num_seeds):

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.circuits.registry import get_circuit, get_circuit_spec, resolve_width
 from repro.qor.evaluator import QoREvaluator
+from repro.qor.objectives import DEFAULT_OBJECTIVE_KEY, canonical_spec_string
 
 #: Re-exported for engine callers: the width :func:`get_circuit` will use,
 #: resolved eagerly so workers build the same circuit as the parent even
@@ -38,12 +39,18 @@ class EvaluatorSpec:
     reference_sequence:
         Reference flow for the QoR denominators, or ``None`` for the
         default (``resyn2``).
+    objective:
+        Canonical string spec of the QoR objective (see
+        :func:`repro.qor.objectives.canonical_spec_string`) — a bare key
+        like ``"eq1"`` or sorted-key JSON for parameterised objectives.
+        Kept as a string so the spec stays hashable and picklable.
     """
 
     circuit: str
     width: int
     lut_size: int = 6
     reference_sequence: Optional[Tuple[str, ...]] = None
+    objective: str = DEFAULT_OBJECTIVE_KEY
 
     @classmethod
     def for_circuit(
@@ -52,6 +59,7 @@ class EvaluatorSpec:
         width: Optional[int] = None,
         lut_size: int = 6,
         reference_sequence: Optional[Tuple[str, ...]] = None,
+        objective: Optional[object] = None,
     ) -> "EvaluatorSpec":
         """Build a spec, resolving the effective width immediately."""
         canonical = get_circuit_spec(circuit).name
@@ -62,6 +70,7 @@ class EvaluatorSpec:
             reference_sequence=(
                 tuple(reference_sequence) if reference_sequence is not None else None
             ),
+            objective=canonical_spec_string(objective),
         )
 
     def build_evaluator(
@@ -77,6 +86,7 @@ class EvaluatorSpec:
             reference_sequence=self.reference_sequence,
             cache=cache,
             persistent_cache=persistent_cache,
+            objective=self.objective,
         )
 
     # ------------------------------------------------------------------
@@ -89,6 +99,7 @@ class EvaluatorSpec:
             "width": self.width,
             "lut_size": self.lut_size,
             "reference_sequence": self.reference_sequence,
+            "objective": self.objective,
         }
 
     @classmethod
@@ -99,4 +110,5 @@ class EvaluatorSpec:
             width=int(payload["width"]),  # type: ignore[arg-type]
             lut_size=int(payload.get("lut_size", 6)),  # type: ignore[arg-type]
             reference_sequence=tuple(reference) if reference is not None else None,
+            objective=str(payload.get("objective", DEFAULT_OBJECTIVE_KEY)),
         )

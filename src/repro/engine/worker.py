@@ -93,7 +93,8 @@ def init_grid_worker(cache_dir: Optional[str]) -> None:
 
 def _grid_evaluator(spec: EvaluatorSpec) -> QoREvaluator:
     """Per-process evaluator for a circuit, built on first use."""
-    key = (spec.circuit, spec.width, spec.lut_size, spec.reference_sequence)
+    key = (spec.circuit, spec.width, spec.lut_size, spec.reference_sequence,
+           spec.objective)
     evaluator = _GRID_EVALUATORS.get(key)
     if evaluator is None:
         evaluator = spec.build_evaluator(cache=True, persistent_cache=_GRID_CACHE)

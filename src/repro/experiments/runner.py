@@ -1,67 +1,51 @@
-"""Shared experiment machinery: method registry, per-run driver, grids.
+"""Legacy experiment machinery, now thin shims over the public API.
 
-The paper's evaluation protocol is a grid: {method} × {circuit} × {seed},
-each cell a budget-limited optimisation run returning the best QoR
-improvement over ``resyn2``.  This module provides that grid runner plus
-environment-variable knobs (``REPRO_BUDGET``, ``REPRO_SEEDS``,
-``REPRO_WIDTH_SCALE``) so the same code drives both the fast CI-scale
-defaults and paper-scale reproductions.
+Historically this module owned a private ``_METHODS`` list and the
+env-var-steered :class:`ExperimentConfig`.  Both have been superseded:
+
+* the method table is the :data:`repro.registry.OPTIMISERS` registry
+  (decorator-based, entry-point extensible) — :func:`available_methods`,
+  :func:`method_display_names` and :func:`make_optimiser` are kept as
+  compatibility wrappers;
+* grid configuration is the declarative :class:`repro.api.Campaign` /
+  :class:`repro.api.Problem` pair — :class:`ExperimentConfig` remains as
+  a deprecated adapter (see :meth:`ExperimentConfig.to_campaign`) so
+  existing scripts keep running unchanged.
+
+New code should import from :mod:`repro.api`.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.baselines import (
-    A2COptimiser,
-    GeneticAlgorithm,
-    GraphRLOptimiser,
-    GreedySearch,
-    PPOOptimiser,
-    RandomSearch,
-)
-from repro.bo import BOiLS, SequenceSpace, StandardBO
 from repro.bo.base import OptimisationResult, SequenceOptimiser
+from repro.bo.space import SequenceSpace
 from repro.circuits import get_circuit
 from repro.qor import QoREvaluator
+from repro.registry import MethodSpec, OPTIMISERS, optimiser_spec
 
-
-@dataclass(frozen=True)
-class MethodSpec:
-    """A named optimiser constructor with default keyword arguments."""
-
-    key: str
-    display_name: str
-    factory: Callable[..., SequenceOptimiser]
-    defaults: Dict[str, object] = field(default_factory=dict)
-
-
-_METHODS: List[MethodSpec] = [
-    MethodSpec("boils", "BOiLS", BOiLS,
-               {"num_initial": 5, "local_search_queries": 200, "adam_steps": 5,
-                "fit_every": 2}),
-    MethodSpec("sbo", "SBO", StandardBO, {"num_initial": 5, "adam_steps": 5, "fit_every": 2}),
-    MethodSpec("rs", "RS", RandomSearch, {}),
-    MethodSpec("greedy", "Greedy", GreedySearch, {}),
-    MethodSpec("ga", "GA", GeneticAlgorithm, {}),
-    MethodSpec("a2c", "DRiLLS (A2C)", A2COptimiser, {}),
-    MethodSpec("ppo", "DRiLLS (PPO)", PPOOptimiser, {}),
-    MethodSpec("graph-rl", "Graph-RL", GraphRLOptimiser, {}),
+__all__ = [
+    "MethodSpec",
+    "ExperimentConfig",
+    "available_methods",
+    "method_display_names",
+    "make_optimiser",
+    "run_method_on_circuit",
+    "run_experiment",
+    "group_results",
 ]
-
-_METHODS_BY_KEY: Dict[str, MethodSpec] = {spec.key: spec for spec in _METHODS}
 
 
 def available_methods() -> List[str]:
     """Keys of all registered optimisation methods."""
-    return [spec.key for spec in _METHODS]
+    return OPTIMISERS.keys()
 
 
 def method_display_names() -> Dict[str, str]:
     """Mapping from registry key to the display name used in tables."""
-    return {spec.key: spec.display_name for spec in _METHODS}
+    return {key: optimiser_spec(key).display_name for key in OPTIMISERS.keys()}
 
 
 def make_optimiser(
@@ -70,39 +54,53 @@ def make_optimiser(
     seed: int = 0,
     **overrides: object,
 ) -> SequenceOptimiser:
-    """Instantiate an optimiser from its registry key."""
-    if key not in _METHODS_BY_KEY:
-        raise KeyError(f"unknown method {key!r}; available: {available_methods()}")
-    spec = _METHODS_BY_KEY[key]
+    """Instantiate an optimiser from its registry key.
+
+    Applies the method's registered grid defaults first, then any
+    explicit ``overrides`` — identical precedence to the historical
+    ``_METHODS`` table.
+    """
+    spec = optimiser_spec(key)
     kwargs = dict(spec.defaults)
     kwargs.update(overrides)
     return spec.factory(space=space, seed=seed, **kwargs)
 
 
 # ----------------------------------------------------------------------
-# Experiment configuration
+# Environment knobs
 # ----------------------------------------------------------------------
 def _env_int(name: str, default: int) -> int:
-    try:
-        return int(os.environ.get(name, default))
-    except (TypeError, ValueError):
-        return default
+    """An integer environment override, warning loudly when malformed.
+
+    Delegates to :func:`repro.api.campaign.env_int` (imported lazily to
+    keep this legacy module cycle-free): a typo like ``REPRO_BUDGET=abc``
+    still falls back to the default, but emits a :class:`UserWarning`
+    naming the variable and the value instead of silently running the
+    wrong experiment.
+    """
+    from repro.api.campaign import env_int
+
+    return env_int(name, default)
 
 
 @dataclass
 class ExperimentConfig:
-    """Grid configuration shared by all experiment entry points.
+    """Grid configuration shared by the legacy experiment entry points.
+
+    .. deprecated::
+        New code should build a :class:`repro.api.Campaign` (declarative,
+        JSON-round-trippable, resumable); this class remains as an
+        adapter for existing scripts and converts via
+        :meth:`to_campaign`.  Environment overrides are read at
+        *instantiation* time (not import time) through :func:`_env_int`,
+        which warns on malformed values.
 
     The paper's setting is ``budget=200`` (``1000`` for the extended
     sample-efficiency study), ``num_seeds=5``, ``sequence_length=20`` on
     the full-size EPFL circuits; the defaults here are scaled down so the
-    benchmark suite completes quickly, and are overridable both in code and
-    through environment variables (``REPRO_BUDGET``, ``REPRO_SEEDS``,
-    ``REPRO_SEQ_LENGTH``, ``REPRO_CIRCUIT_WIDTH``).
+    benchmark suite completes quickly.
     """
 
-    # Environment overrides are read at *instantiation* time (not import
-    # time), so setting REPRO_BUDGET before building a config always works.
     budget: int = field(default_factory=lambda: _env_int("REPRO_BUDGET", 12))
     num_seeds: int = field(default_factory=lambda: _env_int("REPRO_SEEDS", 2))
     sequence_length: int = field(default_factory=lambda: _env_int("REPRO_SEQ_LENGTH", 8))
@@ -113,10 +111,38 @@ class ExperimentConfig:
     circuits: Sequence[str] = ("adder", "bar", "div", "hyp", "log2", "max",
                                "multiplier", "sin", "sqrt", "square")
     lut_size: int = 6
+    objective: object = "eq1"
     method_overrides: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def space(self) -> SequenceSpace:
         return SequenceSpace(sequence_length=self.sequence_length)
+
+    def to_campaign(self, name: str = "experiment"):
+        """The equivalent declarative :class:`repro.api.Campaign`."""
+        from repro.api import Campaign, Problem
+
+        problems = tuple(
+            Problem(
+                circuit=circuit,
+                width=self.circuit_width,
+                lut_size=self.lut_size,
+                sequence_length=self.sequence_length,
+                objective=self.objective,
+            )
+            for circuit in self.circuits
+        )
+        return Campaign(
+            name=name,
+            problems=problems,
+            methods=tuple(self.methods),
+            seeds=tuple(range(self.num_seeds)),
+            budget=self.budget,
+            # Legacy semantics: overrides for methods outside the grid are
+            # simply unused, while Campaign.validate treats them as typos —
+            # drop them here so every valid config converts cleanly.
+            method_overrides={k: dict(v) for k, v in self.method_overrides.items()
+                              if k in self.methods},
+        )
 
     @classmethod
     def paper_scale(cls) -> "ExperimentConfig":
@@ -144,7 +170,8 @@ def run_method_on_circuit(
     """Run one (method, circuit, seed) cell of the grid."""
     if evaluator is None:
         aig = get_circuit(circuit_name, width=config.circuit_width)
-        evaluator = QoREvaluator(aig, lut_size=config.lut_size)
+        evaluator = QoREvaluator(aig, lut_size=config.lut_size,
+                                 objective=config.objective)
     else:
         evaluator.reset_history()
     overrides = dict(config.method_overrides.get(method_key, {}))

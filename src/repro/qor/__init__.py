@@ -1,5 +1,25 @@
-"""Quality-of-results evaluation (Equation 1 of the paper)."""
+"""Quality-of-results evaluation (Equation 1 of the paper, pluggable)."""
 
 from repro.qor.evaluator import QoREvaluator, QoRResult, SequenceEvaluation
+from repro.qor.objectives import (
+    AreaObjective,
+    DelayObjective,
+    Eq1Objective,
+    Objective,
+    WeightedObjective,
+    parse_objective_argument,
+    resolve_objective,
+)
 
-__all__ = ["QoREvaluator", "QoRResult", "SequenceEvaluation"]
+__all__ = [
+    "QoREvaluator",
+    "QoRResult",
+    "SequenceEvaluation",
+    "Objective",
+    "Eq1Objective",
+    "AreaObjective",
+    "DelayObjective",
+    "WeightedObjective",
+    "resolve_objective",
+    "parse_objective_argument",
+]

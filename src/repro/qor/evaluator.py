@@ -1,11 +1,17 @@
 """The QoR black box that all optimisers query.
 
-Implements Equation (1) of the paper:
+By default implements Equation (1) of the paper:
 
     QoR_C(seq) = Area_C(seq) / Area_C(ref) + Delay_C(seq) / Delay_C(ref)
 
 where Area is the LUT count and Delay the LUT level count after K-LUT
-mapping, and the reference is the ``resyn2`` flow.
+mapping, and the reference is the ``resyn2`` flow.  The figure of merit
+is pluggable: pass any :class:`repro.qor.objectives.Objective` (or its
+spec — ``"area"``, ``"delay"``, ``{"objective": "weighted", ...}``) as
+``objective=`` and every QoR value, improvement percentage and optimiser
+decision follows it instead.  Raw ``(area, delay)`` measurements are
+objective-independent, and both cache layers key on them — so switching
+objectives never invalidates cached synthesis work.
 
 Evaluation-count semantics
 --------------------------
@@ -44,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.graph import AIG
 from repro.mapping.lut_mapper import LutMapper, MappingResult
+from repro.qor.objectives import Objective, canonical_spec_string, resolve_objective
 from repro.synth.flows import RESYN2_SEQUENCE
 from repro.synth.operations import apply_sequence, sequence_to_names
 
@@ -111,7 +118,14 @@ class QoREvaluator:
         docstring for the full semantics.
     cache_key:
         Key identifying this circuit + LUT size in the persistent cache;
-        derived automatically from the AIG structure when omitted.
+        derived automatically from the AIG structure when omitted.  The
+        key deliberately excludes the objective: cached ``(area, delay)``
+        pairs are objective-independent.
+    objective:
+        Figure of merit mapping raw ``(area, delay)`` measurements to the
+        scalar the optimisers minimise — an
+        :class:`repro.qor.objectives.Objective` or its spec.  Defaults to
+        the paper's Equation 1.
     """
 
     def __init__(
@@ -122,9 +136,11 @@ class QoREvaluator:
         cache: bool = True,
         persistent_cache: Optional[object] = None,
         cache_key: Optional[str] = None,
+        objective: Optional[object] = None,
     ) -> None:
         self.aig = aig
         self.lut_size = lut_size
+        self.objective: Objective = resolve_objective(objective)
         self.mapper = LutMapper(lut_size=lut_size)
         self.reference_sequence = tuple(
             reference_sequence if reference_sequence is not None else RESYN2_SEQUENCE
@@ -149,9 +165,9 @@ class QoREvaluator:
         reference_mapping = self.mapper.map(reference_aig)
         self.reference_area = max(1, reference_mapping.area)
         self.reference_delay = max(1, reference_mapping.delay)
-        # QoR of the reference itself is 2.0 by construction; the paper's
-        # "% improvement over resyn2" is measured against this value.
-        self.reference_qor = 2.0
+        # QoR of the reference itself (2.0 by construction for Equation 1);
+        # the paper's "% improvement over resyn2" is measured against it.
+        self.reference_qor = self.objective.reference_value()
 
         # Mapping of the unoptimised circuit, for Pareto plots ("init").
         initial_mapping = self.mapper.map(aig)
@@ -183,10 +199,20 @@ class QoREvaluator:
 
     @property
     def cache_key(self) -> str:
-        """Persistent-cache key for this circuit + LUT size."""
+        """Persistent-cache key for this circuit + LUT size.
+
+        Objective-independent on purpose: the cache stores raw
+        ``(area, delay)`` pairs, so runs under different objectives share
+        every cached synthesis + mapping computation.
+        """
         if self._cache_key is None:
             self._cache_key = f"{aig_fingerprint(self.aig)}:lut{self.lut_size}"
         return self._cache_key
+
+    @property
+    def objective_spec(self) -> str:
+        """Canonical string spec of this evaluator's objective."""
+        return canonical_spec_string(self.objective)
 
     # ------------------------------------------------------------------
     # Deferred persistent writes
@@ -238,8 +264,9 @@ class QoREvaluator:
     # Core computation (pure, no recording)
     # ------------------------------------------------------------------
     def _qor_value(self, area: int, delay: int) -> float:
-        """Equation 1: area and delay relative to the reference flow."""
-        return area / self.reference_area + delay / self.reference_delay
+        """The configured objective over reference-normalised area/delay."""
+        return self.objective.value(area, delay,
+                                    self.reference_area, self.reference_delay)
 
     def _qor(self, mapping: MappingResult) -> float:
         return self._qor_value(mapping.area, mapping.delay)

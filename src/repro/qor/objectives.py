@@ -1,0 +1,274 @@
+"""Pluggable QoR objectives — Equation (1) and its variants.
+
+The paper's figure of merit (Equation 1) is::
+
+    QoR(seq) = Area(seq) / Area(ref) + Delay(seq) / Delay(ref)
+
+but the paper itself notes BOiLS "is not tied to a specific black-box and
+can be utilised with other quantities of interest, e.g. area or delay
+disjointly by simply modifying Equation (1)".  This module makes that a
+configuration choice: an :class:`Objective` maps one raw measurement
+``(area, delay)`` plus the reference ``(area_ref, delay_ref)`` to the
+scalar the optimisers minimise.
+
+Built-in objectives (all registered in :data:`repro.registry.OBJECTIVES`
+and addressable by spec from JSON campaigns and the CLI):
+
+========== =====================================================
+``eq1``    the paper's Equation 1 (default)
+``area``   ``area / area_ref`` — LUT count only
+``delay``  ``delay / delay_ref`` — LUT levels only
+``weighted`` ``w_area * area/area_ref + w_delay * delay/delay_ref``
+========== =====================================================
+
+Objectives are *pure views over raw measurements*: the persistent QoR
+cache stores ``(area, delay)`` pairs, never objective values, so a cache
+populated under one objective is fully warm under any other — switching
+objectives never invalidates cached synthesis work.
+
+A **spec** is the JSON-round-trippable form: the bare key string for
+parameterless objectives (``"area"``), or a dict with the key under
+``"objective"`` plus its parameters (``{"objective": "weighted",
+"w_area": 2.0, "w_delay": 1.0}``).  :func:`resolve_objective` accepts a
+spec, an :class:`Objective` instance, or ``None`` (→ ``eq1``).
+
+Custom objectives register a factory without touching this module::
+
+    from repro.registry import register_objective
+
+    @register_objective("area-squared")
+    def make_area_squared() -> Objective:
+        class AreaSquared(Objective):
+            key = "area-squared"
+            def value(self, area, delay, area_ref, delay_ref):
+                return (area / area_ref) ** 2
+        return AreaSquared()
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Union
+
+from repro.registry import OBJECTIVES, RegistryError, register_objective
+
+ObjectiveSpec = Union[str, Dict[str, object]]
+
+
+class Objective(ABC):
+    """Scalar figure of merit over one mapped network (lower is better)."""
+
+    #: Registry key; parameterised objectives combine it with params().
+    key: str = "objective"
+
+    @abstractmethod
+    def value(self, area: float, delay: float,
+              area_ref: float, delay_ref: float) -> float:
+        """The objective value of a measurement, given the reference."""
+
+    def reference_value(self) -> float:
+        """Objective value of the reference itself (improvement baseline).
+
+        ``value(area_ref, delay_ref, area_ref, delay_ref)`` by
+        construction; Equation 1 gives exactly 2.0.
+        """
+        return self.value(1.0, 1.0, 1.0, 1.0)
+
+    def params(self) -> Dict[str, object]:
+        """JSON-serialisable parameters; empty for parameterless objectives."""
+        return {}
+
+    def spec(self) -> ObjectiveSpec:
+        """The JSON-round-trippable spec reconstructing this objective."""
+        params = self.params()
+        if not params:
+            return self.key
+        spec: Dict[str, object] = {"objective": self.key}
+        spec.update(params)
+        return spec
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Objective) and other.spec() == self.spec()
+
+    def __hash__(self) -> int:
+        return hash(canonical_spec_string(self.spec()))
+
+
+class Eq1Objective(Objective):
+    """The paper's Equation 1: normalised area plus normalised delay.
+
+    Kept as a dedicated class (rather than ``weighted(1, 1)``) so the
+    default path stays literally the seed arithmetic — bit-identical to
+    every pinned golden trajectory.
+    """
+
+    key = "eq1"
+
+    def value(self, area: float, delay: float,
+              area_ref: float, delay_ref: float) -> float:
+        return area / area_ref + delay / delay_ref
+
+    def reference_value(self) -> float:
+        return 2.0
+
+
+class WeightedObjective(Objective):
+    """``w_area * area/area_ref + w_delay * delay/delay_ref``."""
+
+    key = "weighted"
+
+    def __init__(self, w_area: float = 1.0, w_delay: float = 1.0) -> None:
+        self.w_area = float(w_area)
+        self.w_delay = float(w_delay)
+        if self.w_area < 0 or self.w_delay < 0:
+            raise ValueError("objective weights must be non-negative")
+        if self.w_area == 0 and self.w_delay == 0:
+            raise ValueError("at least one objective weight must be positive")
+
+    def value(self, area: float, delay: float,
+              area_ref: float, delay_ref: float) -> float:
+        return self.w_area * (area / area_ref) + self.w_delay * (delay / delay_ref)
+
+    def reference_value(self) -> float:
+        return self.w_area + self.w_delay
+
+    def params(self) -> Dict[str, object]:
+        return {"w_area": self.w_area, "w_delay": self.w_delay}
+
+
+class AreaObjective(Objective):
+    """LUT count only: ``area / area_ref``."""
+
+    key = "area"
+
+    def value(self, area: float, delay: float,
+              area_ref: float, delay_ref: float) -> float:
+        return area / area_ref
+
+    def reference_value(self) -> float:
+        return 1.0
+
+
+class DelayObjective(Objective):
+    """LUT levels only: ``delay / delay_ref``."""
+
+    key = "delay"
+
+    def value(self, area: float, delay: float,
+              area_ref: float, delay_ref: float) -> float:
+        return delay / delay_ref
+
+    def reference_value(self) -> float:
+        return 1.0
+
+
+register_objective("eq1", Eq1Objective)
+register_objective("area", AreaObjective)
+register_objective("delay", DelayObjective)
+register_objective("weighted", WeightedObjective)
+
+DEFAULT_OBJECTIVE_KEY = "eq1"
+
+
+# ----------------------------------------------------------------------
+# Spec handling
+# ----------------------------------------------------------------------
+def resolve_objective(spec: Union[ObjectiveSpec, Objective, None]) -> Objective:
+    """Build an :class:`Objective` from a spec (or pass one through).
+
+    Accepts ``None`` (the default ``eq1``), a key string, a params dict
+    with the key under ``"objective"``, a JSON-encoded dict string (the
+    canonical wire form used inside picklable evaluator specs), or an
+    :class:`Objective` instance.
+    """
+    if spec is None:
+        spec = DEFAULT_OBJECTIVE_KEY
+    if isinstance(spec, Objective):
+        return _checked(spec)
+    if isinstance(spec, str) and spec.lstrip().startswith("{"):
+        spec = json.loads(spec)
+    if isinstance(spec, str):
+        key, params = spec, {}
+    elif isinstance(spec, dict):
+        params = dict(spec)
+        key = params.pop("objective", None)
+        if not isinstance(key, str):
+            raise RegistryError(
+                f"objective spec {spec!r} must name its key under 'objective'"
+            )
+    else:
+        raise TypeError(f"cannot resolve an objective from {spec!r}")
+    factory = OBJECTIVES.get(key)
+    objective = factory(**params)
+    if not isinstance(objective, Objective):
+        raise TypeError(
+            f"objective factory for {key!r} returned {objective!r}, "
+            "not an Objective"
+        )
+    return _checked(objective)
+
+
+def _checked(objective: Objective) -> Objective:
+    """Reject objectives whose reference value cannot anchor improvements.
+
+    ``qor_improvement`` normalises by the reference's own objective
+    value; a zero there would turn the first evaluation of every run
+    into a ``ZeroDivisionError``, so extension authors get the clear
+    error at construction time instead.
+    """
+    reference = objective.reference_value()
+    if reference == 0:
+        raise ValueError(
+            f"objective {objective.spec()!r} has reference_value() == 0; "
+            "improvements are measured relative to the reference, which "
+            "therefore must be non-zero"
+        )
+    return objective
+
+
+def canonical_spec_string(spec: Union[ObjectiveSpec, Objective, None]) -> str:
+    """Deterministic string form of a spec (hashable, picklable, tiny).
+
+    Used wherever an objective identity must cross a process boundary or
+    key a dictionary: bare key strings stay themselves, parameterised
+    specs become sorted-key JSON.
+    """
+    if spec is None:
+        return DEFAULT_OBJECTIVE_KEY
+    if isinstance(spec, Objective):
+        spec = spec.spec()
+    if isinstance(spec, str) and spec.lstrip().startswith("{"):
+        spec = json.loads(spec)
+    if isinstance(spec, str):
+        return spec
+    return json.dumps(spec, sort_keys=True)
+
+
+def parse_objective_argument(text: str) -> ObjectiveSpec:
+    """Parse the CLI's ``--objective`` argument into a spec.
+
+    Accepts a bare key (``area``), a ``weighted:W_AREA,W_DELAY``
+    shorthand, or inline JSON (``{"objective": "weighted", ...}``).
+    """
+    text = text.strip()
+    if text.startswith("{"):
+        return json.loads(text)
+    if ":" in text:
+        key, _, arg_text = text.partition(":")
+        key = key.strip()
+        if key != "weighted":
+            raise ValueError(
+                f"only 'weighted' takes ':' arguments, got {text!r}; "
+                "use JSON for parameterised custom objectives"
+            )
+        parts = [part.strip() for part in arg_text.split(",") if part.strip()]
+        if len(parts) != 2:
+            raise ValueError(
+                f"expected weighted:W_AREA,W_DELAY, got {text!r}")
+        return {"objective": "weighted",
+                "w_area": float(parts[0]), "w_delay": float(parts[1])}
+    return text

@@ -1,0 +1,292 @@
+"""Decorator-based extension registries for optimisers, objectives, circuits.
+
+This module is the extension seam of the public API: everything a
+:class:`repro.api.Campaign` names by string — the optimisation method, the
+QoR objective, the benchmark circuit — resolves through a
+:class:`Registry`.  Third-party code extends the system without editing
+``repro`` internals, in either of two ways:
+
+* **Decorator registration** (in-process)::
+
+      from repro.registry import register_optimiser
+
+      @register_optimiser("annealing", display_name="SA")
+      class SimulatedAnnealing(SequenceOptimiser):
+          ...
+
+* **Entry points** (installed packages).  A distribution declares, e.g.::
+
+      [project.entry-points."repro.optimisers"]
+      annealing = "mypackage.annealing:SimulatedAnnealing"
+
+  and the optimiser becomes available to every ``repro`` campaign and CLI
+  invocation without an import statement anywhere.  The groups are
+  ``repro.optimisers``, ``repro.objectives`` and ``repro.circuits``.
+
+Keys are case-sensitive, duplicates are rejected loudly (a silent
+overwrite of ``"boils"`` would corrupt every downstream result table),
+and unknown-key errors always list what *is* available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """Unknown or duplicate registry key.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` handlers
+    (e.g. the CLI's error-to-exit-code mapping) keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError repr()s its message; undo that.
+        return self.args[0] if self.args else ""
+
+
+class Registry(Generic[T]):
+    """An ordered name → object mapping with explicit registration.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable singular noun ("optimiser", "objective", ...)
+        used in error messages.
+    entry_point_group:
+        Optional ``importlib.metadata`` entry-point group scanned lazily
+        (once, on first lookup/listing) so installed third-party packages
+        can contribute entries without being imported explicitly.
+    builtin_loader:
+        Optional callable importing the modules that register the
+        built-in entries.  Called lazily so the registry module itself
+        stays import-cycle-free.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        entry_point_group: Optional[str] = None,
+        builtin_loader: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.kind = kind
+        self.entry_point_group = entry_point_group
+        self._builtin_loader = builtin_loader
+        self._entries: Dict[str, T] = {}
+        self._loaded_builtins = False
+        self._loaded_entry_points = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, key: str, obj: Optional[T] = None, *, replace: bool = False):
+        """Register ``obj`` under ``key``; usable as a decorator.
+
+        Raises :class:`RegistryError` if ``key`` is already taken (pass
+        ``replace=True`` to overwrite deliberately, e.g. in tests).
+        """
+        if not key or not isinstance(key, str):
+            raise RegistryError(f"{self.kind} key must be a non-empty string, got {key!r}")
+
+        def _store(value: T) -> T:
+            if not replace and key in self._entries:
+                raise RegistryError(
+                    f"duplicate {self.kind} key {key!r}: already registered as "
+                    f"{self._entries[key]!r}; pass replace=True to overwrite"
+                )
+            self._entries[key] = value
+            return value
+
+        if obj is None:
+            return _store
+        return _store(obj)
+
+    def unregister(self, key: str) -> None:
+        """Remove an entry (mainly for tests); missing keys are ignored."""
+        self._entries.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Lazy population
+    # ------------------------------------------------------------------
+    def _ensure_builtins(self) -> None:
+        if not self._loaded_builtins and self._builtin_loader is not None:
+            # Mark first: the loader imports modules whose decorators call
+            # back into register(), and a re-entrant load must not recurse.
+            self._loaded_builtins = True
+            self._builtin_loader()
+
+    def _ensure_entry_points(self) -> None:
+        if self._loaded_entry_points or self.entry_point_group is None:
+            return
+        self._loaded_entry_points = True
+        try:
+            from importlib.metadata import entry_points
+        except ImportError:  # pragma: no cover - py>=3.10 always has it
+            return
+        try:
+            discovered = entry_points(group=self.entry_point_group)
+        except TypeError:  # pragma: no cover - pre-3.10 selectable API
+            discovered = entry_points().get(self.entry_point_group, [])
+        for entry_point in discovered:
+            if entry_point.name in self._entries:
+                # In-process registrations win over installed plugins; a
+                # plugin must not silently shadow a built-in.
+                continue
+            try:
+                self._entries[entry_point.name] = entry_point.load()
+            except Exception as error:  # noqa: BLE001 - plugin isolation
+                # One broken installed plugin must not brick every repro
+                # command; skip it loudly instead.
+                import warnings
+
+                warnings.warn(
+                    f"skipping {self.kind} entry point "
+                    f"{entry_point.name!r} ({self.entry_point_group}): "
+                    f"failed to load: {error!r}",
+                    UserWarning,
+                    stacklevel=2,
+                )
+
+    def _populate(self) -> None:
+        self._ensure_builtins()
+        self._ensure_entry_points()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> T:
+        """Look up an entry, raising a helpful error for unknown keys."""
+        self._populate()
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {key!r}; available: {self.keys()}"
+            ) from None
+
+    def keys(self) -> List[str]:
+        """Registered keys, in registration order (built-ins first)."""
+        self._populate()
+        return list(self._entries)
+
+    def items(self) -> List[tuple]:
+        self._populate()
+        return list(self._entries.items())
+
+    def __contains__(self, key: str) -> bool:
+        self._populate()
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        self._populate()
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Optimisers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named optimiser constructor with default keyword arguments.
+
+    ``defaults`` are the experiment-grid defaults (the settings the
+    paper-scale protocol uses for this method), applied before any
+    per-campaign overrides; the class's own ``__init__`` defaults remain
+    the API-level defaults.
+    """
+
+    key: str
+    display_name: str
+    factory: Callable[..., object]
+    defaults: Dict[str, object] = field(default_factory=dict)
+
+
+def _load_builtin_optimisers() -> None:
+    # Importing the modules runs their @register_optimiser decorators.
+    import repro.bo.boils  # noqa: F401
+    import repro.bo.sbo  # noqa: F401
+    import repro.baselines  # noqa: F401  (rs, greedy, ga, a2c, ppo, graph-rl)
+
+
+OPTIMISERS: Registry[MethodSpec] = Registry(
+    "method", entry_point_group="repro.optimisers",
+    builtin_loader=_load_builtin_optimisers,
+)
+
+
+def register_optimiser(
+    key: str,
+    *,
+    display_name: Optional[str] = None,
+    defaults: Optional[Dict[str, object]] = None,
+    replace: bool = False,
+):
+    """Class decorator registering a :class:`SequenceOptimiser` subclass.
+
+    Entry-point plugins may export either the class itself or a ready
+    :class:`MethodSpec`; :func:`optimiser_spec` normalises both.
+    """
+
+    def _decorate(cls):
+        spec = MethodSpec(
+            key=key,
+            display_name=display_name if display_name is not None
+            else getattr(cls, "name", key),
+            factory=cls,
+            defaults=dict(defaults or {}),
+        )
+        OPTIMISERS.register(key, spec, replace=replace)
+        return cls
+
+    return _decorate
+
+
+def optimiser_spec(key: str) -> MethodSpec:
+    """Resolve a method key to a :class:`MethodSpec`.
+
+    Entry-point entries that loaded to a bare class (rather than a
+    :class:`MethodSpec`) are wrapped on first use.
+    """
+    entry = OPTIMISERS.get(key)
+    if isinstance(entry, MethodSpec):
+        return entry
+    spec = MethodSpec(key=key, display_name=getattr(entry, "name", key),
+                      factory=entry)
+    OPTIMISERS.register(key, spec, replace=True)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Objectives
+# ----------------------------------------------------------------------
+def _load_builtin_objectives() -> None:
+    import repro.qor.objectives  # noqa: F401
+
+
+OBJECTIVES: Registry[Callable[..., object]] = Registry(
+    "objective", entry_point_group="repro.objectives",
+    builtin_loader=_load_builtin_objectives,
+)
+
+
+def register_objective(key: str, factory=None, *, replace: bool = False):
+    """Register an objective factory ``(**params) -> Objective``."""
+    return OBJECTIVES.register(key, factory, replace=replace)
+
+
+# ----------------------------------------------------------------------
+# Circuits
+# ----------------------------------------------------------------------
+def _load_builtin_circuits() -> None:
+    import repro.circuits.registry  # noqa: F401
+
+
+CIRCUITS: Registry[object] = Registry(
+    "circuit", entry_point_group="repro.circuits",
+    builtin_loader=_load_builtin_circuits,
+)

@@ -1,0 +1,152 @@
+"""Tests for pluggable objectives and their evaluator integration."""
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.engine.cache import PersistentQoRCache
+from repro.qor import QoREvaluator
+from repro.qor.objectives import (
+    AreaObjective,
+    DelayObjective,
+    Eq1Objective,
+    WeightedObjective,
+    canonical_spec_string,
+    parse_objective_argument,
+    resolve_objective,
+)
+
+
+class TestObjectiveValues:
+    def test_eq1(self):
+        assert Eq1Objective().value(30, 6, 20, 4) == 30 / 20 + 6 / 4
+        assert Eq1Objective().reference_value() == 2.0
+
+    def test_area_delay(self):
+        assert AreaObjective().value(30, 6, 20, 4) == 1.5
+        assert DelayObjective().value(30, 6, 20, 4) == 1.5
+        assert AreaObjective().reference_value() == 1.0
+
+    def test_weighted(self):
+        objective = WeightedObjective(w_area=2.0, w_delay=0.5)
+        assert objective.value(30, 6, 20, 4) == 2.0 * 1.5 + 0.5 * 1.5
+        assert objective.reference_value() == 2.5
+
+    def test_weighted_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedObjective(w_area=-1.0)
+        with pytest.raises(ValueError):
+            WeightedObjective(w_area=0.0, w_delay=0.0)
+
+    def test_weighted_unit_weights_match_eq1_bitwise(self):
+        eq1 = Eq1Objective()
+        weighted = WeightedObjective(1.0, 1.0)
+        for area, delay, ra, rd in [(37, 9, 21, 5), (123, 17, 119, 13)]:
+            assert weighted.value(area, delay, ra, rd) == eq1.value(area, delay, ra, rd)
+
+
+class TestSpecs:
+    def test_resolve_key(self):
+        assert isinstance(resolve_objective("area"), AreaObjective)
+        assert isinstance(resolve_objective(None), Eq1Objective)
+
+    def test_resolve_dict_and_json_string(self):
+        spec = {"objective": "weighted", "w_area": 3.0, "w_delay": 1.0}
+        objective = resolve_objective(spec)
+        assert objective.w_area == 3.0
+        # The canonical string form (used inside picklable specs) parses too.
+        assert resolve_objective(canonical_spec_string(spec)) == objective
+
+    def test_spec_round_trip(self):
+        for objective in (Eq1Objective(), AreaObjective(), DelayObjective(),
+                          WeightedObjective(2.0, 1.0)):
+            assert resolve_objective(objective.spec()) == objective
+
+    def test_canonical_string_is_deterministic(self):
+        a = canonical_spec_string({"objective": "weighted", "w_area": 1.0,
+                                   "w_delay": 2.0})
+        b = canonical_spec_string({"w_delay": 2.0, "w_area": 1.0,
+                                   "objective": "weighted"})
+        assert a == b
+
+    def test_unknown_objective(self):
+        with pytest.raises(KeyError):
+            resolve_objective("nope")
+
+    def test_zero_reference_objective_rejected_at_construction(self):
+        from repro.qor.objectives import Objective
+
+        class DeltaFromReference(Objective):
+            key = "delta"
+
+            def value(self, area, delay, area_ref, delay_ref):
+                return area / area_ref - 1.0
+
+        with pytest.raises(ValueError, match="reference_value"):
+            resolve_objective(DeltaFromReference())
+
+    def test_parse_cli_argument(self):
+        assert parse_objective_argument("area") == "area"
+        assert parse_objective_argument("weighted:2,0.5") == {
+            "objective": "weighted", "w_area": 2.0, "w_delay": 0.5}
+        assert parse_objective_argument('{"objective": "delay"}') == {
+            "objective": "delay"}
+        with pytest.raises(ValueError):
+            parse_objective_argument("area:1,2")
+        with pytest.raises(ValueError):
+            parse_objective_argument("weighted:1")
+
+
+class TestEvaluatorIntegration:
+    @pytest.fixture(scope="class")
+    def adder(self):
+        return get_circuit("adder", width=4)
+
+    def test_default_objective_matches_legacy_eq1(self, adder):
+        evaluator = QoREvaluator(adder)
+        record = evaluator.evaluate(["balance", "rewrite"])
+        assert evaluator.reference_qor == 2.0
+        assert record.qor == (record.area / evaluator.reference_area
+                              + record.delay / evaluator.reference_delay)
+
+    def test_area_objective_ignores_delay(self, adder):
+        evaluator = QoREvaluator(adder, objective="area")
+        record = evaluator.evaluate(["balance", "rewrite"])
+        assert record.qor == record.area / evaluator.reference_area
+        assert evaluator.reference_qor == 1.0
+        assert evaluator.objective_spec == "area"
+
+    def test_improvement_uses_objective_reference(self, adder):
+        evaluator = QoREvaluator(adder, objective="delay")
+        record = evaluator.evaluate(["balance"])
+        expected = (1.0 - record.qor) / 1.0 * 100.0
+        assert record.qor_improvement == pytest.approx(expected)
+
+    def test_raw_measurements_objective_independent(self, adder):
+        sequence = ["balance", "rewrite", "refactor"]
+        by_objective = {
+            key: QoREvaluator(adder, objective=key).evaluate(sequence)
+            for key in ("eq1", "area", "delay")
+        }
+        areas = {record.area for record in by_objective.values()}
+        delays = {record.delay for record in by_objective.values()}
+        assert len(areas) == 1 and len(delays) == 1
+
+    def test_persistent_cache_shared_across_objectives(self, adder, tmp_path):
+        """Cache keys stay raw (area, delay): switching objectives never
+        invalidates the persistent cache."""
+        sequence = ["balance", "rewrite"]
+        with PersistentQoRCache(str(tmp_path)) as cache:
+            first = QoREvaluator(adder, persistent_cache=cache)
+            record_eq1 = first.evaluate(sequence)
+            assert first.num_computed == 1
+
+            second = QoREvaluator(adder, objective="area",
+                                  persistent_cache=cache)
+            record_area = second.evaluate(sequence)
+            # Warm hit: counted as an evaluation but nothing recomputed.
+            assert second.num_computed == 0
+            assert second.num_persistent_hits == 1
+            assert (record_area.area, record_area.delay) == (
+                record_eq1.area, record_eq1.delay)
+            # Same raw measurement, objective-specific scalar.
+            assert record_area.qor == record_area.area / second.reference_area

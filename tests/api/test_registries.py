@@ -1,0 +1,297 @@
+"""Tests for the generic registry subsystem and its three instances."""
+
+import numpy as np
+import pytest
+
+from repro.bo.base import SequenceOptimiser
+from repro.bo.space import SequenceSpace
+from repro.circuits import get_circuit
+from repro.circuits.registry import register_circuit
+from repro.experiments import available_methods, make_optimiser
+from repro.qor import QoREvaluator
+from repro.qor.objectives import Objective, resolve_objective
+from repro.registry import (
+    CIRCUITS,
+    OBJECTIVES,
+    OPTIMISERS,
+    MethodSpec,
+    Registry,
+    RegistryError,
+    register_objective,
+    register_optimiser,
+)
+
+
+class TestRegistryCore:
+    def test_register_and_get(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert "a" in registry
+        assert registry.keys() == ["a"]
+
+    def test_decorator_form(self):
+        registry = Registry("widget")
+
+        @registry.register("fn")
+        def fn():
+            return 42
+
+        assert registry.get("fn") is fn
+
+    def test_duplicate_key_rejected(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(RegistryError, match="duplicate widget key 'a'"):
+            registry.register("a", 2)
+        # Explicit replace is allowed (tests, plugin development).
+        registry.register("a", 3, replace=True)
+        assert registry.get("a") == 3
+
+    def test_invalid_key_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError):
+            registry.register("", 1)
+
+    def test_unknown_key_lists_available(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        registry.register("beta", 2)
+        with pytest.raises(RegistryError) as excinfo:
+            registry.get("gamma")
+        message = str(excinfo.value)
+        assert "unknown widget 'gamma'" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_registry_error_is_key_error(self):
+        # Legacy `except KeyError` handlers (e.g. the CLI) must keep working.
+        registry = Registry("widget")
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_preserves_registration_order(self):
+        registry = Registry("widget")
+        for key in ("z", "a", "m"):
+            registry.register(key, key)
+        assert registry.keys() == ["z", "a", "m"]
+
+
+class _FakeEntryPoint:
+    def __init__(self, name, value):
+        self.name = name
+        self._value = value
+
+    def load(self):
+        return self._value
+
+
+class TestEntryPointDiscovery:
+    def test_entry_points_discovered_lazily(self, monkeypatch):
+        registry = Registry("widget", entry_point_group="repro.test_widgets")
+        monkeypatch.setattr(
+            "importlib.metadata.entry_points",
+            lambda group=None: ([_FakeEntryPoint("plugged", "VALUE")]
+                                if group == "repro.test_widgets" else []),
+        )
+        assert registry.get("plugged") == "VALUE"
+        assert "plugged" in registry.keys()
+
+    def test_in_process_registration_wins_over_entry_point(self, monkeypatch):
+        registry = Registry("widget", entry_point_group="repro.test_widgets")
+        registry.register("plugged", "LOCAL")
+        monkeypatch.setattr(
+            "importlib.metadata.entry_points",
+            lambda group=None: [_FakeEntryPoint("plugged", "PLUGIN")],
+        )
+        assert registry.get("plugged") == "LOCAL"
+
+    def test_broken_entry_point_skipped_with_warning(self, monkeypatch):
+        class _BrokenEntryPoint:
+            name = "broken"
+
+            def load(self):
+                raise ImportError("plugin module missing")
+
+        registry = Registry("widget", entry_point_group="repro.test_widgets")
+        registry.register("fine", "OK")
+        monkeypatch.setattr(
+            "importlib.metadata.entry_points",
+            lambda group=None: [_BrokenEntryPoint(),
+                                _FakeEntryPoint("plugged", "VALUE")],
+        )
+        with pytest.warns(UserWarning, match="'broken'"):
+            keys = registry.keys()
+        # The broken plugin is skipped; everything else still works.
+        assert "broken" not in keys
+        assert registry.get("fine") == "OK"
+        assert registry.get("plugged") == "VALUE"
+
+    def test_scanned_exactly_once(self, monkeypatch):
+        calls = []
+        registry = Registry("widget", entry_point_group="repro.test_widgets")
+        monkeypatch.setattr(
+            "importlib.metadata.entry_points",
+            lambda group=None: calls.append(group) or [],
+        )
+        registry.keys()
+        registry.keys()
+        assert calls == ["repro.test_widgets"]
+
+
+class TestBuiltinRegistries:
+    def test_all_builtin_methods_present(self):
+        keys = OPTIMISERS.keys()
+        for expected in ("boils", "sbo", "rs", "greedy", "ga", "a2c", "ppo",
+                         "graph-rl"):
+            assert expected in keys
+
+    def test_builtin_objectives_present(self):
+        for expected in ("eq1", "area", "delay", "weighted"):
+            assert expected in OBJECTIVES.keys()
+
+    def test_builtin_circuits_present(self):
+        assert "adder" in CIRCUITS.keys()
+        assert len(CIRCUITS) >= 10
+
+    def test_method_spec_shape(self):
+        spec = OPTIMISERS.get("boils")
+        assert isinstance(spec, MethodSpec)
+        assert spec.display_name == "BOiLS"
+        assert spec.defaults["fit_every"] == 2
+
+
+class TestEndToEndExtension:
+    """Acceptance: custom optimiser + objective + circuit, no core edits."""
+
+    def test_custom_optimiser_runs_end_to_end(self):
+        @register_optimiser("test-coordinate", display_name="Coord")
+        class CoordinateDescent(SequenceOptimiser):
+            name = "Coord"
+
+            def prepare(self, evaluator, budget):
+                self._current = self.space.sample(1, self.rng)[0]
+                self._position = 0
+
+            def suggest(self, n=1):
+                row = self._current.copy()
+                row[self._position % self.space.sequence_length] = int(
+                    self.rng.integers(self.space.num_operations))
+                self._position += 1
+                return row[None, :]
+
+            def observe(self, rows, records):
+                self._current = rows[0]
+
+        try:
+            assert "test-coordinate" in available_methods()
+            optimiser = make_optimiser(
+                "test-coordinate", space=SequenceSpace(sequence_length=3), seed=0)
+            evaluator = QoREvaluator(get_circuit("adder", width=4))
+            result = optimiser.optimise(evaluator, budget=5)
+            assert result.num_evaluations == 5
+            assert result.method == "Coord"
+        finally:
+            OPTIMISERS.unregister("test-coordinate")
+
+    def test_custom_objective_runs_end_to_end(self):
+        @register_objective("test-area-squared")
+        def make_area_squared():
+            class AreaSquared(Objective):
+                key = "test-area-squared"
+
+                def value(self, area, delay, area_ref, delay_ref):
+                    return (area / area_ref) ** 2
+
+            return AreaSquared()
+
+        try:
+            evaluator = QoREvaluator(get_circuit("adder", width=4),
+                                     objective="test-area-squared")
+            record = evaluator.evaluate(["balance", "rewrite"])
+            assert record.qor == pytest.approx(
+                (record.area / evaluator.reference_area) ** 2)
+            assert evaluator.reference_qor == 1.0
+        finally:
+            OBJECTIVES.unregister("test-area-squared")
+
+    def test_custom_circuit_runs_end_to_end(self):
+        from repro.aig.graph import AIG
+
+        @register_circuit("test-passthrough", display_name="Passthrough",
+                          default_width=4)
+        def make_passthrough(width):
+            aig = AIG(name=f"passthrough_{width}")
+            for i in range(width):
+                literal = aig.add_pi(f"x{i}")
+                aig.add_po(literal, name=f"y{i}")
+            return aig
+
+        try:
+            aig = get_circuit("test-passthrough")
+            assert aig.num_pis == 4
+            aig = get_circuit("test-passthrough", width=7)
+            assert aig.num_pis == 7
+        finally:
+            CIRCUITS.unregister("test-passthrough")
+
+    def test_registered_name_beats_builtin_alias(self):
+        # 'mult' is a built-in alias for 'multiplier'; a user circuit
+        # registered under that exact name must still be reachable.
+        from repro.aig.graph import AIG
+        from repro.circuits.registry import get_circuit_spec
+
+        @register_circuit("mult", default_width=2)
+        def make_tiny(width):
+            aig = AIG(name=f"tiny_{width}")
+            aig.add_po(aig.add_pi("x"), name="y")
+            return aig
+
+        try:
+            assert get_circuit_spec("mult").generator is make_tiny
+        finally:
+            CIRCUITS.unregister("mult")
+        # With no registration, the alias resolves to the bundled circuit.
+        assert get_circuit_spec("mult").name == "multiplier"
+
+    def test_mixed_case_registered_name_is_reachable(self):
+        from repro.aig.graph import AIG
+        from repro.circuits.registry import get_circuit_spec
+
+        @register_circuit("MyCircuit", default_width=2)
+        def make_mine(width):
+            aig = AIG(name=f"mine_{width}")
+            aig.add_po(aig.add_pi("x"), name="y")
+            return aig
+
+        try:
+            assert get_circuit_spec("MyCircuit").generator is make_mine
+        finally:
+            CIRCUITS.unregister("MyCircuit")
+
+    def test_bare_generator_registry_entry_is_normalised(self):
+        # The repro.circuits entry-point group may export a plain
+        # generator callable; lookups must wrap it into a CircuitSpec.
+        from repro.aig.graph import AIG
+        from repro.circuits.registry import get_circuit_spec, list_circuits
+
+        def make_wire(width):
+            aig = AIG(name=f"wire_{width}")
+            aig.add_po(aig.add_pi("x"), name="y")
+            return aig
+
+        CIRCUITS.register("test-wire", make_wire)  # raw callable, no spec
+        try:
+            spec = get_circuit_spec("test-wire")
+            assert spec.generator is make_wire
+            assert spec.default_width == 8
+            assert any(entry.name == "test-wire" for entry in list_circuits())
+            assert get_circuit("test-wire", width=3).num_pis == 1
+        finally:
+            CIRCUITS.unregister("test-wire")
+
+    def test_resolve_objective_parameterised_round_trip(self):
+        objective = resolve_objective(
+            {"objective": "weighted", "w_area": 2.0, "w_delay": 0.5})
+        assert objective.reference_value() == pytest.approx(2.5)
+        rebuilt = resolve_objective(objective.spec())
+        assert rebuilt == objective

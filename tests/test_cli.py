@@ -70,3 +70,98 @@ class TestCommands:
     def test_unknown_method_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["optimise", "--circuit", "adder", "--method", "annealing"])
+
+
+class TestCampaignCommands:
+    def test_run_inline_flags(self, capsys, tmp_path):
+        assert main(["run", "--circuits", "adder", "--methods", "rs",
+                     "--budget", "4", "--seeds", "1",
+                     "--sequence-length", "3", "--width", "4",
+                     "--store", str(tmp_path / "run")]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 3 (top)" in captured.out
+        assert "repro resume" in captured.err
+
+    def test_run_resume_show_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "run")
+        assert main(["run", "--circuits", "adder", "--methods", "rs,greedy",
+                     "--budget", "4", "--seeds", "2",
+                     "--sequence-length", "3", "--width", "4",
+                     "--store", store]) == 0
+        first = capsys.readouterr().out
+        # Resume of a complete store recomputes nothing and reprints the grid.
+        assert main(["resume", "--store", store]) == 0
+        resumed = capsys.readouterr()
+        assert "Figure 3 (top)" in resumed.out
+        assert resumed.err.count("[cached]") == 4
+        assert resumed.out == first
+        # Show lists the cells and their status.
+        assert main(["show", "--store", store]) == 0
+        shown = capsys.readouterr().out
+        assert "4/4 complete" in shown
+        assert "adder-w4-lut6-k3__rs__s0" in shown
+
+    def test_run_from_campaign_file(self, capsys, tmp_path):
+        from repro.api import Campaign, Problem
+
+        path = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("rs",), seeds=(0,), budget=3, name="from-file",
+        ).save(tmp_path / "campaign.json")
+        assert main(["run", "--campaign", str(path)]) == 0
+        assert "Figure 3 (top)" in capsys.readouterr().out
+
+    def test_run_with_objective(self, capsys, tmp_path):
+        assert main(["run", "--circuits", "adder", "--methods", "rs",
+                     "--budget", "3", "--sequence-length", "3",
+                     "--width", "4", "--objective", "weighted:2,1",
+                     "--store", str(tmp_path / "run")]) == 0
+        capsys.readouterr()
+        assert main(["show", "--store", str(tmp_path / "run")]) == 0
+        assert "weighted-" in capsys.readouterr().out
+
+    def test_resume_missing_store_errors(self, capsys, tmp_path):
+        assert main(["resume", "--store", str(tmp_path / "missing")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_missing_campaign_file_errors(self, capsys, tmp_path):
+        assert main(["run", "--campaign", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_unknown_method_errors(self, capsys):
+        assert main(["run", "--circuits", "adder", "--methods", "annealing",
+                     "--budget", "3"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown method 'annealing'" in err
+
+    def test_list_objectives(self, capsys):
+        assert main(["list-objectives"]) == 0
+        out = capsys.readouterr().out
+        assert "eq1" in out and "weighted" in out
+
+
+class TestTableLutSize:
+    def test_table_accepts_lut_size(self, capsys):
+        assert main(["table", "--circuits", "adder", "--methods", "rs",
+                     "--budget", "3", "--sequence-length", "3",
+                     "--lut-size", "4"]) == 0
+        assert "Figure 3 (top)" in capsys.readouterr().out
+
+    def test_lut_size_reaches_the_grid(self, monkeypatch):
+        captured = {}
+        from repro import cli as cli_module
+
+        def fake_run_experiment(config, progress=None, jobs=1, cache_dir=None):
+            captured["config"] = config
+            return []
+
+        monkeypatch.setattr(cli_module, "run_experiment", fake_run_experiment)
+        monkeypatch.setattr(cli_module, "render_figure3_table", lambda table: "")
+        main(["table", "--circuits", "adder", "--methods", "rs",
+              "--budget", "3", "--lut-size", "4"])
+        assert captured["config"].lut_size == 4
+
+    def test_legacy_shims_print_deprecation_note(self, capsys):
+        main(["table", "--circuits", "adder", "--methods", "rs",
+              "--budget", "3", "--sequence-length", "3"])
+        assert "legacy shim" in capsys.readouterr().err
