@@ -33,8 +33,14 @@ from repro.api.problem import Problem, objective_slug
 from repro.api.run import resume_campaign, run_campaign, run_problem
 from repro.api.store import CampaignStore, RunRecord, StoreError
 from repro.bo.base import (
+    BudgetExhausted,
     DriveProgress,
+    EarlyStopped,
+    IncumbentImproved,
     OptimisationResult,
+    RoundCompleted,
+    RoundStarted,
+    RunEvent,
     SequenceOptimiser,
     drive,
 )
@@ -56,10 +62,16 @@ from repro.registry import (
 from repro.circuits.registry import register_circuit
 
 __all__ = [
+    "BudgetExhausted",
     "Campaign",
     "CampaignCell",
     "CampaignStore",
     "DriveProgress",
+    "EarlyStopped",
+    "IncumbentImproved",
+    "RoundCompleted",
+    "RoundStarted",
+    "RunEvent",
     "MethodSpec",
     "Objective",
     "OptimisationResult",

@@ -85,6 +85,16 @@ class Campaign:
         method's registered grid defaults.
     name:
         Campaign id recorded in manifests and progress messages.
+    wall_clock_budget:
+        Optional per-cell wall-clock cap in seconds, threaded into the
+        drive loop as ``max_seconds``.  Resumed cells continue the
+        interrupted segment's clock rather than restarting it.  Note
+        that wall-clock stops are inherently machine-dependent — grids
+        using this knob trade bit-reproducibility for bounded runtime.
+    early_stop_improvement:
+        Optional per-cell early-stop threshold: a cell ends as soon as
+        its best QoR improvement (percent over the reference flow)
+        reaches this value.  Deterministic, unlike the wall clock.
     """
 
     problems: Tuple[Problem, ...]
@@ -93,6 +103,8 @@ class Campaign:
     budget: int = 20
     method_overrides: Dict[str, Dict[str, object]] = field(default_factory=dict)
     name: str = "campaign"
+    wall_clock_budget: Optional[float] = None
+    early_stop_improvement: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "problems", tuple(
@@ -113,6 +125,8 @@ class Campaign:
             raise ValueError("campaign has no seeds")
         if self.budget < 1:
             raise ValueError("budget must be at least 1")
+        if self.wall_clock_budget is not None and self.wall_clock_budget <= 0:
+            raise ValueError("wall_clock_budget must be positive (seconds)")
         for method in self.methods:
             OPTIMISERS.get(method)
         for key in self.method_overrides:
@@ -214,6 +228,8 @@ class Campaign:
             "budget": self.budget,
             "method_overrides": {key: dict(value)
                                  for key, value in self.method_overrides.items()},
+            "wall_clock_budget": self.wall_clock_budget,
+            "early_stop_improvement": self.early_stop_improvement,
         }
 
     @classmethod
@@ -235,6 +251,14 @@ class Campaign:
                 str(key): dict(value)
                 for key, value in dict(payload.get("method_overrides", {})).items()  # type: ignore[arg-type]
             },
+            wall_clock_budget=(
+                float(payload["wall_clock_budget"])  # type: ignore[arg-type]
+                if payload.get("wall_clock_budget") is not None else None
+            ),
+            early_stop_improvement=(
+                float(payload["early_stop_improvement"])  # type: ignore[arg-type]
+                if payload.get("early_stop_improvement") is not None else None
+            ),
         )
 
     def to_json(self, indent: int = 2) -> str:

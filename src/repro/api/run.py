@@ -3,17 +3,30 @@
 :func:`run_campaign` is the single driver behind the CLI's ``run`` /
 ``resume`` subcommands and the legacy grid entry points: it expands a
 :class:`~repro.api.campaign.Campaign` into cells, skips any cell that
-already has a record in the :class:`~repro.api.store.CampaignStore`,
-dispatches the rest serially or across a process pool (reusing the
-engine's grid workers — ``jobs=N`` is bit-identical to ``jobs=1``), and
-persists each finished cell atomically.  Kill it at any point; running
-it again completes exactly the missing cells and returns the same grid
-an uninterrupted run would have produced.
+already has a completed record in the
+:class:`~repro.api.store.CampaignStore`, dispatches the rest serially or
+across a process pool (reusing the engine's campaign workers —
+``jobs=N`` is bit-identical to ``jobs=1``), and persists each finished
+cell atomically.
+
+The execution core is *round-granular*: workers stream typed
+:class:`~repro.bo.base.RunEvent` summaries back to the parent as each
+ask/tell round completes (``on_event``), append per-round trajectory
+JSONL to the store, and persist periodic optimiser checkpoints.  Kill
+the driver at any point; running ``resume_campaign`` completes exactly
+the missing cells — and continues any *partially finished* cell from
+its last checkpoint, with the continued trajectory and final record
+bit-identical to an uninterrupted run.  A cell whose optimiser raises
+is recorded as a failed-cell :class:`~repro.api.store.RunRecord` (the
+campaign keeps going); ``resume`` retries failed cells.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import multiprocessing
+import queue as queue_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.api.campaign import Campaign, CampaignCell
@@ -22,25 +35,78 @@ from repro.api.store import CampaignStore, RunRecord
 from repro.bo.base import OptimisationResult
 from repro.engine import worker
 from repro.engine.engine import EvaluationEngine, resolve_jobs
+from repro.engine.grid import build_cell_payload
 
 ProgressCallback = Callable[[str], None]
+#: Round-event callback: ``(cell_id, event_dict)`` for every streamed
+#: :class:`repro.bo.base.RunEvent` (see ``RunEvent.to_dict``).
+EventCallback = Callable[[str, Dict[str, object]], None]
 
 
-def _cell_payload(cell: CampaignCell, campaign: Campaign) -> Dict[str, object]:
-    return {
-        "index": cell.index,
-        "cell_id": cell.cell_id,
-        "spec": cell.problem.evaluator_spec().to_payload(),
-        "method_key": cell.method,
-        "seed": cell.seed,
-        "budget": campaign.budget,
-        "sequence_length": cell.problem.sequence_length,
-        "overrides": campaign.overrides_for(cell.method),
-    }
+def _cell_payload(
+    cell: CampaignCell,
+    campaign: Campaign,
+    store: Optional[CampaignStore] = None,
+    checkpoint_every: int = 0,
+) -> Dict[str, object]:
+    return build_cell_payload(
+        index=cell.index,
+        spec=cell.problem.evaluator_spec(),
+        method_key=cell.method,
+        seed=cell.seed,
+        budget=campaign.budget,
+        sequence_length=cell.problem.sequence_length,
+        overrides=campaign.overrides_for(cell.method),
+        cell_id=cell.cell_id,
+        store_root=str(store.root) if store is not None else None,
+        checkpoint_every=checkpoint_every if store is not None else 0,
+        wall_clock_budget=campaign.wall_clock_budget,
+        early_stop_improvement=campaign.early_stop_improvement,
+    )
 
 
 def _progress_message(cell: CampaignCell, status: str) -> str:
     return f"{cell.method} / {cell.problem.key} / seed {cell.seed} [{status}]"
+
+
+class _CallbackError(Exception):
+    """Wrapper distinguishing a parent-callback crash from a cell crash.
+
+    In the serial path the user's ``on_event`` callback runs *inside*
+    the cell's drive loop; without this marker a buggy callback would be
+    misrecorded as a failed cell.  Wrapped errors are re-raised to the
+    caller — matching the parallel path, where callbacks run in the
+    parent and their exceptions abort ``run_campaign`` directly.
+    """
+
+    def __init__(self, original: BaseException) -> None:
+        super().__init__(str(original))
+        self.original = original
+
+
+def _guard_sink(on_event: Optional[EventCallback]) -> Optional[EventCallback]:
+    if on_event is None:
+        return None
+
+    def guarded(cell_id: str, event: Dict[str, object]) -> None:
+        try:
+            on_event(cell_id, event)
+        except Exception as error:  # noqa: BLE001 - re-raised to caller
+            raise _CallbackError(error) from error
+
+    return guarded
+
+
+def _drain_events(event_queue, on_event: Optional[EventCallback]) -> None:
+    """Forward every queued worker event to the parent callback."""
+    if event_queue is None or on_event is None:
+        return
+    while True:
+        try:
+            cell_id, event = event_queue.get_nowait()
+        except queue_module.Empty:
+            return
+        on_event(cell_id, event)
 
 
 def run_campaign(
@@ -50,6 +116,8 @@ def run_campaign(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    on_event: Optional[EventCallback] = None,
+    checkpoint_every: int = 1,
 ) -> List[RunRecord]:
     """Run (or continue) a campaign; returns records in cell order.
 
@@ -61,8 +129,10 @@ def run_campaign(
     store:
         Optional run directory (path or :class:`CampaignStore`).  With a
         store, completed cells are loaded from disk and skipped
-        bit-identically, and every fresh cell is persisted the moment it
-        finishes — this is the checkpoint/restart mechanism behind
+        bit-identically, every fresh cell is persisted the moment it
+        finishes, per-round trajectories are appended as multi-line
+        JSONL, and optimiser checkpoints make *mid-cell* kill+resume
+        bit-identical — this is the checkpoint/restart mechanism behind
         ``repro run`` / ``repro resume``.
     jobs:
         Worker processes for pending cells (1 = serial, 0 = all CPUs).
@@ -71,6 +141,14 @@ def run_campaign(
         Optional persistent QoR cache shared across cells and runs.
     progress:
         Callback receiving one human-readable line per cell.
+    on_event:
+        Callback receiving ``(cell_id, event_dict)`` for every round
+        event streamed from the workers — live per-round progress even
+        for parallel campaigns.  Per-cell event order is preserved;
+        events of concurrently running cells interleave.
+    checkpoint_every:
+        Checkpoint cadence in rounds (store runs only); ``0`` disables
+        mid-cell checkpoints (per-round trajectories are still written).
     """
     campaign = campaign.validate().resolved()
     campaign_store: Optional[CampaignStore] = None
@@ -98,27 +176,80 @@ def run_campaign(
         records[index] = record
         if campaign_store is not None:
             campaign_store.write_record(record)
+            # Record first, checkpoint-drop second: a kill in between
+            # leaves a resumable (merely redundant) checkpoint, never a
+            # lost cell.
+            campaign_store.clear_checkpoint(cell.cell_id)
         if progress is not None:
             progress(_progress_message(cell, "done"))
 
+    def _finish_failure(cell: CampaignCell, error: BaseException) -> None:
+        record = RunRecord.from_failure(cell, campaign.budget, error)
+        records[cell.index] = record
+        if campaign_store is not None:
+            campaign_store.write_record(record)
+        if progress is not None:
+            progress(_progress_message(cell, f"failed: {error}"))
+
     jobs = resolve_jobs(jobs)
-    payloads = [_cell_payload(cell, campaign) for cell in pending]
+    payloads = [_cell_payload(cell, campaign, campaign_store, checkpoint_every)
+                for cell in pending]
     if jobs <= 1 or len(payloads) <= 1:
-        worker.init_grid_worker(cache_dir)
+        worker.init_campaign_worker(cache_dir)
+        sink = _guard_sink(on_event)
         for payload in payloads:
-            index, result = worker.run_grid_cell(payload)
-            _finish(index, result)
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(payloads)),
-            initializer=worker.init_grid_worker,
-            initargs=(cache_dir,),
-        ) as pool:
-            futures = [pool.submit(worker.run_grid_cell, payload)
-                       for payload in payloads]
-            for future in as_completed(futures):
-                index, result = future.result()
+            cell = cells_by_index[int(payload["index"])]  # type: ignore[arg-type]
+            try:
+                index, result = worker.run_campaign_cell(payload,
+                                                         event_sink=sink)
+            except _CallbackError as error:
+                raise error.original
+            except Exception as error:  # noqa: BLE001 - cell isolation
+                _finish_failure(cell, error)
+            else:
                 _finish(index, result)
+    else:
+        manager = None
+        event_queue = None
+        if on_event is not None:
+            manager = multiprocessing.Manager()
+            event_queue = manager.Queue()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(payloads)),
+                initializer=worker.init_campaign_worker,
+                initargs=(cache_dir, event_queue),
+            ) as pool:
+                futures = {pool.submit(worker.run_campaign_cell, payload): payload
+                           for payload in payloads}
+                waiting = set(futures)
+                while waiting:
+                    done, waiting = wait(
+                        waiting,
+                        timeout=0.1 if event_queue is not None else None,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    _drain_events(event_queue, on_event)
+                    for future in done:
+                        cell = cells_by_index[
+                            int(futures[future]["index"])]  # type: ignore[arg-type]
+                        try:
+                            index, result = future.result()
+                        except BrokenProcessPool:
+                            # Infrastructure failure (a worker died hard),
+                            # not an optimiser bug: abort instead of
+                            # stamping every pending cell as failed.
+                            raise
+                        except Exception as error:  # noqa: BLE001 - cell isolation
+                            _finish_failure(cell, error)
+                        else:
+                            _finish(index, result)
+                # Workers enqueue all of a cell's events before its future
+                # resolves, so one final drain collects every straggler.
+                _drain_events(event_queue, on_event)
+        finally:
+            if manager is not None:
+                manager.shutdown()
 
     missing = [i for i, record in enumerate(records) if record is None]
     if missing:  # pragma: no cover - defensive
@@ -132,17 +263,22 @@ def resume_campaign(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    on_event: Optional[EventCallback] = None,
+    checkpoint_every: int = 1,
 ) -> List[RunRecord]:
     """Continue the campaign stored in a run directory.
 
-    Loads the manifest, runs exactly the cells that have no record yet
-    and returns the full grid.  A directory whose every cell is complete
-    returns immediately with the stored records.
+    Loads the manifest and runs exactly the cells without a completed
+    record: untouched cells start fresh, *partially finished* cells
+    (mid-cell checkpoint present) continue from their checkpoint
+    bit-identically, and failed cells are retried.  A directory whose
+    every cell is complete returns immediately with the stored records.
     """
     campaign_store = store if isinstance(store, CampaignStore) else CampaignStore(store)
     campaign = campaign_store.load_campaign()
     return run_campaign(campaign, campaign_store, jobs=jobs,
-                        cache_dir=cache_dir, progress=progress)
+                        cache_dir=cache_dir, progress=progress,
+                        on_event=on_event, checkpoint_every=checkpoint_every)
 
 
 def run_problem(

@@ -1,18 +1,25 @@
-"""Resumable run directories: manifest + per-cell JSONL run records.
+"""Resumable run directories: manifest, per-cell records, trajectories.
 
 A :class:`CampaignStore` is a plain directory::
 
     <root>/
-      manifest.json            # the (resolved) campaign + format version
+      manifest.json              # the (resolved) campaign + format version
       cells/
-        <cell_id>.jsonl        # one RunRecord per line (currently one)
+        <cell_id>.jsonl          # final RunRecord, one line (status ok/failed)
+      trajectories/
+        <cell_id>.jsonl          # one line per ask/tell round (multi-line)
+      checkpoints/
+        <cell_id>.json           # latest mid-cell optimiser checkpoint
 
-Records are written atomically (temp file + ``os.replace``), so a killed
-run leaves either a complete cell file or none — never a torn one.  On
-resume, cells with a record on disk are loaded verbatim and skipped;
-because every cell is deterministically seeded and starts from fresh
-evaluator state, the merged result grid is bit-identical to an
-uninterrupted run.
+Final records and checkpoints are written atomically (temp file +
+``os.replace``), so a killed run leaves either a complete file or none —
+never a torn one; trajectory files are append-per-round, and resume
+truncates them back to the checkpointed round before continuing (the
+re-emitted rounds are bit-identical, so the final file matches an
+uninterrupted run byte for byte).  On resume, cells with an ``ok``
+record are loaded verbatim and skipped; cells with a checkpoint but no
+``ok`` record (killed or failed mid-cell) restart *from the checkpoint*
+rather than from scratch.
 """
 
 from __future__ import annotations
@@ -29,7 +36,33 @@ import numpy as np
 
 from repro.api.campaign import Campaign, CampaignCell, CAMPAIGN_FORMAT_VERSION
 from repro.bo.base import OptimisationResult
+from repro.qor.evaluator import SequenceEvaluation
 from repro.qor.objectives import canonical_spec_string
+
+#: Mid-cell checkpoint schema version, bumped on incompatible changes.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def evaluation_to_dict(record: SequenceEvaluation) -> Dict[str, object]:
+    """JSON-exact payload of one black-box evaluation record."""
+    return {
+        "sequence": list(record.sequence),
+        "area": int(record.area),
+        "delay": int(record.delay),
+        "qor": record.qor,
+        "qor_improvement": record.qor_improvement,
+    }
+
+
+def evaluation_from_dict(payload: Dict[str, object]) -> SequenceEvaluation:
+    """Rebuild a :class:`SequenceEvaluation` from :func:`evaluation_to_dict`."""
+    return SequenceEvaluation(
+        sequence=tuple(str(op) for op in payload["sequence"]),  # type: ignore[union-attr]
+        area=int(payload["area"]),  # type: ignore[arg-type]
+        delay=int(payload["delay"]),  # type: ignore[arg-type]
+        qor=float(payload["qor"]),  # type: ignore[arg-type]
+        qor_improvement=float(payload["qor_improvement"]),  # type: ignore[arg-type]
+    )
 
 
 def _jsonify(value: object) -> object:
@@ -65,6 +98,11 @@ class RunRecord:
     A JSON-serialisable superset of :class:`OptimisationResult`: the full
     result payload (including optimiser-specific :attr:`metadata`) plus
     the cell identity and objective it was produced under.
+
+    :attr:`status` is ``"ok"`` for a completed cell and ``"failed"`` for
+    a cell whose optimiser raised (the error text lives in
+    ``metadata["error"]``); failed records keep the campaign running and
+    are *retried* — not skipped — by ``resume_campaign``.
     """
 
     cell_id: str
@@ -85,6 +123,11 @@ class RunRecord:
     best_trajectory: List[float] = field(default_factory=list)
     evaluated_points: List[Tuple[int, int]] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -115,6 +158,38 @@ class RunRecord:
             metadata=dict(result.metadata),
         )
 
+    @classmethod
+    def from_failure(
+        cls,
+        cell: CampaignCell,
+        budget: int,
+        error: BaseException,
+    ) -> "RunRecord":
+        """Sentinel record for a cell whose optimiser raised.
+
+        Numeric fields are zeroed sentinels — the record exists to keep
+        the grid position filled and the error visible, never to feed a
+        table (table builders must filter on :attr:`failed`).
+        """
+        return cls(
+            cell_id=cell.cell_id,
+            problem_key=cell.problem.key,
+            method=cell.method,
+            method_display=cell.method,
+            circuit=cell.problem.circuit,
+            seed=cell.seed,
+            budget=budget,
+            objective=canonical_spec_string(cell.problem.objective),
+            best_sequence=(),
+            best_qor=0.0,
+            best_improvement=0.0,
+            best_area=0,
+            best_delay=0,
+            num_evaluations=0,
+            metadata={"error": f"{type(error).__name__}: {error}"},
+            status="failed",
+        )
+
     def to_result(self) -> OptimisationResult:
         """The equivalent :class:`OptimisationResult` (for tables/figures)."""
         return OptimisationResult(
@@ -139,6 +214,7 @@ class RunRecord:
         payload["best_sequence"] = list(self.best_sequence)
         payload["evaluated_points"] = [list(point) for point in self.evaluated_points]
         payload["metadata"] = _jsonify(self.metadata)
+        payload["status"] = self.status
         return payload
 
     @classmethod
@@ -163,6 +239,7 @@ class RunRecord:
             evaluated_points=[(int(a), int(d))
                               for a, d in payload.get("evaluated_points", [])],  # type: ignore[union-attr]
             metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+            status=str(payload.get("status", "ok")),
         )
 
 
@@ -175,6 +252,8 @@ class CampaignStore:
 
     MANIFEST_NAME = "manifest.json"
     CELLS_DIR = "cells"
+    TRAJECTORIES_DIR = "trajectories"
+    CHECKPOINTS_DIR = "checkpoints"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -187,6 +266,14 @@ class CampaignStore:
     @property
     def cells_dir(self) -> Path:
         return self.root / self.CELLS_DIR
+
+    @property
+    def trajectories_dir(self) -> Path:
+        return self.root / self.TRAJECTORIES_DIR
+
+    @property
+    def checkpoints_dir(self) -> Path:
+        return self.root / self.CHECKPOINTS_DIR
 
     def exists(self) -> bool:
         return self.manifest_path.is_file()
@@ -232,10 +319,57 @@ class CampaignStore:
     def cell_path(self, cell_id: str) -> Path:
         return self.cells_dir / f"{cell_id}.jsonl"
 
+    def _record_status(self, path: Path) -> Optional[str]:
+        """Status of the record at ``path``: ok/failed, ``None`` if torn."""
+        try:
+            lines = [line for line in
+                     path.read_text(encoding="utf-8").splitlines() if line.strip()]
+            if not lines:
+                return None
+            return str(json.loads(lines[-1]).get("status", "ok"))
+        except (OSError, ValueError):
+            return None
+
+    def cell_statuses(self) -> Dict[str, str]:
+        """One-scan status map over every cell the store knows about.
+
+        Values: ``"ok"`` / ``"failed"`` from the final records, plus
+        ``"partial"`` for cells that only have a mid-run checkpoint.
+        Derived sets (:meth:`completed_cell_ids` & co.) are views over
+        this map; callers polling repeatedly (``show --follow``) should
+        call this once per tick instead of stacking the set queries.
+        """
+        statuses: Dict[str, str] = {}
+        if self.cells_dir.is_dir():
+            for path in self.cells_dir.glob("*.jsonl"):
+                status = self._record_status(path)
+                if status in ("ok", "failed"):
+                    statuses[path.stem] = status
+        if self.checkpoints_dir.is_dir():
+            for path in self.checkpoints_dir.glob("*.json"):
+                if statuses.get(path.stem) != "ok":
+                    statuses.setdefault(path.stem, "partial")
+        return statuses
+
     def completed_cell_ids(self) -> Set[str]:
-        if not self.cells_dir.is_dir():
-            return set()
-        return {path.stem for path in self.cells_dir.glob("*.jsonl")}
+        """Cells with an ``ok`` final record (failed cells are retried)."""
+        return {cell_id for cell_id, status in self.cell_statuses().items()
+                if status == "ok"}
+
+    def failed_cell_ids(self) -> Set[str]:
+        """Cells whose last attempt raised (see :meth:`RunRecord.from_failure`)."""
+        return {cell_id for cell_id, status in self.cell_statuses().items()
+                if status == "failed"}
+
+    def partial_cell_ids(self) -> Set[str]:
+        """Cells with a mid-run checkpoint but no final record at all.
+
+        A *failed* cell that also has a checkpoint reports as
+        ``"failed"``, not partial — though resume still continues it
+        from the checkpoint rather than from scratch.
+        """
+        return {cell_id for cell_id, status in self.cell_statuses().items()
+                if status == "partial"}
 
     def write_record(self, record: RunRecord) -> Path:
         """Atomically persist one cell's record (complete-or-absent)."""
@@ -266,8 +400,139 @@ class CampaignStore:
                 for path in sorted(self.cells_dir.glob("*.jsonl"))]
 
     # ------------------------------------------------------------------
+    # Per-round trajectories (true multi-line JSONL, append-per-round)
+    # ------------------------------------------------------------------
+    def trajectory_path(self, cell_id: str) -> Path:
+        return self.trajectories_dir / f"{cell_id}.jsonl"
+
+    def append_trajectory(self, cell_id: str, payload: Dict[str, object]) -> None:
+        """Append one round's line to the cell's trajectory JSONL.
+
+        Lines are rendered with sorted keys so two byte-identical runs
+        produce byte-identical trajectory files — the property the
+        resume suite compares directly.
+        """
+        self.trajectories_dir.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        with open(self.trajectory_path(cell_id), "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+
+    def _complete_trajectory_lines(self, cell_id: str) -> List[str]:
+        """Raw complete lines of the trajectory file, torn tail dropped.
+
+        ``append_trajectory`` is a plain append, so a kill mid-write can
+        leave a partial final line.  The single sequential writer means
+        only the *last* line can ever be torn — and it is always beyond
+        the last checkpoint (the round's checkpoint is written after its
+        trajectory line), so dropping it loses nothing a resume needs.
+        """
+        path = self.trajectory_path(cell_id)
+        if not path.is_file():
+            return []
+        text = path.read_text(encoding="utf-8")
+        # Everything after the last newline is a torn partial line (or
+        # empty); only the newline-terminated prefix is trusted.
+        complete, _, _torn = text.rpartition("\n")
+        return [line for line in complete.split("\n") if line.strip()]
+
+    def read_trajectory(self, cell_id: str) -> List[Dict[str, object]]:
+        """All persisted rounds of a cell, in round order (may be empty).
+
+        Tolerates a torn trailing line (see
+        :meth:`_complete_trajectory_lines`); corruption anywhere earlier
+        raises :class:`StoreError`.
+        """
+        rounds: List[Dict[str, object]] = []
+        for line in self._complete_trajectory_lines(cell_id):
+            try:
+                rounds.append(json.loads(line))
+            except ValueError as error:
+                raise StoreError(
+                    f"corrupt trajectory line for cell {cell_id!r} "
+                    f"(round {len(rounds) + 1}): {error}") from error
+        return rounds
+
+    def trajectory_round_count(self, cell_id: str) -> int:
+        """Rounds persisted so far — the live-progress probe ``--follow`` polls."""
+        return len(self._complete_trajectory_lines(cell_id))
+
+    def truncate_trajectory(self, cell_id: str, rounds: int) -> None:
+        """Keep only the first ``rounds`` lines (resume-from-checkpoint).
+
+        A kill can land between a trajectory append and the next
+        checkpoint write — possibly mid-append, tearing the final line;
+        resuming from the checkpoint at round *r* first discards any
+        (complete or torn) content past *r*, then re-emits it
+        bit-identically as the rounds re-run.  Kept lines are copied
+        verbatim, so no re-serialisation can perturb them.
+        """
+        lines = self._complete_trajectory_lines(cell_id)[:max(0, rounds)]
+        text = "".join(line + "\n" for line in lines)
+        self.trajectories_dir.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(self.trajectory_path(cell_id), text)
+
+    def reset_trajectory(self, cell_id: str) -> None:
+        """Drop a stale trajectory (fresh attempt with no usable checkpoint)."""
+        try:
+            os.unlink(self.trajectory_path(cell_id))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Mid-cell optimiser checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, cell_id: str) -> Path:
+        return self.checkpoints_dir / f"{cell_id}.json"
+
+    def write_checkpoint(self, cell_id: str, payload: Dict[str, object]) -> Path:
+        """Atomically persist the cell's latest checkpoint (replaces prior)."""
+        self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
+        path = self.checkpoint_path(cell_id)
+        body = dict(payload)
+        body.setdefault("format_version", CHECKPOINT_FORMAT_VERSION)
+        body.setdefault("cell_id", cell_id)
+        self._atomic_write(path, json.dumps(body, sort_keys=True) + "\n",
+                           durable=False)
+        return path
+
+    def read_checkpoint(self, cell_id: str) -> Optional[Dict[str, object]]:
+        """The cell's latest checkpoint, or ``None`` when absent/unusable."""
+        path = self.checkpoint_path(cell_id)
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        version = int(payload.get("format_version", CHECKPOINT_FORMAT_VERSION))
+        if version > CHECKPOINT_FORMAT_VERSION:
+            raise StoreError(
+                f"checkpoint {path} has format version {version}, newer than "
+                f"this repro build supports ({CHECKPOINT_FORMAT_VERSION})")
+        return payload
+
+    def clear_checkpoint(self, cell_id: str) -> None:
+        """Remove the checkpoint once the cell's final record is written."""
+        try:
+            os.unlink(self.checkpoint_path(cell_id))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
     @staticmethod
-    def _atomic_write(path: Path, text: str) -> None:
+    def _atomic_write(path: Path, text: str, durable: bool = True) -> None:
+        """Complete-or-absent file replacement.
+
+        ``durable=True`` additionally fsyncs before the rename —
+        required for files written once whose loss would corrupt the
+        store (manifest, final records).  High-frequency files that are
+        rewritten every round (checkpoints) pass ``durable=False``: the
+        rename is still atomic, which is all that process-kill
+        resilience needs, and skipping the per-round fsync keeps the
+        round-granular machinery's overhead negligible (a stale-by-one
+        checkpoint after a power loss merely replays one extra round).
+        """
         handle = tempfile.NamedTemporaryFile(
             "w", encoding="utf-8", dir=str(path.parent),
             prefix=f".{path.name}.", suffix=".tmp", delete=False,
@@ -276,7 +541,8 @@ class CampaignStore:
             with handle:
                 handle.write(text)
                 handle.flush()
-                os.fsync(handle.fileno())
+                if durable:
+                    os.fsync(handle.fileno())
             os.replace(handle.name, path)
         except BaseException:
             try:

@@ -25,6 +25,7 @@ from repro.bo.base import SequenceOptimiser
 from repro.bo.space import SequenceSpace
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 from repro.registry import register_optimiser
+from repro.serialise import decode_array, encode_array
 
 
 @dataclass
@@ -101,6 +102,23 @@ class GeneticAlgorithm(SequenceOptimiser):
     def run_metadata(self) -> dict:
         return {"population_size": self._population_size,
                 "num_generations": self._generations}
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        return {
+            "population": encode_array(self._population),
+            "fitness": encode_array(self._fitness),
+            "population_size": self._population_size,
+            "generations": self._generations,
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._population = decode_array(state["population"])
+        self._fitness = decode_array(state["fitness"])
+        self._population_size = int(state["population_size"])
+        self._generations = int(state["generations"])
 
     # ------------------------------------------------------------------
     def _tournament(self, population: np.ndarray, fitness: np.ndarray) -> np.ndarray:

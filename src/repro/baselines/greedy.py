@@ -123,3 +123,28 @@ class GreedySearch(SequenceOptimiser):
 
     def run_metadata(self) -> dict:
         return {"constructed_length": len(self._prefix)}
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol.  At a round boundary ``_suggested_ops`` is
+    # always empty (observe clears it), so the snapshot is the committed
+    # prefix plus the in-flight position's untried ops and running best.
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        return {
+            "prefix": list(self._prefix),
+            "pending_ops": list(self._pending_ops),
+            "best_op": self._best_op,
+            # +inf is the fresh-position sentinel; encoded as null so
+            # checkpoint files stay strict (RFC 8259) JSON.
+            "best_qor": (float(self._best_qor)
+                         if np.isfinite(self._best_qor) else None),
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._prefix = [int(op) for op in state["prefix"]]
+        self._pending_ops = [int(op) for op in state["pending_ops"]]
+        self._suggested_ops = []
+        best_op = state["best_op"]
+        self._best_op = int(best_op) if best_op is not None else None
+        best_qor = state["best_qor"]
+        self._best_qor = float(best_qor) if best_qor is not None else np.inf

@@ -98,3 +98,15 @@ class RandomSearch(SequenceOptimiser):
     def prepare(self, evaluator: QoREvaluator, budget: int) -> None:
         self._seen = set()
         self._primary_drawn = False
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        # Sorted for a deterministic payload; only membership matters.
+        return {"seen": sorted(list(key) for key in self._seen),
+                "primary_drawn": self._primary_drawn}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._seen = {tuple(int(op) for op in key) for key in state["seen"]}
+        self._primary_drawn = bool(state["primary_drawn"])

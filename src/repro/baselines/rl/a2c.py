@@ -106,6 +106,29 @@ class A2COptimiser(SequenceOptimiser):
         return {"episode_returns": self._episode_returns}
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol.  At a round boundary there is no in-flight
+    # episode (``observe`` consumed it), so the snapshot is the network
+    # weights, both Adam states and the episode-return log; ``prepare``
+    # must run first (it builds the environment and the network the
+    # snapshot overwrites).
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        if getattr(self, "_network", None) is None:
+            raise RuntimeError("state_dict() requires prepare() to have run")
+        return {
+            "network": self._network.state_dict(),
+            "episode_returns": [float(value) for value in self._episode_returns],
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        if getattr(self, "_network", None) is None:
+            raise RuntimeError("load_state_dict() requires prepare() to have run")
+        self._network.load_state_dict(dict(state["network"]))
+        self._episode_returns = [float(value)
+                                 for value in state["episode_returns"]]
+        self._pending_episode = None
+
+    # ------------------------------------------------------------------
     def _rollout(self, env: SynthesisEnvironment, network: PolicyValueNetwork):
         states, actions, rewards = [], [], []
         state = env.reset()

@@ -12,6 +12,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.serialise import decode_array, encode_array
+
 
 class MLP:
     """Two-hidden-layer tanh MLP mapping feature vectors to a linear output."""
@@ -80,6 +82,22 @@ class AdamState:
             v_hat = self._v[name] / (1 - self.beta2 ** self._t)
             params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-exact snapshot of the Adam moment estimates."""
+        return {
+            "m": {name: encode_array(value) for name, value in self._m.items()},
+            "v": {name: encode_array(value) for name, value in self._v.items()},
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._m = {str(name): decode_array(value)
+                   for name, value in dict(state["m"]).items()}  # type: ignore[arg-type]
+        self._v = {str(name): decode_array(value)
+                   for name, value in dict(state["v"]).items()}  # type: ignore[arg-type]
+        self._t = int(state["t"])  # type: ignore[arg-type]
+
 
 def softmax(logits: np.ndarray) -> np.ndarray:
     """Numerically stable softmax along the last axis."""
@@ -113,6 +131,28 @@ class PolicyValueNetwork:
     def sample_action(self, state: np.ndarray, rng: np.random.Generator) -> int:
         probs = self.action_probabilities(state)
         return int(rng.choice(self.num_actions, p=probs))
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-exact snapshot: both MLPs' weights and both Adam states."""
+        return {
+            "policy": {name: encode_array(value)
+                       for name, value in self.policy.params.items()},
+            "value": {name: encode_array(value)
+                      for name, value in self.value.params.items()},
+            "policy_opt": self.policy_opt.state_dict(),
+            "value_opt": self.value_opt.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.policy.params = {str(name): decode_array(value)
+                              for name, value in dict(state["policy"]).items()}  # type: ignore[arg-type]
+        self.value.params = {str(name): decode_array(value)
+                             for name, value in dict(state["value"]).items()}  # type: ignore[arg-type]
+        self.policy_opt.load_state_dict(dict(state["policy_opt"]))  # type: ignore[arg-type]
+        self.value_opt.load_state_dict(dict(state["value_opt"]))  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     def policy_gradient_step(

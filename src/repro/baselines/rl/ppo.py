@@ -142,6 +142,27 @@ class PPOOptimiser(SequenceOptimiser):
         return {"episode_returns": self._episode_returns}
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol (mirrors A2C: round boundaries never hold an
+    # in-flight episode batch, and ``prepare`` rebuilds the environment
+    # scaffolding the snapshot overwrites).
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        if getattr(self, "_network", None) is None:
+            raise RuntimeError("state_dict() requires prepare() to have run")
+        return {
+            "network": self._network.state_dict(),
+            "episode_returns": [float(value) for value in self._episode_returns],
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        if getattr(self, "_network", None) is None:
+            raise RuntimeError("load_state_dict() requires prepare() to have run")
+        self._network.load_state_dict(dict(state["network"]))
+        self._episode_returns = [float(value)
+                                 for value in state["episode_returns"]]
+        self._pending_batch = []
+
+    # ------------------------------------------------------------------
     def _rollout(self, env: SynthesisEnvironment, network: PolicyValueNetwork):
         states, actions, rewards, old_probs = [], [], [], []
         state = env.reset()

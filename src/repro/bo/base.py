@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from abc import ABC
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -112,6 +112,133 @@ DriveCallback = Callable[[DriveProgress], None]
 StopCondition = Callable[[DriveProgress], bool]
 
 
+# ----------------------------------------------------------------------
+# Round-granular event stream
+# ----------------------------------------------------------------------
+def _best_summary(best: Optional[SequenceEvaluation]) -> Optional[Dict[str, object]]:
+    if best is None:
+        return None
+    return {
+        "qor": best.qor,
+        "qor_improvement": best.qor_improvement,
+        "area": best.area,
+        "delay": best.delay,
+    }
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base of the typed event stream emitted by :func:`drive`.
+
+    Every event carries the position of the run when it fired:
+    ``round_index`` (1-based; for terminal events, the last completed
+    round), the budget consumed so far, the total budget and the
+    wall-clock seconds since the run (or its first segment, for resumed
+    runs) started.  :meth:`to_dict` renders a compact JSON-serialisable
+    summary suitable for streaming over a process pipe — deliberately
+    *without* the per-round evaluation records, which stay local to the
+    producing process (the store writes them to the trajectory JSONL).
+    """
+
+    kind: ClassVar[str] = "event"
+
+    round_index: int
+    num_evaluations: int
+    budget: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "round_index": self.round_index,
+            "num_evaluations": self.num_evaluations,
+            "budget": self.budget,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class RoundStarted(RunEvent):
+    """A round is in flight: a non-empty batch is about to be scored.
+
+    Emitted after ``suggest`` proposed at least one candidate and before
+    the (dominant-cost) black-box evaluation, so every ``RoundStarted``
+    is matched by a ``RoundCompleted`` — an empty ``suggest`` goes
+    straight to the terminal :class:`EarlyStopped` with no phantom
+    round in the stream.
+    """
+
+    kind: ClassVar[str] = "round_started"
+
+
+@dataclass(frozen=True)
+class RoundCompleted(RunEvent):
+    """A round finished (``observe`` done); the per-round checkpoint hook.
+
+    ``records`` holds the *fresh* evaluations of the round, in recording
+    order (memo re-visits are free and do not appear); ``best`` the
+    incumbent after the round.  When this event fires the optimiser is at
+    a consistent round boundary, so :meth:`SequenceOptimiser.state_dict`
+    taken inside a ``RoundCompleted`` handler is a valid checkpoint.
+    """
+
+    kind: ClassVar[str] = "round_completed"
+
+    best: Optional[SequenceEvaluation] = None
+    records: Tuple[SequenceEvaluation, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = super().to_dict()
+        payload["best"] = _best_summary(self.best)
+        payload["num_round_evaluations"] = len(self.records)
+        return payload
+
+
+@dataclass(frozen=True)
+class IncumbentImproved(RunEvent):
+    """The round just completed produced a new best evaluation."""
+
+    kind: ClassVar[str] = "incumbent_improved"
+
+    best: Optional[SequenceEvaluation] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = super().to_dict()
+        payload["best"] = _best_summary(self.best)
+        return payload
+
+
+@dataclass(frozen=True)
+class BudgetExhausted(RunEvent):
+    """Terminal event: the evaluation budget has been fully consumed."""
+
+    kind: ClassVar[str] = "budget_exhausted"
+
+
+@dataclass(frozen=True)
+class EarlyStopped(RunEvent):
+    """Terminal event: the run ended before the budget was consumed.
+
+    ``reason`` is one of ``"optimiser_exhausted"`` (empty ``suggest`` —
+    the search space or construction ran out), ``"stop_condition"`` (the
+    ``stop_when`` predicate fired) or ``"wall_clock"`` (``max_seconds``
+    elapsed).
+    """
+
+    kind: ClassVar[str] = "early_stopped"
+
+    reason: str = "stop_condition"
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = super().to_dict()
+        payload["reason"] = self.reason
+        return payload
+
+
+#: Event-stream callback; receives every :class:`RunEvent` of a run.
+EventCallback = Callable[[RunEvent], None]
+
+
 def drive(
     optimiser: "SequenceOptimiser",
     evaluator: QoREvaluator,
@@ -120,6 +247,9 @@ def drive(
     on_round: Optional[DriveCallback] = None,
     stop_when: Optional[StopCondition] = None,
     max_seconds: Optional[float] = None,
+    on_event: Optional[EventCallback] = None,
+    start_round: int = 0,
+    start_elapsed: float = 0.0,
 ) -> int:
     """Run one optimiser's ask/tell loop for ``budget`` evaluations.
 
@@ -136,8 +266,22 @@ def drive(
        time have elapsed.
 
     Memoised re-visits are free (they do not consume budget), exactly as
-    in the historical per-optimiser loops.  Returns the number of
-    ask/tell rounds executed.
+    in the historical per-optimiser loops.  Returns the total round
+    count (``start_round`` plus the rounds executed by this call).
+
+    ``on_event`` receives the typed round-granular stream: a
+    :class:`RoundStarted` before each round, :class:`IncumbentImproved`
+    and :class:`RoundCompleted` after ``observe``, and exactly one
+    terminal :class:`BudgetExhausted` or :class:`EarlyStopped`.  Events
+    observe; they cannot alter proposals or records — but an ``on_event``
+    handler is the supported place to persist per-round trajectory lines
+    and :meth:`SequenceOptimiser.state_dict` checkpoints, since every
+    :class:`RoundCompleted` is a consistent round boundary.
+
+    ``start_round``/``start_elapsed`` continue a checkpointed run: round
+    indices and the wall clock (hence ``max_seconds``) resume where the
+    interrupted segment left off, and the budget check runs against the
+    restored evaluator's counters before any new round starts.
 
     Callbacks observe; they cannot alter proposals or records.  A
     ``stop_when``/``max_seconds`` stop is checked *after* observe, so the
@@ -145,30 +289,95 @@ def drive(
     """
     if budget < 1:
         raise ValueError("budget must be at least 1")
-    start = time.monotonic()
-    rounds = 0
-    while evaluator.num_evaluations < budget:
+    start = time.monotonic() - start_elapsed
+    rounds = int(start_round)
+
+    def _emit(event: RunEvent) -> None:
+        if on_event is not None:
+            on_event(event)
+
+    stop_reason: Optional[str] = None
+    observing = (on_round is not None or stop_when is not None
+                 or on_event is not None)
+    if rounds > 0 and (stop_when is not None or max_seconds is not None):
+        # Resumed run: re-apply the stop conditions to the restored
+        # state before executing anything.  The interrupted segment
+        # checks them *after* each observe, so a checkpoint taken at the
+        # very round where a stop fired must not buy the resumed run an
+        # extra round.
+        progress = DriveProgress(
+            round_index=rounds,
+            num_evaluations=evaluator.num_evaluations,
+            budget=budget,
+            elapsed_seconds=time.monotonic() - start,
+            best=evaluator.best_so_far(),
+        )
+        if stop_when is not None and stop_when(progress):
+            stop_reason = "stop_condition"
+        elif max_seconds is not None and time.monotonic() - start >= max_seconds:
+            stop_reason = "wall_clock"
+    while stop_reason is None and evaluator.num_evaluations < budget:
+        history_mark = len(evaluator.history)
+        best_before = evaluator.best_so_far() if observing else None
         rows = np.asarray(optimiser.suggest(budget - evaluator.num_evaluations))
         if rows.size == 0:
+            stop_reason = "optimiser_exhausted"
             break
+        _emit(RoundStarted(
+            round_index=rounds + 1,
+            num_evaluations=evaluator.num_evaluations,
+            budget=budget,
+            elapsed_seconds=time.monotonic() - start,
+        ))
         rows = np.atleast_2d(rows.astype(int))
         records = optimiser._evaluate_batch(evaluator, rows)
         optimiser.observe(rows, records)
         rounds += 1
-        if on_round is not None or stop_when is not None:
+        if observing:
+            best = evaluator.best_so_far()
+            elapsed = time.monotonic() - start
+            if best is not None and (best_before is None
+                                     or best.qor < best_before.qor):
+                _emit(IncumbentImproved(
+                    round_index=rounds,
+                    num_evaluations=evaluator.num_evaluations,
+                    budget=budget,
+                    elapsed_seconds=elapsed,
+                    best=best,
+                ))
+            _emit(RoundCompleted(
+                round_index=rounds,
+                num_evaluations=evaluator.num_evaluations,
+                budget=budget,
+                elapsed_seconds=elapsed,
+                best=best,
+                records=tuple(evaluator.history[history_mark:]),
+            ))
             progress = DriveProgress(
                 round_index=rounds,
                 num_evaluations=evaluator.num_evaluations,
                 budget=budget,
-                elapsed_seconds=time.monotonic() - start,
-                best=evaluator.best_so_far(),
+                elapsed_seconds=elapsed,
+                best=best,
             )
             if on_round is not None:
                 on_round(progress)
             if stop_when is not None and stop_when(progress):
+                stop_reason = "stop_condition"
                 break
         if max_seconds is not None and time.monotonic() - start >= max_seconds:
+            stop_reason = "wall_clock"
             break
+    terminal_kwargs = dict(
+        round_index=rounds,
+        num_evaluations=evaluator.num_evaluations,
+        budget=budget,
+        elapsed_seconds=time.monotonic() - start,
+    )
+    if stop_reason is None:
+        _emit(BudgetExhausted(**terminal_kwargs))
+    else:
+        _emit(EarlyStopped(reason=stop_reason, **terminal_kwargs))
     return rounds
 
 
@@ -212,6 +421,7 @@ class SequenceOptimiser(ABC):
         on_round: Optional[DriveCallback] = None,
         stop_when: Optional[StopCondition] = None,
         max_seconds: Optional[float] = None,
+        on_event: Optional[EventCallback] = None,
     ) -> OptimisationResult:
         """Run the optimiser for ``budget`` black-box evaluations.
 
@@ -221,9 +431,59 @@ class SequenceOptimiser(ABC):
         """
         self.prepare(evaluator, budget)
         drive(self, evaluator, budget, on_round=on_round,
-              stop_when=stop_when, max_seconds=max_seconds)
+              stop_when=stop_when, max_seconds=max_seconds, on_event=on_event)
         return self._build_result(evaluator, evaluator.aig.name,
                                   metadata=self.run_metadata())
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore contract
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of per-run state at a round boundary.
+
+        Captures the optimiser's RNG state plus whatever per-method state
+        the :meth:`_state_dict` hook reports (GP observations and
+        hyperparameters, GA population, trust region, RL network and
+        optimiser moments, …).  Taken inside a :class:`RoundCompleted`
+        handler — i.e. after ``observe``, before the next ``suggest`` —
+        the snapshot is a complete checkpoint: restoring it (together
+        with the evaluator's history) and continuing :func:`drive`
+        reproduces the uninterrupted run bit-for-bit.
+
+        The payload is built from plain ints, floats, strings, lists and
+        dicts only, so ``json.dumps`` round-trips it exactly (Python
+        floats serialise via shortest-repr, which is bit-exact).
+        """
+        return {"rng": self.rng.bit_generator.state,
+                "state": self._state_dict()}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a prepared optimiser.
+
+        Call :meth:`prepare` first (it builds the per-run scaffolding —
+        e.g. the RL environment — that the snapshot then overwrites),
+        then this method, then continue with :func:`drive` using the
+        checkpoint's ``start_round``.
+        """
+        self.rng.bit_generator.state = state["rng"]
+        self._load_state_dict(dict(state["state"]))  # type: ignore[arg-type]
+
+    def _state_dict(self) -> Dict[str, object]:
+        """Per-method state snapshot (see :meth:`state_dict`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the checkpoint "
+            "protocol (_state_dict/_load_state_dict)")
+
+    def _load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`_state_dict` snapshot (see :meth:`load_state_dict`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the checkpoint "
+            "protocol (_state_dict/_load_state_dict)")
+
+    @property
+    def supports_checkpoint(self) -> bool:
+        """Whether this optimiser implements the checkpoint protocol."""
+        return type(self)._state_dict is not SequenceOptimiser._state_dict
 
     # ------------------------------------------------------------------
     # Ask/tell protocol

@@ -36,8 +36,10 @@ from repro.bo.space import SequenceSpace
 from repro.bo.trust_region import TrustRegion, TrustRegionConfig, TrustRegionLocalSearch
 from repro.gp.gp import GaussianProcess
 from repro.gp.kernels.ssk import SubsequenceStringKernel
+from repro.gp.optim import RefitGate
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 from repro.registry import register_optimiser
+from repro.serialise import decode_array, encode_array
 
 
 @register_optimiser(
@@ -73,6 +75,14 @@ class BOiLS(SequenceOptimiser):
         reproduces the paper's sequential Algorithm 2; larger values run
         extra local-search restarts per round and score the resulting
         distinct candidates as one parallel batch.
+    refit_gate:
+        Opt-in :class:`repro.gp.optim.RefitGate`: once the decay
+        hyperparameters have converged (successive refits each move every
+        parameter by at most ``refit_gate_tol``, ``refit_gate_patience``
+        times in a row), scheduled refits are skipped and those rounds
+        take the incremental-Cholesky conditioning path instead.  Off by
+        default — trajectories with the gate off are bit-identical to
+        the always-refit schedule the golden suite pins.
     """
 
     name = "BOiLS"
@@ -91,6 +101,9 @@ class BOiLS(SequenceOptimiser):
         trust_region_config: Optional[TrustRegionConfig] = None,
         noise_variance: float = 1e-4,
         batch_size: int = 1,
+        refit_gate: bool = False,
+        refit_gate_tol: float = 1e-3,
+        refit_gate_patience: int = 2,
     ) -> None:
         super().__init__(space=space, seed=seed)
         self.num_initial = num_initial
@@ -103,6 +116,9 @@ class BOiLS(SequenceOptimiser):
         self.trust_region_config = trust_region_config
         self.noise_variance = noise_variance
         self.batch_size = max(1, batch_size)
+        self.use_refit_gate = bool(refit_gate)
+        self.refit_gate_tol = refit_gate_tol
+        self.refit_gate_patience = refit_gate_patience
         self._reset_state()
 
     # ------------------------------------------------------------------
@@ -121,6 +137,11 @@ class BOiLS(SequenceOptimiser):
         self._pending_fresh = False
         self._awaiting: Optional[str] = None
         self._last_best_value = -np.inf
+        self._refit_gate: Optional[RefitGate] = (
+            RefitGate(tol=self.refit_gate_tol,
+                      patience=self.refit_gate_patience)
+            if self.use_refit_gate else None
+        )
 
     # ------------------------------------------------------------------
     # Batch protocol
@@ -150,12 +171,17 @@ class BOiLS(SequenceOptimiser):
 
         # Step 1: fit the surrogate (refit decays periodically).  Rounds
         # that keep the hyperparameters extend the previous Cholesky
-        # factor incrementally instead of refactorising from scratch.
-        if self._rounds % self.fit_every == 0 and len(self._y) >= 2:
-            self._gp.fit_hyperparameters(
+        # factor incrementally instead of refactorising from scratch;
+        # with the opt-in gate, converged decays stop being refit at all.
+        refit_due = self._rounds % self.fit_every == 0 and len(self._y) >= 2
+        if refit_due and (self._refit_gate is None
+                          or self._refit_gate.should_refit()):
+            fitted = self._gp.fit_hyperparameters(
                 self._X, self._y, num_steps=self.adam_steps,
                 param_names=["theta_match", "theta_gap"],
             )
+            if self._refit_gate is not None:
+                self._refit_gate.record(fitted)
         else:
             self._gp.update_or_fit(self._X, self._y)
 
@@ -235,10 +261,72 @@ class BOiLS(SequenceOptimiser):
 
     def run_metadata(self) -> dict:
         if self._kernel is None:
-            return {"num_rounds": self._rounds, "num_restarts": self._num_restarts}
-        return {
-            "kernel_params": self._kernel.get_params(),
-            "trust_region_radius": self._trust_region.radius,
+            metadata = {"num_rounds": self._rounds,
+                        "num_restarts": self._num_restarts}
+        else:
+            metadata = {
+                "kernel_params": self._kernel.get_params(),
+                "trust_region_radius": self._trust_region.radius,
+                "num_restarts": self._num_restarts,
+                "num_rounds": self._rounds,
+            }
+        if self._refit_gate is not None:
+            metadata["refit_gate_converged"] = self._refit_gate.converged
+        return metadata
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        state: dict = {
+            "rounds": self._rounds,
             "num_restarts": self._num_restarts,
-            "num_rounds": self._rounds,
+            "pending_fresh": self._pending_fresh,
+            # -inf is the pre-observation sentinel; encoded as null so
+            # checkpoint files stay strict (RFC 8259) JSON.
+            "last_best_value": (float(self._last_best_value)
+                                if np.isfinite(self._last_best_value)
+                                else None),
+            "X": encode_array(self._X),
+            "y": encode_array(self._y),
+            "evaluated": sorted(list(key) for key in self._evaluated),
+            "gp": self._gp.state_dict() if self._gp is not None else None,
+            "trust_region": (self._trust_region.state_dict()
+                             if self._trust_region is not None else None),
+            "refit_gate": (self._refit_gate.state_dict()
+                           if self._refit_gate is not None else None),
         }
+        return state
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._reset_state()
+        self._rounds = int(state["rounds"])
+        self._num_restarts = int(state["num_restarts"])
+        self._pending_fresh = bool(state["pending_fresh"])
+        last_best = state["last_best_value"]
+        self._last_best_value = (float(last_best) if last_best is not None
+                                 else -np.inf)
+        self._X = decode_array(state["X"])
+        self._y = decode_array(state["y"])
+        self._evaluated = {tuple(int(op) for op in key)
+                           for key in state["evaluated"]}
+        if state["refit_gate"] is not None:
+            self._refit_gate = RefitGate()
+            self._refit_gate.load_state_dict(state["refit_gate"])
+        if state["gp"] is not None:
+            # The kernel is rebuilt at neutral values and then overwritten
+            # by the GP snapshot, which restores the exact decays *and*
+            # the Cholesky factor the interrupted run held — required for
+            # the incremental-conditioning path to continue identically.
+            self._kernel = SubsequenceStringKernel(
+                max_subsequence_length=self.max_subsequence_length)
+            self._gp = GaussianProcess(self._kernel,
+                                       noise_variance=self.noise_variance)
+            self._gp.load_state_dict(state["gp"])
+        if state["trust_region"] is not None:
+            self._trust_region = TrustRegion(self.space, self.trust_region_config)
+            self._trust_region.load_state_dict(state["trust_region"])
+            self._local_search = TrustRegionLocalSearch(
+                self.space, num_queries=self.local_search_queries,
+                num_restarts=self.local_search_restarts,
+            )

@@ -32,8 +32,10 @@ from repro.bo.space import SequenceSpace
 from repro.gp.gp import GaussianProcess
 from repro.gp.kernels.categorical import TransformedOverlapKernel
 from repro.gp.kernels.continuous import SquaredExponentialKernel
+from repro.gp.optim import RefitGate
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 from repro.registry import register_optimiser
+from repro.serialise import decode_array, encode_array
 
 
 @register_optimiser(
@@ -69,6 +71,9 @@ class StandardBO(SequenceOptimiser):
         search_candidates: int = 300,
         noise_variance: float = 1e-4,
         batch_size: int = 1,
+        refit_gate: bool = False,
+        refit_gate_tol: float = 1e-3,
+        refit_gate_patience: int = 2,
     ) -> None:
         super().__init__(space=space, seed=seed)
         self.num_initial = num_initial
@@ -79,6 +84,9 @@ class StandardBO(SequenceOptimiser):
         self.search_candidates = search_candidates
         self.noise_variance = noise_variance
         self.batch_size = max(1, batch_size)
+        self.use_refit_gate = bool(refit_gate)
+        self.refit_gate_tol = refit_gate_tol
+        self.refit_gate_patience = refit_gate_patience
         self._reset_state()
 
     # ------------------------------------------------------------------
@@ -92,6 +100,11 @@ class StandardBO(SequenceOptimiser):
         self._fit_param_names: List[str] = []
         self._gp: Optional[GaussianProcess] = None
         self._rounds = 0
+        self._refit_gate: Optional[RefitGate] = (
+            RefitGate(tol=self.refit_gate_tol,
+                      patience=self.refit_gate_patience)
+            if self.use_refit_gate else None
+        )
 
     # ------------------------------------------------------------------
     def _encode(self, X: np.ndarray) -> np.ndarray:
@@ -126,9 +139,14 @@ class StandardBO(SequenceOptimiser):
         self._rounds += 1
         best_value = float(np.max(self._y))
         encoded = self._encode(self._X)
-        if self._rounds % self.fit_every == 0 and len(self._y) >= 2:
-            self._gp.fit_hyperparameters(encoded, self._y, num_steps=self.adam_steps,
-                                         param_names=self._fit_param_names)
+        refit_due = self._rounds % self.fit_every == 0 and len(self._y) >= 2
+        if refit_due and (self._refit_gate is None
+                          or self._refit_gate.should_refit()):
+            fitted = self._gp.fit_hyperparameters(
+                encoded, self._y, num_steps=self.adam_steps,
+                param_names=self._fit_param_names)
+            if self._refit_gate is not None:
+                self._refit_gate.record(fitted)
         else:
             self._gp.update_or_fit(encoded, self._y)
 
@@ -193,6 +211,43 @@ class StandardBO(SequenceOptimiser):
 
     def run_metadata(self) -> dict:
         if self._kernel is None:
-            return {"num_rounds": self._rounds}
-        return {"kernel_params": self._kernel.get_params(),
-                "num_rounds": self._rounds}
+            metadata = {"num_rounds": self._rounds}
+        else:
+            metadata = {"kernel_params": self._kernel.get_params(),
+                        "num_rounds": self._rounds}
+        if self._refit_gate is not None:
+            metadata["refit_gate_converged"] = self._refit_gate.converged
+        return metadata
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        return {
+            "rounds": self._rounds,
+            "X": encode_array(self._X),
+            "y": encode_array(self._y),
+            "evaluated": sorted(list(key) for key in self._evaluated),
+            "gp": self._gp.state_dict() if self._gp is not None else None,
+            "refit_gate": (self._refit_gate.state_dict()
+                           if self._refit_gate is not None else None),
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._reset_state()
+        self._rounds = int(state["rounds"])
+        self._X = decode_array(state["X"])
+        self._y = decode_array(state["y"])
+        self._evaluated = {tuple(int(op) for op in key)
+                           for key in state["evaluated"]}
+        if state["refit_gate"] is not None:
+            self._refit_gate = RefitGate()
+            self._refit_gate.load_state_dict(state["refit_gate"])
+        if state["gp"] is not None:
+            # Kernel scaffolding rebuilt from configuration; the GP
+            # snapshot then restores the exact hyperparameters and the
+            # Cholesky factor of the interrupted run.
+            self._kernel, self._fit_param_names = self._make_kernel()
+            self._gp = GaussianProcess(self._kernel,
+                                       noise_variance=self.noise_variance)
+            self._gp.load_state_dict(state["gp"])

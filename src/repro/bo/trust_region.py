@@ -82,6 +82,23 @@ class TrustRegion:
         self._failure_streak = 0
         self.num_restarts += 1
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (the schedule is the only mutable state)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "radius": self.radius,
+            "success_streak": self._success_streak,
+            "failure_streak": self._failure_streak,
+            "num_restarts": self.num_restarts,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.radius = int(state["radius"])
+        self._success_streak = int(state["success_streak"])
+        self._failure_streak = int(state["failure_streak"])
+        self.num_restarts = int(state["num_restarts"])
+
 
 class TrustRegionLocalSearch:
     """Stochastic hill climbing of an acquisition inside a trust region.

@@ -3,11 +3,14 @@
 The primary workflow is campaign-based (built on :mod:`repro.api`):
 
 * ``run``    — run a declarative campaign (from a JSON file or inline
-  flags) into a resumable run directory,
+  flags) into a resumable run directory, with live round-level progress
+  streamed from the workers,
 * ``resume`` — continue a killed or partial run directory; completed
-  cells are skipped bit-identically,
+  cells are skipped bit-identically and partially finished cells
+  continue from their mid-cell checkpoint,
 * ``show``   — inspect a run directory: manifest, cell status, and the
-  QoR table over the completed cells,
+  QoR table over the completed cells; ``--follow`` tails a directory
+  that another process is still writing,
 * ``list-circuits`` / ``list-methods`` / ``list-objectives`` — what the
   registries currently offer (including entry-point plugins).
 
@@ -114,16 +117,38 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-dir", default=None,
                      help="directory of the persistent QoR cache shared "
                           "across runs (default: REPRO_CACHE_DIR, else off)")
+    run.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                     help="mid-cell checkpoint cadence in rounds (store "
+                          "runs only; 0 disables checkpoints)")
+    run.add_argument("--wall-clock-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock cap threaded into the drive "
+                          "loop (non-deterministic across machines)")
+    run.add_argument("--early-stop-improvement", type=float, default=None,
+                     metavar="PCT",
+                     help="end a cell once its best QoR improvement "
+                          "reaches this percentage")
+    run.add_argument("--no-round-progress", action="store_true",
+                     help="suppress the live per-round progress stream")
 
     resume = sub.add_parser(
         "resume", help="continue a partial run directory (completed cells "
-                       "are skipped bit-identically)")
+                       "are skipped bit-identically; partially finished "
+                       "cells continue from their checkpoint)")
     resume.add_argument("--store", required=True, metavar="DIR")
     resume.add_argument("--jobs", type=int, default=1)
     resume.add_argument("--cache-dir", default=None)
+    resume.add_argument("--checkpoint-every", type=int, default=1, metavar="N")
+    resume.add_argument("--no-round-progress", action="store_true",
+                        help="suppress the live per-round progress stream")
 
     show = sub.add_parser("show", help="inspect a campaign run directory")
     show.add_argument("--store", required=True, metavar="DIR")
+    show.add_argument("--follow", action="store_true",
+                      help="keep polling the directory and print per-cell "
+                          "round progress until every cell is complete")
+    show.add_argument("--interval", type=float, default=2.0,
+                      help="poll interval for --follow, in seconds")
 
     # ------------------------------------------------------------------
     # Registry listings
@@ -222,8 +247,34 @@ def _deprecation_note(command: str) -> None:
 
 
 def _print_records_table(records) -> None:
-    print(render_figure3_table(
-        build_qor_table([record.to_result() for record in records])))
+    """Render the QoR table over completed records; report failed cells."""
+    failed = [record for record in records if record.failed]
+    completed = [record for record in records if not record.failed]
+    if completed:
+        print(render_figure3_table(
+            build_qor_table([record.to_result() for record in completed])))
+    if failed:
+        print(f"warning: {len(failed)} cell(s) failed and were excluded "
+              "from the table (`repro resume` retries them):", file=sys.stderr)
+        for record in failed:
+            print(f"  {record.cell_id}: {record.metadata.get('error')}",
+                  file=sys.stderr)
+
+
+def _render_round_event(cell_id: str, event: dict) -> None:
+    """One stderr line per streamed round event (live progress)."""
+    kind = event.get("kind")
+    if kind == "round_completed":
+        best = event.get("best") or {}
+        improvement = best.get("qor_improvement")
+        line = (f"    {cell_id}: round {event['round_index']}, "
+                f"{event['num_evaluations']}/{event['budget']} evals")
+        if improvement is not None:
+            line += f", best {improvement:+.2f}%"
+        print(line, file=sys.stderr)
+    elif kind == "early_stopped":
+        print(f"    {cell_id}: early stop ({event.get('reason')}) after "
+              f"{event['num_evaluations']} evals", file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -258,6 +309,18 @@ def _campaign_from_args(args) -> Campaign:
 
 def _cmd_run(args) -> int:
     campaign = _campaign_from_args(args)
+    if args.wall_clock_budget is not None or args.early_stop_improvement is not None:
+        from dataclasses import replace
+
+        campaign = replace(
+            campaign,
+            wall_clock_budget=(args.wall_clock_budget
+                               if args.wall_clock_budget is not None
+                               else campaign.wall_clock_budget),
+            early_stop_improvement=(args.early_stop_improvement
+                                    if args.early_stop_improvement is not None
+                                    else campaign.early_stop_improvement),
+        )
     cells = campaign.cells()
     print(f"campaign {campaign.name!r}: {len(campaign.problems)} problem(s) "
           f"x {len(campaign.methods)} method(s) x {len(campaign.seeds)} "
@@ -269,13 +332,18 @@ def _cmd_run(args) -> int:
         jobs=args.jobs,
         cache_dir=_resolve_cache_dir(args.cache_dir),
         progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+        on_event=None if args.no_round_progress else _render_round_event,
+        checkpoint_every=args.checkpoint_every,
     )
     _print_records_table(records)
     if args.store:
         print(f"run directory: {args.store} "
-              f"(continue with `repro resume --store {args.store}`)",
+              f"(continue with `repro resume --store {args.store}`, "
+              f"watch with `repro show --store {args.store} --follow`)",
               file=sys.stderr)
-    return 0
+    # Failed cells are isolated, not silenced: the campaign ran to the
+    # end, but the exit code must still tell scripts something broke.
+    return 1 if any(record.failed for record in records) else 0
 
 
 def _cmd_resume(args) -> int:
@@ -284,16 +352,52 @@ def _cmd_resume(args) -> int:
         jobs=args.jobs,
         cache_dir=_resolve_cache_dir(args.cache_dir),
         progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+        on_event=None if args.no_round_progress else _render_round_event,
+        checkpoint_every=args.checkpoint_every,
     )
     _print_records_table(records)
-    return 0
+    return 1 if any(record.failed for record in records) else 0
+
+
+def _follow_store(store: CampaignStore, cells, interval: float) -> None:
+    """Poll a (possibly still running) store, printing round progress.
+
+    One stderr line per cell whose persisted round count changed since
+    the previous tick; returns once every cell has a completed record.
+    Ctrl-C simply stops following.
+    """
+    import time
+
+    last_rounds: dict = {}
+    while True:
+        statuses = store.cell_statuses()  # one directory scan per tick
+        for cell in cells:
+            cell_id = cell.cell_id
+            rounds = store.trajectory_round_count(cell_id)
+            if rounds != last_rounds.get(cell_id):
+                last_rounds[cell_id] = rounds
+                status = {"ok": "done", "failed": "failed"}.get(
+                    statuses.get(cell_id), "running")
+                print(f"    {cell_id}: {rounds} round(s) [{status}]",
+                      file=sys.stderr)
+        if all(statuses.get(cell.cell_id) in ("ok", "failed")
+               for cell in cells):
+            return
+        time.sleep(interval)
 
 
 def _cmd_show(args) -> int:
     store = CampaignStore(args.store)
     campaign = store.load_campaign()
     cells = campaign.cells()
-    completed = store.completed_cell_ids()
+    if args.follow:
+        try:
+            _follow_store(store, cells, interval=max(0.05, args.interval))
+        except KeyboardInterrupt:  # pragma: no cover - interactive escape
+            pass
+    statuses = store.cell_statuses()
+    completed = {cell_id for cell_id, status in statuses.items()
+                 if status == "ok"}
     print(f"campaign      : {campaign.name}")
     print(f"problems      : {', '.join(p.key for p in campaign.problems)}")
     print(f"methods       : {', '.join(campaign.methods)}")
@@ -302,8 +406,15 @@ def _cmd_show(args) -> int:
     done = sum(1 for cell in cells if cell.cell_id in completed)
     print(f"cells         : {done}/{len(cells)} complete")
     for cell in cells:
-        status = "done" if cell.cell_id in completed else "pending"
-        print(f"  [{status:7s}] {cell.cell_id}")
+        status = {"ok": "done", "failed": "failed",
+                  "partial": "partial"}.get(statuses.get(cell.cell_id),
+                                            "pending")
+        line = f"  [{status:7s}] {cell.cell_id}"
+        if status in ("partial", "failed"):
+            rounds = store.trajectory_round_count(cell.cell_id)
+            if rounds:
+                line += f" ({rounds} round(s) persisted)"
+        print(line)
     finished = [cell for cell in cells if cell.cell_id in completed]
     if finished:
         records = [store.read_record(cell.cell_id) for cell in finished]

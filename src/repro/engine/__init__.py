@@ -32,13 +32,14 @@ evaluator does the accounting.
 
 from repro.engine.cache import PersistentQoRCache, default_cache_dir
 from repro.engine.engine import EvaluationEngine, resolve_jobs
-from repro.engine.grid import run_grid
+from repro.engine.grid import build_cell_payload, run_grid
 from repro.engine.spec import EvaluatorSpec, resolve_circuit_width
 
 __all__ = [
     "EvaluationEngine",
     "EvaluatorSpec",
     "PersistentQoRCache",
+    "build_cell_payload",
     "default_cache_dir",
     "resolve_circuit_width",
     "resolve_jobs",

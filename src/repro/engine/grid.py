@@ -20,6 +20,53 @@ from repro.engine.engine import resolve_jobs
 from repro.engine.spec import EvaluatorSpec
 
 
+def build_cell_payload(
+    *,
+    index: int,
+    spec: EvaluatorSpec,
+    method_key: str,
+    seed: int,
+    budget: int,
+    sequence_length: Optional[int],
+    overrides: Optional[Dict[str, object]] = None,
+    cell_id: Optional[str] = None,
+    store_root: Optional[str] = None,
+    checkpoint_every: int = 0,
+    wall_clock_budget: Optional[float] = None,
+    early_stop_improvement: Optional[float] = None,
+) -> Dict[str, object]:
+    """The one picklable cell-payload schema every grid driver shares.
+
+    Both the legacy :func:`grid_cell_payloads` expansion and the campaign
+    driver (:func:`repro.api.run.run_campaign`) build their worker
+    payloads here, so the worker-side contract lives in exactly one
+    place.  The campaign-only keys (``cell_id``, ``store_root``,
+    ``checkpoint_every``, ``wall_clock_budget``,
+    ``early_stop_improvement``) are included only when set; the legacy
+    cell runner ignores them.
+    """
+    payload: Dict[str, object] = {
+        "index": int(index),
+        "spec": spec.to_payload(),
+        "method_key": str(method_key),
+        "seed": int(seed),
+        "budget": int(budget),
+        "sequence_length": sequence_length,
+        "overrides": dict(overrides or {}),
+    }
+    if cell_id is not None:
+        payload["cell_id"] = str(cell_id)
+    if store_root is not None:
+        payload["store_root"] = str(store_root)
+    if checkpoint_every:
+        payload["checkpoint_every"] = int(checkpoint_every)
+    if wall_clock_budget is not None:
+        payload["wall_clock_budget"] = float(wall_clock_budget)
+    if early_stop_improvement is not None:
+        payload["early_stop_improvement"] = float(early_stop_improvement)
+    return payload
+
+
 def grid_cell_payloads(config) -> List[Dict[str, object]]:
     """Flatten an :class:`~repro.experiments.runner.ExperimentConfig` grid.
 
@@ -32,21 +79,19 @@ def grid_cell_payloads(config) -> List[Dict[str, object]]:
     for circuit_name in config.circuits:
         spec = EvaluatorSpec.for_circuit(
             circuit_name, width=config.circuit_width, lut_size=config.lut_size,
-            objective=getattr(config, "objective", None),
+            objective=config.objective,
         )
         for method_key in config.methods:
             for seed in range(config.num_seeds):
-                payloads.append(
-                    {
-                        "index": index,
-                        "spec": spec.to_payload(),
-                        "method_key": method_key,
-                        "seed": seed,
-                        "budget": config.budget,
-                        "sequence_length": config.sequence_length,
-                        "overrides": dict(config.method_overrides.get(method_key, {})),
-                    }
-                )
+                payloads.append(build_cell_payload(
+                    index=index,
+                    spec=spec,
+                    method_key=method_key,
+                    seed=seed,
+                    budget=config.budget,
+                    sequence_length=config.sequence_length,
+                    overrides=config.method_overrides.get(method_key, {}),
+                ))
                 index += 1
     return payloads
 

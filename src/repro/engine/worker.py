@@ -7,16 +7,27 @@ evaluators keyed by circuit so the expensive ``resyn2`` reference mapping
 is computed once per worker rather than once per cell.  Everything in
 this module is importable at top level — a requirement for
 ``multiprocessing`` pickling of the initialiser and task functions.
+
+Campaign cells (:func:`run_campaign_cell`) are *round-granular*: instead
+of returning one opaque result blob at the end, the worker streams typed
+:class:`repro.bo.base.RunEvent` summaries back to the parent over a
+manager queue as each ask/tell round completes, appends per-round
+trajectory lines to the campaign store, persists periodic optimiser
+checkpoints, and — when a checkpoint for the cell already exists —
+resumes the interrupted cell from it bit-identically.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.engine.cache import PersistentQoRCache
 from repro.engine.spec import EvaluatorSpec
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+
+#: Worker-side event sink signature: ``(cell_id, event_dict)``.
+EventSink = Callable[[str, Dict[str, object]], None]
 
 # ----------------------------------------------------------------------
 # Batch-evaluation workers (EvaluationEngine pool)
@@ -102,13 +113,14 @@ def _grid_evaluator(spec: EvaluatorSpec) -> QoREvaluator:
     return evaluator
 
 
-def run_grid_cell(payload: Dict[str, object]) -> Tuple[int, object]:
-    """Run one (method, circuit, seed) cell; returns ``(index, result)``.
+def _prepare_cell(payload: Dict[str, object]):
+    """Shared per-cell setup: ``(spec, evaluator, optimiser, budget, index)``.
 
     Each cell starts from a clean per-run state (history, counters and
     in-memory memoisation cleared) so its result does not depend on which
     cells ran before it in the same process — the property that makes
-    ``jobs=1`` and ``jobs=N`` grids identical.
+    ``jobs=1`` and ``jobs=N`` grids identical.  Both cell runners
+    (:func:`run_grid_cell`, :func:`run_campaign_cell`) build on this.
     """
     # Imported here: the runner imports this package for its public API,
     # and a module-level import back into the runner would be circular.
@@ -123,20 +135,190 @@ def run_grid_cell(payload: Dict[str, object]) -> Tuple[int, object]:
         seed=int(payload["seed"]),  # type: ignore[arg-type]
         **dict(payload.get("overrides") or {}),  # type: ignore[arg-type]
     )
+    return (spec, evaluator, optimiser,
+            int(payload["budget"]), int(payload["index"]))  # type: ignore[arg-type]
+
+
+def run_grid_cell(payload: Dict[str, object]) -> Tuple[int, object]:
+    """Run one (method, circuit, seed) cell; returns ``(index, result)``."""
+    spec, evaluator, optimiser, budget, index = _prepare_cell(payload)
     # Persistent-cache writes are buffered and committed once per cell:
     # one SQLite transaction instead of one per evaluation, so workers do
     # not contend for the writer lock at high --jobs.
     evaluator.defer_persistent_writes(True)
     try:
-        result = optimiser.optimise(evaluator, budget=int(payload["budget"]))  # type: ignore[arg-type]
+        result = optimiser.optimise(evaluator, budget=budget)
     finally:
         # Turning deferral off flushes anything still buffered.
         evaluator.defer_persistent_writes(False)
     result.circuit = spec.circuit
-    return int(payload["index"]), result  # type: ignore[arg-type]
+    return index, result
 
 
 def _make_space(payload: Dict[str, object]):
     from repro.bo.space import SequenceSpace
 
     return SequenceSpace(sequence_length=int(payload["sequence_length"]))  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Campaign-cell workers: round-granular streaming + checkpoint resume
+# ----------------------------------------------------------------------
+_EVENT_QUEUE: Optional[object] = None
+
+
+def init_campaign_worker(cache_dir: Optional[str],
+                         event_queue: Optional[object] = None) -> None:
+    """Pool initialiser for campaign cells.
+
+    ``event_queue`` is a ``multiprocessing.Manager`` queue proxy (or
+    ``None`` when the parent did not ask for live events); every cell
+    running in this worker streams its round events into it as
+    ``(cell_id, event_dict)`` tuples.
+    """
+    global _EVENT_QUEUE
+    init_grid_worker(cache_dir)
+    _EVENT_QUEUE = event_queue
+
+
+def _queue_event_sink() -> Optional[EventSink]:
+    if _EVENT_QUEUE is None:
+        return None
+    queue = _EVENT_QUEUE
+
+    def sink(cell_id: str, event: Dict[str, object]) -> None:
+        queue.put((cell_id, event))  # type: ignore[attr-defined]
+
+    return sink
+
+
+def run_campaign_cell(
+    payload: Dict[str, object],
+    event_sink: Optional[EventSink] = None,
+) -> Tuple[int, object]:
+    """Run (or resume) one campaign cell with round-granular streaming.
+
+    Extends :func:`run_grid_cell` with the round-granular machinery:
+
+    * every :class:`~repro.bo.base.RunEvent` of the cell's drive loop is
+      forwarded to ``event_sink`` (serial path) or the pool's manager
+      queue (parallel path) as a compact dict — live per-round progress
+      for the parent;
+    * with a ``store_root`` in the payload, each completed round appends
+      one line to ``trajectories/<cell_id>.jsonl`` and every
+      ``checkpoint_every``-th round atomically replaces
+      ``checkpoints/<cell_id>.json`` with the optimiser's
+      :meth:`~repro.bo.base.SequenceOptimiser.state_dict` plus the
+      evaluator history;
+    * if a checkpoint for the cell already exists, the cell *resumes*
+      from it — evaluator history, memo cache, RNG and per-method state
+      restored — and the continued trajectory is bit-identical to an
+      uninterrupted run;
+    * the campaign's ``wall_clock_budget`` / ``early_stop_improvement``
+      knobs thread into the drive loop as ``max_seconds`` / ``stop_when``.
+    """
+    # Imported lazily: repro.api imports this package, so a module-level
+    # import back into repro.api would be circular.
+    from repro.api.store import (
+        CampaignStore,
+        evaluation_from_dict,
+        evaluation_to_dict,
+    )
+    from repro.bo.base import RoundCompleted, drive
+
+    spec, evaluator, optimiser, budget, index = _prepare_cell(payload)
+    cell_id = payload.get("cell_id")
+    store_root = payload.get("store_root")
+    checkpoint_every = int(payload.get("checkpoint_every") or 0)  # type: ignore[arg-type]
+    store = (CampaignStore(str(store_root))
+             if store_root is not None and cell_id is not None else None)
+    cell_id = str(cell_id) if cell_id is not None else f"cell-{index}"
+    if event_sink is None:
+        event_sink = _queue_event_sink()
+
+    # ------------------------------------------------------------------
+    # Resume from the latest checkpoint, if one exists.
+    # ------------------------------------------------------------------
+    optimiser.prepare(evaluator, budget)
+    start_round = 0
+    start_elapsed = 0.0
+    checkpoint = store.read_checkpoint(cell_id) if store is not None else None
+    if checkpoint is not None and optimiser.supports_checkpoint:
+        saved = checkpoint["evaluator"]
+        evaluator.restore_history(
+            [evaluation_from_dict(item) for item in saved["history"]],  # type: ignore[index]
+            num_computed=int(saved.get("num_computed",  # type: ignore[union-attr]
+                                       len(saved["history"]))),  # type: ignore[index]
+            num_persistent_hits=int(saved.get("num_persistent_hits", 0)),  # type: ignore[union-attr]
+        )
+        optimiser.load_state_dict(checkpoint["optimiser_state"])  # type: ignore[arg-type]
+        start_round = int(checkpoint["round"])  # type: ignore[arg-type]
+        start_elapsed = float(checkpoint.get("elapsed_seconds", 0.0))  # type: ignore[arg-type]
+        # A kill can land between a trajectory append and the checkpoint
+        # write; drop any rounds past the checkpoint — the continued run
+        # re-emits them bit-identically.
+        store.truncate_trajectory(cell_id, start_round)
+    elif store is not None:
+        # Fresh attempt (no usable checkpoint): discard any stale
+        # trajectory left by a previous failed/killed attempt.
+        store.reset_trajectory(cell_id)
+
+    # ------------------------------------------------------------------
+    # Round-granular persistence + streaming
+    # ------------------------------------------------------------------
+    def on_event(event) -> None:
+        if store is not None and isinstance(event, RoundCompleted):
+            store.append_trajectory(cell_id, {
+                "round": event.round_index,
+                "num_evaluations": event.num_evaluations,
+                "best_qor": event.best.qor if event.best is not None else None,
+                "best_improvement": (event.best.qor_improvement
+                                     if event.best is not None else None),
+                "records": [evaluation_to_dict(record)
+                            for record in event.records],
+            })
+            if (checkpoint_every > 0 and optimiser.supports_checkpoint
+                    and event.round_index % checkpoint_every == 0):
+                store.write_checkpoint(cell_id, {
+                    "round": event.round_index,
+                    "num_evaluations": evaluator.num_evaluations,
+                    "elapsed_seconds": event.elapsed_seconds,
+                    "method_key": str(payload["method_key"]),
+                    "optimiser_state": optimiser.state_dict(),
+                    "evaluator": {
+                        "history": [evaluation_to_dict(record)
+                                    for record in evaluator.history],
+                        "num_computed": evaluator.num_computed,
+                        "num_persistent_hits": evaluator.num_persistent_hits,
+                    },
+                })
+        if event_sink is not None:
+            event_sink(cell_id, event.to_dict())
+
+    wall_clock = payload.get("wall_clock_budget")
+    threshold = payload.get("early_stop_improvement")
+    stop_when = None
+    if threshold is not None:
+        floor = float(threshold)  # type: ignore[arg-type]
+
+        def stop_when(progress) -> bool:
+            return (progress.best is not None
+                    and progress.best.qor_improvement >= floor)
+
+    evaluator.defer_persistent_writes(True)
+    try:
+        drive(
+            optimiser, evaluator, budget,
+            on_event=on_event,
+            stop_when=stop_when,
+            max_seconds=float(wall_clock) if wall_clock is not None else None,  # type: ignore[arg-type]
+            start_round=start_round,
+            start_elapsed=start_elapsed,
+        )
+    finally:
+        evaluator.defer_persistent_writes(False)
+    result = optimiser._build_result(evaluator, spec.circuit,
+                                     metadata=optimiser.run_metadata())
+    # The checkpoint is cleared by the *parent* after it has written the
+    # final record, so a kill in between still leaves a resumable cell.
+    return index, result

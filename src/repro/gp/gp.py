@@ -28,6 +28,7 @@ from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
 
 from repro.gp.kernels.base import Kernel
 from repro.gp.optim import finite_difference_gradient, ProjectedAdam
+from repro.serialise import decode_array, encode_array
 
 
 class GaussianProcess:
@@ -187,6 +188,64 @@ class GaussianProcess:
         self._set_targets(y)
         self._alpha = cho_solve((chol, True), self._y)
         return self
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-exact snapshot of the conditioning state.
+
+        Captures the training data *and* the numerical internals — the
+        Cholesky factor, the solved ``alpha``, the standardisation
+        constants, the jitter actually used and the hyperparameters the
+        factor was computed under.  Restoring all of them (rather than
+        refitting from the data) matters for bit-identical resume: a
+        freshly refactorised Gram can differ from an incrementally
+        extended factor in the last bit, so a resumed BO round must
+        continue from the *same* factor the interrupted run held.
+        """
+        fit_params = None
+        if self._fit_params is not None:
+            params, noise = self._fit_params
+            fit_params = {"params": dict(params), "noise_variance": noise}
+        return {
+            "kernel_params": self.kernel.get_params(),
+            "noise_variance": self.noise_variance,
+            "normalize_y": self.normalize_y,
+            "jitter": self.jitter,
+            "jitter_used": self._jitter_used,
+            "X": encode_array(self._X),
+            "y": encode_array(self._y),
+            "y_mean": self._y_mean,
+            "y_std": self._y_std,
+            "chol": encode_array(self._chol),
+            "alpha": encode_array(self._alpha),
+            "fit_params": fit_params,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse operation)."""
+        self.kernel.set_params(**{str(k): float(v) for k, v
+                                  in dict(state["kernel_params"]).items()})  # type: ignore[arg-type]
+        self.noise_variance = float(state["noise_variance"])  # type: ignore[arg-type]
+        self.normalize_y = bool(state["normalize_y"])
+        self.jitter = float(state["jitter"])  # type: ignore[arg-type]
+        self._jitter_used = float(state["jitter_used"])  # type: ignore[arg-type]
+        self._X = decode_array(state["X"])  # type: ignore[arg-type]
+        self._y = decode_array(state["y"])  # type: ignore[arg-type]
+        self._y_mean = float(state["y_mean"])  # type: ignore[arg-type]
+        self._y_std = float(state["y_std"])  # type: ignore[arg-type]
+        self._chol = decode_array(state["chol"])  # type: ignore[arg-type]
+        self._alpha = decode_array(state["alpha"])  # type: ignore[arg-type]
+        fit_params = state.get("fit_params")
+        if fit_params is None:
+            self._fit_params = None
+        else:
+            self._fit_params = (
+                {str(k): float(v) for k, v
+                 in dict(fit_params["params"]).items()},  # type: ignore[index]
+                float(fit_params["noise_variance"]),  # type: ignore[index]
+            )
 
     # ------------------------------------------------------------------
     # Prediction (Equation 3)

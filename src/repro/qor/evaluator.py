@@ -442,6 +442,36 @@ class QoREvaluator:
             trajectory.append(best)
         return trajectory
 
+    def restore_history(
+        self,
+        records: Sequence[SequenceEvaluation],
+        *,
+        num_computed: Optional[int] = None,
+        num_persistent_hits: int = 0,
+    ) -> None:
+        """Restore a previous run segment's history (checkpoint resume).
+
+        Replaces the history and counters with ``records`` and — when
+        in-memory memoisation is enabled — repopulates the memo cache
+        from them, so that re-visits of pre-checkpoint sequences stay
+        free exactly as they would have in the uninterrupted run.  The
+        counter split defaults to "everything was computed"; pass the
+        checkpointed ``num_computed``/``num_persistent_hits`` to keep
+        the diagnostic split exact.  (Pending deferred persistent writes
+        of the interrupted segment are *not* recreated: the persistent
+        cache is an optimisation layer and never affects results.)
+        """
+        records = list(records)
+        self.history = records
+        self._num_evaluations = len(records)
+        if num_computed is None:
+            num_computed = len(records) - num_persistent_hits
+        self._num_computed = int(num_computed)
+        self._num_persistent_hits = int(num_persistent_hits)
+        if self._cache_enabled:
+            for record in records:
+                self._cache[record.sequence] = record
+
     def reset_history(self, clear_cache: bool = False) -> None:
         """Clear the evaluation history and counters.
 

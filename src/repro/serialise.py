@@ -1,0 +1,42 @@
+"""JSON-exact array serialisation for the checkpoint protocol.
+
+Checkpoints (``SequenceOptimiser.state_dict`` and the store's
+``checkpoints/<cell_id>.json``) must round-trip through ``json.dumps`` /
+``json.loads`` *bit-exactly*: a resumed run replays against restored
+state, and any drift — a float that re-parses to a different bit
+pattern, an int array that comes back as float — would silently fork the
+trajectory.  Python floats already serialise via shortest-repr (which is
+bit-exact), so the only thing arrays need is an explicit dtype and shape
+alongside the nested-list data; these two helpers provide exactly that
+and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def encode_array(array: Optional[np.ndarray]) -> Optional[Dict[str, object]]:
+    """Encode an ndarray as ``{data, dtype, shape}`` (``None`` passes through).
+
+    ``shape`` is stored explicitly so empty and zero-length axes survive
+    the round trip (``np.array([])`` alone cannot reconstruct ``(0, 5)``).
+    """
+    if array is None:
+        return None
+    array = np.asarray(array)
+    return {
+        "data": array.tolist(),
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+    }
+
+
+def decode_array(payload: Optional[Dict[str, object]]) -> Optional[np.ndarray]:
+    """Rebuild the ndarray encoded by :func:`encode_array`."""
+    if payload is None:
+        return None
+    array = np.array(payload["data"], dtype=np.dtype(str(payload["dtype"])))
+    return array.reshape([int(dim) for dim in payload["shape"]])  # type: ignore[union-attr]

@@ -1,0 +1,413 @@
+"""Round-granular execution core: mid-cell kill+resume, events, isolation.
+
+The acceptance property of the round-granular refactor: killing a
+campaign *mid-cell* and resuming produces a final trajectory and
+``RunRecord`` bit-identical to the uninterrupted run, for every
+registered optimiser, with per-round JSONL present in the store.  Plus:
+the streamed event order is deterministic (also under ``jobs > 1``), a
+raising cell is isolated as a failed record instead of aborting the
+campaign, and the campaign-level wall-clock/early-stop knobs thread
+through the drive loop.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Campaign,
+    CampaignStore,
+    Problem,
+    resume_campaign,
+    run_campaign,
+)
+
+BUDGETS = {"rs": 6, "greedy": 14, "ga": 25, "boils": 6, "sbo": 6,
+           "a2c": 4, "ppo": 4, "graph-rl": 4}
+KILL_ROUNDS = {"rs": 1, "greedy": 1, "ga": 1, "boils": 3, "sbo": 3,
+               "a2c": 2, "ppo": 2, "graph-rl": 2}
+OVERRIDES = {
+    "boils": {"num_initial": 2, "local_search_queries": 20,
+              "adam_steps": 1, "fit_every": 2},
+    "sbo": {"num_initial": 2, "adam_steps": 1, "fit_every": 2},
+}
+
+
+def _single_method_campaign(method):
+    return Campaign(
+        problems=(Problem("adder", width=4, sequence_length=3),),
+        methods=(method,),
+        seeds=(0,),
+        budget=BUDGETS[method],
+        method_overrides=({method: OVERRIDES[method]}
+                          if method in OVERRIDES else {}),
+        name=f"resume-{method}",
+    )
+
+
+class _Kill(KeyboardInterrupt):
+    """Simulated mid-cell kill (KeyboardInterrupt is never isolated)."""
+
+
+def _killer_at(round_index):
+    def on_event(cell_id, event):
+        if (event["kind"] == "round_completed"
+                and event["round_index"] == round_index):
+            raise _Kill(f"killed {cell_id} after round {round_index}")
+    return on_event
+
+
+def _dicts(records):
+    return [record.to_dict() for record in records]
+
+
+class TestMidCellKillResume:
+    @pytest.mark.parametrize("method", sorted(BUDGETS))
+    def test_kill_and_resume_bit_identical(self, method, tmp_path):
+        campaign = _single_method_campaign(method)
+        full_store = CampaignStore(tmp_path / "full")
+        uninterrupted = run_campaign(campaign, full_store)
+
+        killed_store = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed_store,
+                         on_event=_killer_at(KILL_ROUNDS[method]))
+        # The kill left a mid-cell checkpoint, no completed record.
+        cell_id = campaign.cells()[0].cell_id
+        assert killed_store.completed_cell_ids() == set()
+        assert killed_store.partial_cell_ids() == {cell_id}
+
+        resumed = resume_campaign(killed_store)
+        assert _dicts(resumed) == _dicts(uninterrupted)
+        # Histories are compared exactly — float-for-float.
+        assert resumed[0].history == uninterrupted[0].history
+        assert resumed[0].best_trajectory == uninterrupted[0].best_trajectory
+        assert resumed[0].best_sequence == uninterrupted[0].best_sequence
+        # The continued trajectory JSONL is byte-identical too.
+        assert (killed_store.trajectory_path(cell_id).read_bytes()
+                == full_store.trajectory_path(cell_id).read_bytes())
+        # Completion cleared the checkpoint.
+        assert killed_store.partial_cell_ids() == set()
+
+    def test_kill_with_refit_gate_enabled(self, tmp_path):
+        campaign = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("boils",),
+            seeds=(0,),
+            budget=6,
+            method_overrides={"boils": {
+                "num_initial": 2, "local_search_queries": 20,
+                "adam_steps": 1, "fit_every": 1, "refit_gate": True,
+                "refit_gate_tol": 1.0, "refit_gate_patience": 1}},
+            name="resume-gated",
+        )
+        uninterrupted = run_campaign(campaign, tmp_path / "full")
+        killed = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed, on_event=_killer_at(3))
+        resumed = resume_campaign(killed)
+        assert _dicts(resumed) == _dicts(uninterrupted)
+
+    def test_torn_trajectory_line_does_not_wedge_resume(self, tmp_path):
+        """A kill mid-append leaves a partial JSONL line; resume must cope."""
+        campaign = _single_method_campaign("boils")
+        full_store = CampaignStore(tmp_path / "full")
+        uninterrupted = run_campaign(campaign, full_store)
+
+        killed = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed, on_event=_killer_at(3))
+        cell_id = campaign.cells()[0].cell_id
+        # Simulate the torn append: a partial line with no newline.
+        with open(killed.trajectory_path(cell_id), "a",
+                  encoding="utf-8") as handle:
+            handle.write('{"round": 4, "num_eval')
+        assert killed.trajectory_round_count(cell_id) == 3
+
+        resumed = resume_campaign(killed)
+        assert _dicts(resumed) == _dicts(uninterrupted)
+        assert (killed.trajectory_path(cell_id).read_bytes()
+                == full_store.trajectory_path(cell_id).read_bytes())
+
+    def test_kill_before_any_checkpoint_restarts_cell(self, tmp_path):
+        """RoundStarted-only kills leave no checkpoint; resume restarts."""
+        campaign = _single_method_campaign("rs")
+        uninterrupted = run_campaign(campaign, tmp_path / "full")
+
+        def kill_immediately(cell_id, event):
+            if event["kind"] == "round_started":
+                raise _Kill()
+
+        killed = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed, on_event=kill_immediately)
+        assert killed.partial_cell_ids() == set()
+        resumed = resume_campaign(killed)
+        assert _dicts(resumed) == _dicts(uninterrupted)
+
+
+class TestTrajectoryStore:
+    def test_per_round_jsonl_matches_history(self, tmp_path):
+        campaign = _single_method_campaign("boils")
+        store = CampaignStore(tmp_path / "run")
+        records = run_campaign(campaign, store)
+        cell_id = records[0].cell_id
+
+        trajectory = store.read_trajectory(cell_id)
+        assert len(trajectory) >= 3  # true multi-line JSONL, one per round
+        assert [line["round"] for line in trajectory] == list(
+            range(1, len(trajectory) + 1))
+        flattened = [record["qor_improvement"]
+                     for line in trajectory for record in line["records"]]
+        assert flattened == records[0].history
+        assert trajectory[-1]["num_evaluations"] == records[0].num_evaluations
+        # Raw JSONL on disk: one JSON object per line.
+        lines = store.trajectory_path(cell_id).read_text().splitlines()
+        assert len(lines) == len(trajectory)
+        for line in lines:
+            json.loads(line)
+
+    def test_checkpoint_cadence(self, tmp_path):
+        campaign = _single_method_campaign("boils")
+        store = CampaignStore(tmp_path / "run")
+
+        seen = []
+        bodies = []
+
+        def watch(cell_id, event):
+            if event["kind"] == "round_completed":
+                path = store.checkpoint_path(cell_id)
+                seen.append(path.exists())
+                if path.exists():
+                    bodies.append(path.read_text())
+
+        run_campaign(campaign, store, on_event=watch, checkpoint_every=2)
+        # Checkpoints appear from round 2 on (cadence 2) and are cleared
+        # once the final record lands.
+        assert seen[0] is False and any(seen)
+        assert store.partial_cell_ids() == set()
+        # Checkpoint files are strict RFC 8259 JSON: the -inf/+inf
+        # optimiser sentinels must be encoded as null, never Infinity.
+        def reject(constant):
+            raise AssertionError(f"non-standard JSON constant {constant!r}")
+        for body in bodies:
+            json.loads(body, parse_constant=reject)
+
+    def test_checkpointing_disabled(self, tmp_path):
+        campaign = _single_method_campaign("boils")
+        store = CampaignStore(tmp_path / "run")
+        records = run_campaign(campaign, store, checkpoint_every=0)
+        assert records[0].status == "ok"
+        assert not store.checkpoints_dir.is_dir()
+        assert store.read_trajectory(records[0].cell_id)  # still written
+
+
+class TestEventStream:
+    def _campaign(self):
+        return Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("rs", "ga"),
+            seeds=(0, 1),
+            budget=5,
+            name="events",
+        )
+
+    @staticmethod
+    def _by_cell(events):
+        grouped = {}
+        for cell_id, event in events:
+            grouped.setdefault(cell_id, []).append(event)
+        return grouped
+
+    def test_serial_stream_shape(self):
+        events = []
+        run_campaign(self._campaign(),
+                     on_event=lambda cid, e: events.append((cid, e)))
+        grouped = self._by_cell(events)
+        assert len(grouped) == 4
+        for stream in grouped.values():
+            kinds = [event["kind"] for event in stream]
+            assert kinds[0] == "round_started"
+            assert kinds[-1] in ("budget_exhausted", "early_stopped")
+            completed = [event for event in stream
+                         if event["kind"] == "round_completed"]
+            assert [event["round_index"] for event in completed] == list(
+                range(1, len(completed) + 1))
+            # Every RoundStarted has a matching RoundCompleted — no
+            # phantom round precedes an optimiser-exhausted stop.
+            started = [event for event in stream
+                       if event["kind"] == "round_started"]
+            assert len(started) == len(completed)
+            # Budget counters are monotonically non-decreasing.
+            counts = [event["num_evaluations"] for event in stream]
+            assert counts == sorted(counts)
+
+    def test_parallel_stream_matches_serial_per_cell(self):
+        serial_events = []
+        run_campaign(self._campaign(),
+                     on_event=lambda cid, e: serial_events.append((cid, e)))
+        parallel_events = []
+        run_campaign(self._campaign(), jobs=2,
+                     on_event=lambda cid, e: parallel_events.append((cid, e)))
+
+        def stable(stream):
+            # Everything except wall-clock timings is deterministic.
+            return [{k: v for k, v in event.items() if k != "elapsed_seconds"}
+                    for event in stream]
+
+        serial = self._by_cell(serial_events)
+        parallel = self._by_cell(parallel_events)
+        assert set(serial) == set(parallel)
+        for cell_id in serial:
+            assert stable(parallel[cell_id]) == stable(serial[cell_id])
+
+
+class TestFailureIsolation:
+    def test_raising_cell_is_recorded_and_campaign_continues(self, tmp_path):
+        from repro.baselines.random_search import RandomSearch
+        from repro.registry import OPTIMISERS, register_optimiser
+
+        trip_file = tmp_path / "explode.flag"
+
+        @register_optimiser("test-explode", display_name="Explode")
+        class ExplodingSearch(RandomSearch):
+            name = "Explode"
+
+            def suggest(self, n=1):
+                if trip_file.exists():
+                    raise RuntimeError("synthetic cell failure")
+                return super().suggest(n)
+
+        try:
+            campaign = Campaign(
+                problems=(Problem("adder", width=4, sequence_length=3),),
+                methods=("rs", "test-explode", "greedy"),
+                seeds=(0,),
+                budget=5,
+                name="isolation",
+            )
+            exploding_cell = campaign.cells()[1].cell_id
+
+            trip_file.touch()
+            store = CampaignStore(tmp_path / "run")
+            records = run_campaign(campaign, store)
+            assert [record.status for record in records] == [
+                "ok", "failed", "ok"]
+            assert "synthetic cell failure" in str(records[1].metadata["error"])
+            assert store.failed_cell_ids() == {exploding_cell}
+            assert exploding_cell not in store.completed_cell_ids()
+
+            # Resume retries exactly the failed cell and matches a clean run.
+            trip_file.unlink()
+            clean = run_campaign(campaign, tmp_path / "clean")
+            resumed = resume_campaign(store)
+            assert _dicts(resumed) == _dicts(clean)
+            assert store.failed_cell_ids() == set()
+        finally:
+            OPTIMISERS.unregister("test-explode")
+
+    def test_event_callback_errors_propagate_not_recorded(self, tmp_path):
+        """A buggy parent callback aborts the run — it is not a cell failure."""
+        campaign = _single_method_campaign("rs")
+
+        def broken_callback(cell_id, event):
+            raise RuntimeError("rendering bug in the parent")
+
+        store = CampaignStore(tmp_path / "run")
+        with pytest.raises(RuntimeError, match="rendering bug"):
+            run_campaign(campaign, store, on_event=broken_callback)
+        # The healthy cell must not be blamed for the callback crash.
+        assert store.failed_cell_ids() == set()
+
+    def test_bad_method_override_does_not_abort_campaign(self, tmp_path):
+        campaign = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("rs", "ga"),
+            seeds=(0,),
+            budget=4,
+            method_overrides={"ga": {"no_such_argument": 1}},
+            name="bad-override",
+        )
+        records = run_campaign(campaign, tmp_path / "run")
+        assert records[0].status == "ok"
+        assert records[1].status == "failed"
+        assert "no_such_argument" in str(records[1].metadata["error"])
+
+
+class TestCampaignKnobsThreadThrough:
+    def test_early_stop_improvement_stops_cells(self, tmp_path):
+        campaign = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("ga",),
+            seeds=(0,),
+            budget=50,
+            early_stop_improvement=-1000.0,  # any best satisfies this
+            name="early-stop",
+        )
+        events = []
+        records = run_campaign(campaign, tmp_path / "run",
+                               on_event=lambda cid, e: events.append(e))
+        assert records[0].num_evaluations < 50
+        terminal = events[-1]
+        assert terminal["kind"] == "early_stopped"
+        assert terminal["reason"] == "stop_condition"
+
+    def test_wall_clock_budget_stops_cells(self, tmp_path):
+        campaign = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("rs",),
+            seeds=(0,),
+            budget=10**6,  # unreachable: the clock must stop the cell
+            wall_clock_budget=1e-6,
+            name="wall-clock",
+        )
+        events = []
+        records = run_campaign(campaign, tmp_path / "run",
+                               on_event=lambda cid, e: events.append(e))
+        assert records[0].num_evaluations < 10**6
+        assert events[-1]["kind"] == "early_stopped"
+        assert events[-1]["reason"] == "wall_clock"
+
+    def test_kill_at_stop_round_resumes_without_extra_round(self, tmp_path):
+        """A checkpoint taken at the stop round must not buy an extra round.
+
+        The stop predicate fires *after* the round-r checkpoint is
+        written; a kill in that window leaves a checkpoint whose
+        restored state already satisfies the stop condition, and the
+        resumed drive loop must re-apply it before executing anything.
+        """
+        campaign = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("ga",),
+            seeds=(0,),
+            budget=50,
+            early_stop_improvement=-1000.0,  # fires after round 1
+            name="stop-round-kill",
+        )
+        full_store = CampaignStore(tmp_path / "full")
+        uninterrupted = run_campaign(campaign, full_store)
+        assert uninterrupted[0].num_evaluations < 50
+
+        killed = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed, on_event=_killer_at(1))
+        resumed = resume_campaign(killed)
+        assert _dicts(resumed) == _dicts(uninterrupted)
+        cell_id = campaign.cells()[0].cell_id
+        assert (killed.trajectory_path(cell_id).read_bytes()
+                == full_store.trajectory_path(cell_id).read_bytes())
+
+    def test_knobs_round_trip_through_manifest(self, tmp_path):
+        campaign = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("rs",),
+            budget=4,
+            wall_clock_budget=120.0,
+            early_stop_improvement=5.0,
+            name="knobs",
+        )
+        store = CampaignStore(tmp_path / "run")
+        store.initialise(campaign)
+        loaded = store.load_campaign()
+        assert loaded.wall_clock_budget == 120.0
+        assert loaded.early_stop_improvement == 5.0

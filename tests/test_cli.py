@@ -140,6 +140,74 @@ class TestCampaignCommands:
         assert "eq1" in out and "weighted" in out
 
 
+class TestRoundGranularCli:
+    def test_run_streams_round_progress(self, capsys, tmp_path):
+        assert main(["run", "--circuits", "adder", "--methods", "ga",
+                     "--budget", "4", "--seeds", "1",
+                     "--sequence-length", "3", "--width", "4",
+                     "--store", str(tmp_path / "run")]) == 0
+        err = capsys.readouterr().err
+        assert "round 1" in err and "/4 evals" in err
+
+    def test_no_round_progress_flag(self, capsys, tmp_path):
+        assert main(["run", "--circuits", "adder", "--methods", "ga",
+                     "--budget", "4", "--seeds", "1",
+                     "--sequence-length", "3", "--width", "4",
+                     "--no-round-progress",
+                     "--store", str(tmp_path / "run")]) == 0
+        assert "round 1" not in capsys.readouterr().err
+
+    def test_show_follow_on_complete_store_exits(self, capsys, tmp_path):
+        store = str(tmp_path / "run")
+        assert main(["run", "--circuits", "adder", "--methods", "rs",
+                     "--budget", "3", "--seeds", "1",
+                     "--sequence-length", "3", "--width", "4",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        # All cells complete: --follow prints one status sweep and returns.
+        assert main(["show", "--store", store, "--follow",
+                     "--interval", "0.05"]) == 0
+        captured = capsys.readouterr()
+        assert "round(s) [done]" in captured.err
+        assert "1/1 complete" in captured.out
+
+    def test_early_stop_flag_threads_through(self, capsys, tmp_path):
+        assert main(["run", "--circuits", "adder", "--methods", "ga",
+                     "--budget", "50", "--seeds", "1",
+                     "--sequence-length", "3", "--width", "4",
+                     "--early-stop-improvement", "-1000",
+                     "--store", str(tmp_path / "run")]) == 0
+        err = capsys.readouterr().err
+        assert "early stop (stop_condition)" in err
+
+    def test_failed_cells_yield_nonzero_exit(self, capsys, tmp_path):
+        from repro.api import Campaign, Problem
+
+        path = Campaign(
+            problems=(Problem("adder", width=4, sequence_length=3),),
+            methods=("rs", "ga"), seeds=(0,), budget=3,
+            method_overrides={"ga": {"no_such_argument": 1}},
+            name="half-broken",
+        ).save(tmp_path / "campaign.json")
+        assert main(["run", "--campaign", str(path),
+                     "--store", str(tmp_path / "run")]) == 1
+        captured = capsys.readouterr()
+        assert "1 cell(s) failed" in captured.err
+        assert "Figure 3 (top)" in captured.out  # healthy cells still render
+
+    def test_trajectories_written_by_cli_run(self, tmp_path):
+        from repro.api import CampaignStore
+
+        store_dir = str(tmp_path / "run")
+        assert main(["run", "--circuits", "adder", "--methods", "rs",
+                     "--budget", "3", "--seeds", "1",
+                     "--sequence-length", "3", "--width", "4",
+                     "--store", store_dir]) == 0
+        store = CampaignStore(store_dir)
+        cell_id = sorted(store.completed_cell_ids())[0]
+        assert store.trajectory_round_count(cell_id) >= 1
+
+
 class TestTableLutSize:
     def test_table_accepts_lut_size(self, capsys):
         assert main(["table", "--circuits", "adder", "--methods", "rs",
