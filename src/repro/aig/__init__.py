@@ -9,6 +9,8 @@ representation plays for the original BOiLS paper.
 
 from repro.aig.graph import AIG, Literal, AigNode
 from repro.aig.aiger import read_aiger, write_aiger, read_aiger_string, write_aiger_string
+from repro.aig.blif import read_blif, write_blif, read_blif_string, write_blif_string
+from repro.aig.bench import read_bench, write_bench, read_bench_string, write_bench_string
 from repro.aig.simulation import simulate, simulate_words, random_simulation
 from repro.aig.cuts import Cut, enumerate_cuts, cut_truth_table
 from repro.aig.verilog import write_verilog, write_lut_verilog, verilog_module
@@ -22,6 +24,14 @@ __all__ = [
     "write_aiger",
     "read_aiger_string",
     "write_aiger_string",
+    "read_blif",
+    "write_blif",
+    "read_blif_string",
+    "write_blif_string",
+    "read_bench",
+    "write_bench",
+    "read_bench_string",
+    "write_bench_string",
     "simulate",
     "simulate_words",
     "random_simulation",

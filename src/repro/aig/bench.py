@@ -1,0 +1,205 @@
+"""ISCAS ``.bench`` netlist reader / writer.
+
+Supports the combinational gate-level subset used by the ISCAS-85 /
+LGSynth benchmark files: ``INPUT(x)`` / ``OUTPUT(y)`` declarations and
+``y = GATE(a, b, ...)`` assignments with the AND, NAND, OR, NOR, XOR,
+XNOR, NOT and BUFF gate types (multi-input where the format allows).
+``DFF`` and other sequential elements are rejected with a clear error.
+Definitions may appear in any order; elaboration resolves dependencies
+topologically and reports combinational cycles by signal name.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.aig.graph import AIG, CONST0, CONST1, Literal, lit_is_compl, lit_not, lit_var
+from repro.aig.netlist_io import (
+    NetlistFormatError,
+    SignalGraph,
+    assign_signal_names,
+    logical_lines,
+)
+
+
+class BenchError(NetlistFormatError):
+    """Raised when a ``.bench`` file cannot be parsed."""
+
+
+_ASSIGN = re.compile(r"^(?P<out>\S+)\s*=\s*(?P<gate>[A-Za-z_][A-Za-z0-9_]*)"
+                     r"\s*\((?P<args>[^)]*)\)$")
+_DECL = re.compile(r"^(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[^)]+)\)$",
+                   re.IGNORECASE)
+
+_SEQUENTIAL = {"DFF", "DFFSR", "LATCH", "SDFF"}
+
+
+def read_bench_string(text: str, name: str = "bench") -> AIG:
+    """Parse ``.bench`` text into an :class:`AIG`."""
+    aig = AIG(name=name)
+    graph = SignalGraph("bench", BenchError)
+    outputs: List[str] = []
+
+    for number, line in logical_lines(text):
+        decl = _DECL.match(line)
+        if decl is not None:
+            signal = decl.group("name").strip()
+            if not signal:
+                raise BenchError(f"bench line {number}: empty signal name")
+            if decl.group("kind").upper() == "INPUT":
+                graph.define_input(signal, aig.add_pi(name=signal))
+            else:
+                outputs.append(signal)
+            continue
+        assign = _ASSIGN.match(line)
+        if assign is None:
+            raise BenchError(f"bench line {number}: cannot parse {line!r}")
+        gate = assign.group("gate").upper()
+        args = [token.strip() for token in assign.group("args").split(",")
+                if token.strip()]
+        if gate in _SEQUENTIAL:
+            raise BenchError(
+                f"bench line {number}: sequential element {gate} is not "
+                "supported (combinational circuits only)")
+        if gate in ("CONST0", "CONST1", "GND", "VDD"):
+            if args:
+                raise BenchError(
+                    f"bench line {number}: {gate} takes no arguments")
+            graph.define_input(assign.group("out"),
+                               CONST1 if gate in ("CONST1", "VDD") else CONST0)
+            continue
+        if gate not in _GATES:
+            raise BenchError(
+                f"bench line {number}: unknown gate type {gate!r}")
+        arity_min, arity_max = _GATE_ARITY[gate]
+        if not (arity_min <= len(args) <= arity_max):
+            raise BenchError(
+                f"bench line {number}: {gate} expects between {arity_min} "
+                f"and {arity_max} inputs, got {len(args)}")
+        graph.define_gate(assign.group("out"), args, gate)
+
+    if not outputs:
+        raise BenchError("bench: no OUTPUT declarations")
+    graph.elaborate(aig, _build_gate)
+    for out_name in outputs:
+        aig.add_po(graph.literal(out_name), name=out_name)
+    return aig
+
+
+def _fold_xor(aig: AIG, fanins: List[Literal]) -> Literal:
+    result = fanins[0]
+    for literal in fanins[1:]:
+        result = aig.add_xor(result, literal)
+    return result
+
+
+_GATES = {
+    "AND": lambda aig, fanins: aig.add_and_multi(fanins),
+    "NAND": lambda aig, fanins: lit_not(aig.add_and_multi(fanins)),
+    "OR": lambda aig, fanins: aig.add_or_multi(fanins),
+    "NOR": lambda aig, fanins: lit_not(aig.add_or_multi(fanins)),
+    "XOR": _fold_xor,
+    "XNOR": lambda aig, fanins: lit_not(_fold_xor(aig, fanins)),
+    "NOT": lambda aig, fanins: lit_not(fanins[0]),
+    "BUFF": lambda aig, fanins: fanins[0],
+    "BUF": lambda aig, fanins: fanins[0],
+}
+
+_GATE_ARITY = {
+    "AND": (1, 1 << 16), "NAND": (1, 1 << 16),
+    "OR": (1, 1 << 16), "NOR": (1, 1 << 16),
+    "XOR": (1, 1 << 16), "XNOR": (1, 1 << 16),
+    "NOT": (1, 1), "BUFF": (1, 1), "BUF": (1, 1),
+}
+
+
+def _build_gate(aig: AIG, payload: object, fanins: List[Literal]) -> Literal:
+    return _GATES[str(payload)](aig, fanins)
+
+
+def read_bench(path: Union[str, Path]) -> AIG:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return read_bench_string(path.read_text(encoding="utf-8"), name=path.stem)
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+_SAFE_TOKEN = re.compile(r"^[A-Za-z0-9_.\[\]]+$")
+
+
+def write_bench_string(aig: AIG) -> str:
+    """Serialise an AIG as a combinational ``.bench`` netlist.
+
+    AND nodes map one-to-one onto two-input ``AND`` gates; complemented
+    edges materialise as explicit ``NOT`` gates (created once per negated
+    variable).  Constant outputs are expressed through a ``gnd``/``vdd``
+    pair derived from the first input, so circuits with at least one
+    primary input always round-trip.
+    """
+    clean = aig.cleanup()
+    by_var, po_names, claim = assign_signal_names(clean, _SAFE_TOKEN)
+
+    lines: List[str] = [f"# {clean.name}"]
+    for pi_var in clean.pis:
+        lines.append(f"INPUT({by_var[pi_var]})")
+    for po_name in po_names:
+        lines.append(f"OUTPUT({po_name})")
+
+    gates: List[str] = []
+    negated: Dict[int, str] = {}
+    const_names: Dict[int, str] = {}
+
+    def const_signal(value: Literal) -> str:
+        if value not in const_names:
+            if not clean.pis:
+                raise BenchError(
+                    "cannot express constant outputs in .bench without "
+                    "primary inputs")
+            anchor = by_var[clean.pis[0]]
+            if CONST0 not in const_names:
+                zero = claim(None, "gnd")
+                inverted = negated_signal(clean.pis[0])
+                gates.append(f"{zero} = AND({anchor}, {inverted})")
+                const_names[CONST0] = zero
+            if value == CONST1 and CONST1 not in const_names:
+                one = claim(None, "vdd")
+                gates.append(f"{one} = NOT({const_names[CONST0]})")
+                const_names[CONST1] = one
+        return const_names[value]
+
+    def negated_signal(var: int) -> str:
+        if var not in negated:
+            inv = claim(None, f"{by_var[var]}_not")
+            gates.append(f"{inv} = NOT({by_var[var]})")
+            negated[var] = inv
+        return negated[var]
+
+    def literal_signal(literal: Literal) -> str:
+        var = lit_var(literal)
+        if var == 0:
+            return const_signal(CONST1 if lit_is_compl(literal) else CONST0)
+        return negated_signal(var) if lit_is_compl(literal) else by_var[var]
+
+    for node in clean.and_nodes():
+        f0, f1 = clean.fanins(node.var)
+        gates.append(f"{by_var[node.var]} = "
+                     f"AND({literal_signal(f0)}, {literal_signal(f1)})")
+    for po, po_name in zip(clean.pos, po_names):
+        var = lit_var(po)
+        if var == 0:
+            gates.append(f"{po_name} = BUFF({const_signal(po)})")
+        elif lit_is_compl(po):
+            gates.append(f"{po_name} = NOT({by_var[var]})")
+        else:
+            gates.append(f"{po_name} = BUFF({by_var[var]})")
+    lines.extend(gates)
+    return "\n".join(lines) + "\n"
+
+
+def write_bench(aig: AIG, path: Union[str, Path]) -> None:
+    """Write an AIG to ``path`` in ``.bench`` format."""
+    Path(path).write_text(write_bench_string(aig), encoding="utf-8")

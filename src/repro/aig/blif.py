@@ -1,0 +1,188 @@
+"""BLIF (Berkeley Logic Interchange Format) reader / writer.
+
+Supports the combinational subset of BLIF used by logic-synthesis
+benchmark suites: ``.model`` / ``.inputs`` / ``.outputs`` / ``.names``
+(single-output SOP covers with ``0``/``1``/``-`` input columns) and
+``.end``.  Latches (``.latch``) and subcircuits (``.subckt``) are
+rejected with a clear error — the BOiLS experiments operate on
+combinational circuits only.  ``.names`` blocks may appear in any order;
+elaboration resolves dependencies topologically and reports
+combinational cycles by signal name.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.aig.graph import AIG, CONST0, CONST1, Literal, lit_is_compl, lit_not, lit_var
+from repro.aig.netlist_io import (
+    NetlistFormatError,
+    SignalGraph,
+    assign_signal_names,
+    logical_lines,
+)
+
+
+class BlifError(NetlistFormatError):
+    """Raised when a BLIF file cannot be parsed."""
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+#: One SOP cover: list of (input_pattern, output_value) rows.
+_Cover = List[Tuple[str, str]]
+
+
+def read_blif_string(text: str, name: str = "blif") -> AIG:
+    """Parse BLIF text into an :class:`AIG`."""
+    model_name: Optional[str] = None
+    inputs: List[str] = []
+    outputs: List[str] = []
+    # name -> (fanin names, cover rows); built after the full scan.
+    covers: List[Tuple[int, List[str], str, _Cover]] = []
+    current: Optional[Tuple[int, List[str], str, _Cover]] = None
+    ended = False
+
+    for number, line in logical_lines(text):
+        tokens = line.split()
+        keyword = tokens[0]
+        if ended:
+            raise BlifError(f"BLIF line {number}: content after .end")
+        if keyword.startswith("."):
+            current = None
+            if keyword == ".model":
+                if model_name is not None:
+                    raise BlifError(
+                        f"BLIF line {number}: multiple .model declarations "
+                        "(hierarchical BLIF is not supported)")
+                model_name = tokens[1] if len(tokens) > 1 else name
+            elif keyword == ".inputs":
+                inputs.extend(tokens[1:])
+            elif keyword == ".outputs":
+                outputs.extend(tokens[1:])
+            elif keyword == ".names":
+                if len(tokens) < 2:
+                    raise BlifError(f"BLIF line {number}: .names needs a signal")
+                current = (number, tokens[1:-1], tokens[-1], [])
+                covers.append(current)
+            elif keyword == ".end":
+                ended = True
+            elif keyword in (".latch", ".subckt", ".gate", ".mlatch"):
+                raise BlifError(
+                    f"BLIF line {number}: {keyword} is not supported "
+                    "(combinational single-model BLIF only)")
+            # Unknown dot-directives (.default_input_arrival etc.) are
+            # ignored, matching common reader behaviour.
+        else:
+            if current is None:
+                raise BlifError(
+                    f"BLIF line {number}: cover row {line!r} outside .names")
+            _, fanin_names, _, rows = current
+            if fanin_names:
+                if len(tokens) != 2:
+                    raise BlifError(
+                        f"BLIF line {number}: expected '<pattern> <value>', "
+                        f"got {line!r}")
+                pattern, value = tokens
+            else:
+                if len(tokens) != 1:
+                    raise BlifError(
+                        f"BLIF line {number}: constant cover takes a single "
+                        f"output value, got {line!r}")
+                pattern, value = "", tokens[0]
+            if len(pattern) != len(fanin_names):
+                raise BlifError(
+                    f"BLIF line {number}: pattern {pattern!r} has "
+                    f"{len(pattern)} columns for {len(fanin_names)} inputs")
+            if value not in ("0", "1") or any(c not in "01-" for c in pattern):
+                raise BlifError(
+                    f"BLIF line {number}: malformed cover row {line!r}")
+            rows.append((pattern, value))
+
+    if not outputs:
+        raise BlifError("BLIF: no .outputs declared")
+
+    aig = AIG(name=model_name if model_name is not None else name)
+    graph = SignalGraph("BLIF", BlifError)
+    for input_name in inputs:
+        graph.define_input(input_name, aig.add_pi(name=input_name))
+    for number, fanin_names, out_name, rows in covers:
+        values = {value for _, value in rows}
+        if len(values) > 1:
+            raise BlifError(
+                f"BLIF line {number}: cover for {out_name!r} mixes on-set "
+                "and off-set rows")
+        graph.define_gate(out_name, fanin_names, rows)
+    graph.elaborate(aig, _build_cover)
+    for out_name in outputs:
+        aig.add_po(graph.literal(out_name), name=out_name)
+    return aig
+
+
+def _build_cover(aig: AIG, payload: object, fanins: List[Literal]) -> Literal:
+    """Build one SOP cover: OR of product rows, inverted for off-set rows."""
+    rows: _Cover = payload  # type: ignore[assignment]
+    if not rows:
+        return CONST0  # ".names x" with no rows is constant 0
+    products: List[Literal] = []
+    for pattern, _ in rows:
+        terms = []
+        for column, fanin in zip(pattern, fanins):
+            if column == "1":
+                terms.append(fanin)
+            elif column == "0":
+                terms.append(lit_not(fanin))
+        products.append(aig.add_and_multi(terms) if terms else CONST1)
+    result = aig.add_or_multi(products)
+    if rows[0][1] == "0":  # off-set cover: rows list where the output is 0
+        result = lit_not(result)
+    return result
+
+
+def read_blif(path: Union[str, Path]) -> AIG:
+    """Read a BLIF file from disk."""
+    path = Path(path)
+    return read_blif_string(path.read_text(encoding="utf-8"), name=path.stem)
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+_SAFE_TOKEN = re.compile(r"^[^\s#\\]+$")
+
+
+def write_blif_string(aig: AIG) -> str:
+    """Serialise an AIG as combinational BLIF (one ``.names`` per AND)."""
+    clean = aig.cleanup()
+    by_var, po_names, _ = assign_signal_names(clean, _SAFE_TOKEN)
+    lines = [f".model {clean.name}"]
+    lines.append(".inputs " + " ".join(by_var[pi] for pi in clean.pis)
+                 if clean.num_pis else ".inputs")
+    lines.append(".outputs " + " ".join(po_names))
+    for node in clean.and_nodes():
+        f0, f1 = clean.fanins(node.var)
+        lines.append(f".names {by_var[lit_var(f0)]} {by_var[lit_var(f1)]} "
+                     f"{by_var[node.var]}")
+        bits = ("0" if lit_is_compl(f0) else "1",
+                "0" if lit_is_compl(f1) else "1")
+        lines.append(f"{bits[0]}{bits[1]} 1")
+    for po, po_name in zip(clean.pos, po_names):
+        var = lit_var(po)
+        if var == 0:
+            lines.append(f".names {po_name}")
+            if po == CONST1:
+                lines.append("1")
+        else:
+            # Buffer (or inverter, for complemented POs) from the driver.
+            lines.append(f".names {by_var[var]} {po_name}")
+            lines.append("0 1" if lit_is_compl(po) else "1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif(aig: AIG, path: Union[str, Path]) -> None:
+    """Write an AIG to ``path`` in BLIF format."""
+    Path(path).write_text(write_blif_string(aig), encoding="utf-8")

@@ -1,0 +1,200 @@
+"""Shared tokenisation and elaboration helpers for netlist file formats.
+
+The BLIF (:mod:`repro.aig.blif`) and ISCAS ``.bench``
+(:mod:`repro.aig.bench`) parsers share the same low-level needs: iterate
+over *logical* lines (comments stripped, ``\\`` continuations joined,
+blank lines skipped) while remembering source line numbers for error
+messages, and elaborate a name-based signal graph into an :class:`AIG`
+in dependency order regardless of the textual order of definitions.
+Both live here so the two parsers stay thin format front-ends.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.aig.graph import AIG, Literal
+
+
+class NetlistFormatError(ValueError):
+    """Base class for netlist parse errors (BLIF, bench)."""
+
+
+def logical_lines(
+    text: str,
+    comment_prefixes: Sequence[str] = ("#",),
+    continuation: str = "\\",
+) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, text)`` pairs of non-empty logical lines.
+
+    ``line_number`` is the 1-based number of the *first* physical line of
+    the logical line (continuations extend it).  Comments run from any of
+    ``comment_prefixes`` to the end of the physical line and are removed
+    before continuation handling, matching BLIF semantics where a
+    comment line inside a continued cover terminates nothing.
+    """
+    pending: List[str] = []
+    pending_start = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        for prefix in comment_prefixes:
+            cut = line.find(prefix)
+            if cut != -1:
+                line = line[:cut]
+        line = line.rstrip()
+        if not line and pending:
+            # A comment-only or blank physical line inside a continued
+            # logical line must not terminate it.
+            continue
+        continued = continuation and line.endswith(continuation)
+        if continued:
+            line = line[: -len(continuation)]
+        if not pending:
+            pending_start = number
+        pending.append(line)
+        if continued:
+            continue
+        joined = " ".join(part for part in pending if part).strip()
+        pending = []
+        if joined:
+            yield pending_start, joined
+    if pending:
+        joined = " ".join(part for part in pending if part).strip()
+        if joined:
+            # A trailing continuation with nothing after it is tolerated.
+            yield pending_start, joined
+
+
+def assign_signal_names(
+    aig: AIG,
+    safe_token: "re.Pattern[str]",
+) -> Tuple[Dict[int, str], List[str], Callable[[Optional[str], str], str]]:
+    """Stable, collision-free textual names for a writer's signals.
+
+    Returns ``(by_var, po_names, claim)``: a name per variable (PIs keep
+    their symbolic names when they are valid ``safe_token``s, AND nodes
+    get ``n<var>``), one name per primary output (symbolic or ``y<i>``),
+    and the ``claim(preferred, fallback)`` function itself so writers
+    can reserve further collision-free names (e.g. for inverter or
+    constant helper gates).  Collisions fall back to the canonical name,
+    then numbered variants — shared by the BLIF and bench writers so
+    both resolve clashes the same way.
+    """
+    used: set = set()
+
+    def claim(preferred: Optional[str], fallback: str) -> str:
+        candidate = (preferred if preferred and safe_token.match(preferred)
+                     else fallback)
+        if candidate in used:
+            candidate = fallback
+        suffix = 0
+        while candidate in used:
+            suffix += 1
+            candidate = f"{fallback}_{suffix}"
+        used.add(candidate)
+        return candidate
+
+    by_var: Dict[int, str] = {}
+    for index, pi_var in enumerate(aig.pis):
+        by_var[pi_var] = claim(aig.node(pi_var).name, f"x{index}")
+    for node in aig.and_nodes():
+        by_var[node.var] = claim(None, f"n{node.var}")
+    po_names = [claim(po_name, f"y{index}")
+                for index, po_name in enumerate(aig.po_names)]
+    return by_var, po_names, claim
+
+
+class SignalGraph:
+    """Name-based combinational signal graph elaborated into an AIG.
+
+    Parsers register every named signal definition up front, then
+    :meth:`elaborate` resolves names in dependency order (definitions may
+    appear in any textual order), detects combinational cycles and
+    undefined signals, and builds the AIG through a caller-supplied
+    gate-construction callback.
+
+    Parameters
+    ----------
+    kind:
+        Format name used in error messages (``"BLIF"``, ``"bench"``).
+    error_class:
+        Exception class raised on cycles / undefined signals.
+    """
+
+    def __init__(self, kind: str, error_class: type = NetlistFormatError) -> None:
+        self.kind = kind
+        self.error_class = error_class
+        self._definitions: Dict[str, Tuple[Tuple[str, ...], object]] = {}
+        self._literals: Dict[str, Literal] = {}
+
+    # ------------------------------------------------------------------
+    def define_input(self, name: str, literal: Literal) -> None:
+        """Bind an already-created PI (or constant) literal to ``name``."""
+        if name in self._literals or name in self._definitions:
+            raise self.error_class(
+                f"{self.kind}: signal {name!r} is defined more than once")
+        self._literals[name] = literal
+
+    def define_gate(self, name: str, fanins: Sequence[str], payload: object) -> None:
+        """Register a gate definition to be built during elaboration.
+
+        ``payload`` is passed through to the build callback untouched
+        (a gate type for bench, a cover for BLIF).
+        """
+        if name in self._literals or name in self._definitions:
+            raise self.error_class(
+                f"{self.kind}: signal {name!r} is defined more than once")
+        self._definitions[name] = (tuple(fanins), payload)
+
+    def is_defined(self, name: str) -> bool:
+        return name in self._literals or name in self._definitions
+
+    # ------------------------------------------------------------------
+    def elaborate(
+        self,
+        aig: AIG,
+        build: Callable[[AIG, object, List[Literal]], Literal],
+    ) -> None:
+        """Build every registered gate into ``aig`` in dependency order.
+
+        ``build(aig, payload, fanin_literals)`` must return the gate's
+        output literal.  Raises on undefined signals and combinational
+        cycles, naming the offending signal.
+        """
+        # Iterative post-order walk: imported circuits can have gate
+        # chains deeper than Python's recursion limit.
+        in_progress: Dict[str, bool] = {}
+        for root in self._definitions:
+            if root in self._literals:
+                continue
+            stack: List[Tuple[str, bool]] = [(root, False)]
+            while stack:
+                name, expanded = stack.pop()
+                if name in self._literals:
+                    continue
+                if name not in self._definitions:
+                    raise self.error_class(
+                        f"{self.kind}: signal {name!r} is used but never defined")
+                fanins, payload = self._definitions[name]
+                if expanded:
+                    in_progress.pop(name, None)
+                    literals = [self._literals[fanin] for fanin in fanins]
+                    self._literals[name] = build(aig, payload, literals)
+                    continue
+                if name in in_progress:
+                    raise self.error_class(
+                        f"{self.kind}: combinational cycle through {name!r}")
+                in_progress[name] = True
+                stack.append((name, True))
+                for fanin in fanins:
+                    if fanin not in self._literals:
+                        stack.append((fanin, False))
+
+    def literal(self, name: str) -> Literal:
+        """Literal of an elaborated (or input) signal."""
+        try:
+            return self._literals[name]
+        except KeyError:
+            raise self.error_class(
+                f"{self.kind}: signal {name!r} is never defined") from None

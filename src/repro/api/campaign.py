@@ -291,6 +291,49 @@ class Campaign:
                    name=f"{problem.key}-{method}")
 
     @classmethod
+    def from_corpus(
+        cls,
+        corpus_dir: Union[str, Path],
+        *,
+        circuits: Optional[Sequence[str]] = None,
+        methods: Sequence[str] = ("boils", "rs"),
+        seeds: Sequence[int] = (0,),
+        budget: int = 20,
+        lut_size: int = 6,
+        sequence_length: int = 20,
+        objective: object = "eq1",
+        name: Optional[str] = None,
+        **kwargs: object,
+    ) -> "Campaign":
+        """A campaign over every circuit of a corpus directory.
+
+        Expands the corpus manifest (see
+        :func:`repro.circuits.corpus.corpus_problems`) into one
+        file-backed :class:`Problem` per entry — mixed AIGER/BLIF/bench
+        files and generated circuits alike — verifying each entry's
+        content hash first.  ``circuits`` selects a subset of entries by
+        manifest name.
+        """
+        # Imported lazily: repro.circuits.corpus builds Problems.
+        from repro.circuits.corpus import corpus_problems
+
+        problems = corpus_problems(
+            corpus_dir,
+            names=circuits,
+            lut_size=lut_size,
+            sequence_length=sequence_length,
+            objective=objective,
+        )
+        return cls(
+            problems=problems,
+            methods=tuple(methods),
+            seeds=tuple(seeds),
+            budget=budget,
+            name=name if name is not None else f"corpus-{Path(corpus_dir).name}",
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    @classmethod
     def paper_protocol(cls, objective: object = "eq1") -> "Campaign":
         """The paper's full evaluation grid (hours of compute)."""
         resolve_objective(objective)

@@ -69,6 +69,12 @@ class Problem:
         Reference flow for the QoR denominators; ``None`` = ``resyn2``.
     name:
         Optional human-readable id; defaults to a derived slug.
+    circuit_hash:
+        For file-backed circuits: the pinned SHA-256 content hash of the
+        circuit file.  :meth:`resolved` fills it in, campaign manifests
+        persist it, and :meth:`evaluator_spec` verifies the file still
+        matches — so a resume after the file was edited fails loudly
+        instead of silently mixing two circuits in one trajectory.
     """
 
     circuit: str
@@ -78,6 +84,7 @@ class Problem:
     objective: object = "eq1"
     reference_sequence: Optional[Tuple[str, ...]] = None
     name: Optional[str] = field(default=None)
+    circuit_hash: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.reference_sequence is not None:
@@ -103,12 +110,15 @@ class Problem:
         return self
 
     def resolved(self) -> "Problem":
-        """A copy with the canonical circuit name and a pinned width."""
-        canonical = get_circuit_spec(self.circuit).name
+        """A copy with the canonical circuit name, width and file hash pinned."""
+        spec = get_circuit_spec(self.circuit)
+        canonical = spec.name
         return replace(
             self,
             circuit=canonical,
             width=resolve_width(canonical, self.width),
+            circuit_hash=(self.circuit_hash
+                          or getattr(spec, "content_hash", None)),
         )
 
     @property
@@ -116,9 +126,29 @@ class Problem:
         """Stable identifier used in cell ids and run directories."""
         if self.name:
             return self.name
-        resolved = self.resolved()
-        parts = [resolved.circuit, f"w{resolved.width}", f"lut{self.lut_size}",
-                 f"k{self.sequence_length}"]
+        from repro.circuits.files import (
+            file_circuit_path,
+            file_slug,
+            is_file_circuit_name,
+        )
+
+        if is_file_circuit_name(self.circuit):
+            # File circuits: the absolute path in the canonical name is
+            # neither filename-safe nor relocation-stable; a slug of
+            # stem + (pinned) content-hash prefix is both.  No width
+            # token — file circuits have no width knob.  With a pinned
+            # hash the key never touches the filesystem, so inspecting
+            # a store whose circuit files moved away keeps working.
+            content_hash = self.circuit_hash
+            if content_hash is None:
+                content_hash = get_circuit_spec(self.circuit).content_hash
+            slug_base = file_slug(file_circuit_path(self.circuit).stem,
+                                  content_hash)
+            parts = [slug_base, f"lut{self.lut_size}", f"k{self.sequence_length}"]
+        else:
+            resolved = self.resolved()
+            parts = [resolved.circuit, f"w{resolved.width}",
+                     f"lut{self.lut_size}", f"k{self.sequence_length}"]
         slug = objective_slug(self.objective)
         if slug != "eq1":
             parts.append(slug)
@@ -131,14 +161,30 @@ class Problem:
         return SequenceSpace(sequence_length=self.sequence_length)
 
     def evaluator_spec(self) -> EvaluatorSpec:
-        """The picklable evaluator spec workers rebuild the black box from."""
-        return EvaluatorSpec.for_circuit(
+        """The picklable evaluator spec workers rebuild the black box from.
+
+        For file-backed circuits with a pinned :attr:`circuit_hash`
+        (i.e. problems loaded from a campaign manifest), the file's
+        current content is verified against the pin before anything is
+        dispatched.
+        """
+        spec = EvaluatorSpec.for_circuit(
             self.circuit,
             width=self.width,
             lut_size=self.lut_size,
             reference_sequence=self.reference_sequence,
             objective=self.objective,
         )
+        if (self.circuit_hash is not None and spec.circuit_hash is not None
+                and spec.circuit_hash != self.circuit_hash):
+            from repro.circuits.files import CircuitFileError
+
+            raise CircuitFileError(
+                f"circuit file {spec.circuit_file} changed on disk: content "
+                f"hash {spec.circuit_hash[:12]}… does not match the hash "
+                f"{self.circuit_hash[:12]}… pinned when the problem was "
+                "resolved")
+        return spec
 
     def build_evaluator(
         self,
@@ -168,6 +214,7 @@ class Problem:
                 if self.reference_sequence is not None else None
             ),
             "name": self.name,
+            "circuit_hash": self.circuit_hash,
         }
 
     @classmethod
@@ -182,4 +229,5 @@ class Problem:
             objective=payload.get("objective", "eq1"),
             reference_sequence=tuple(reference) if reference is not None else None,
             name=payload.get("name") or None,  # type: ignore[arg-type]
+            circuit_hash=payload.get("circuit_hash") or None,  # type: ignore[arg-type]
         )

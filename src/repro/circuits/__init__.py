@@ -37,6 +37,21 @@ from repro.circuits.registry import (
     get_circuit_spec,
     list_circuits,
 )
+from repro.circuits.files import (
+    CircuitFileError,
+    FileCircuitSpec,
+    is_file_circuit_name,
+    load_circuit_file,
+)
+from repro.circuits.fuzz import FUZZ_KINDS, FuzzSpec, random_aig
+from repro.circuits.corpus import (
+    CorpusEntry,
+    CorpusError,
+    CorpusManifest,
+    build_corpus,
+    corpus_problems,
+    import_circuit,
+)
 
 __all__ = [
     "ripple_carry_adder",
@@ -60,4 +75,17 @@ __all__ = [
     "get_circuit",
     "get_circuit_spec",
     "list_circuits",
+    "CircuitFileError",
+    "FileCircuitSpec",
+    "is_file_circuit_name",
+    "load_circuit_file",
+    "FUZZ_KINDS",
+    "FuzzSpec",
+    "random_aig",
+    "CorpusEntry",
+    "CorpusError",
+    "CorpusManifest",
+    "build_corpus",
+    "corpus_problems",
+    "import_circuit",
 ]

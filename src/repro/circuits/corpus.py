@@ -1,0 +1,388 @@
+"""Circuit corpora: manifest-bearing directories of benchmark files.
+
+A *corpus* is a plain directory of circuit files (any mix of AIGER,
+BLIF and ``.bench``) plus a ``corpus.json`` manifest recording, for
+every entry, its file, format, SHA-256 content hash, circuit statistics
+and provenance (generated from a :class:`~repro.circuits.fuzz.FuzzSpec`
+or imported from an external file).  Corpora turn the circuit axis of a
+campaign into an unbounded, reproducible workload space:
+
+* :func:`build_corpus` materialises N seeded random circuits (mixed
+  generator kinds and file formats) deterministically from one seed;
+* :func:`import_circuit` copies an external benchmark file in, after
+  validating that it parses;
+* :func:`corpus_problems` expands a corpus into
+  :class:`repro.api.Problem` instances (every entry becomes a
+  file-backed circuit), which is what ``repro run --corpus`` and
+  :meth:`repro.api.Campaign.from_corpus` build on.
+
+Entries are verified against their recorded content hash when a corpus
+is expanded into problems — a corpus directory is a statement about
+*exact* circuits, not just file names.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.aig.graph import AIG
+from repro.circuits.fuzz import FUZZ_KINDS, FuzzSpec
+from repro.circuits.files import (
+    CIRCUIT_SUFFIXES,
+    FILE_PREFIX,
+    file_format_for,
+    hash_circuit_file,
+    load_circuit_file,
+    slugify,
+)
+
+#: Manifest filename inside a corpus directory.
+MANIFEST_NAME = "corpus.json"
+
+#: Manifest schema version, bumped on incompatible layout changes.
+CORPUS_FORMAT_VERSION = 1
+
+#: Format key -> file suffix used when materialising generated circuits;
+#: derived from the loader-side table so the two can never diverge.
+FORMAT_SUFFIXES = {format_key: suffix
+                   for suffix, format_key in CIRCUIT_SUFFIXES.items()}
+
+
+class CorpusError(ValueError):
+    """Raised when a corpus directory or manifest is invalid."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One circuit of a corpus: file, identity and provenance."""
+
+    name: str
+    file: str  # path relative to the corpus root
+    format: str
+    sha256: str
+    stats: Dict[str, int] = field(default_factory=dict)
+    source: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "file": self.file,
+            "format": self.format,
+            "sha256": self.sha256,
+            "stats": dict(self.stats),
+            "source": dict(self.source),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CorpusEntry":
+        return cls(
+            name=str(payload["name"]),
+            file=str(payload["file"]),
+            format=str(payload.get("format", "")),
+            sha256=str(payload.get("sha256", "")),
+            stats={str(k): int(v) for k, v in dict(payload.get("stats", {})).items()},  # type: ignore[arg-type]
+            source=dict(payload.get("source", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class CorpusManifest:
+    """The parsed ``corpus.json`` of a corpus directory."""
+
+    root: Path
+    seed: Optional[int] = None
+    entries: List[CorpusEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def entry(self, name: str) -> CorpusEntry:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise CorpusError(
+            f"corpus {self.root} has no entry {name!r}; available: "
+            f"{[e.name for e in self.entries]}")
+
+    def entry_path(self, entry: CorpusEntry) -> Path:
+        return self.root / entry.file
+
+    def circuit_name(self, entry: CorpusEntry) -> str:
+        """The ``file:<path>`` circuit name of an entry."""
+        return f"{FILE_PREFIX}{self.entry_path(entry).resolve()}"
+
+    def verify_entry(self, entry: CorpusEntry) -> None:
+        """Check the entry's file exists and matches its recorded hash."""
+        path = self.entry_path(entry)
+        if not path.is_file():
+            raise CorpusError(f"corpus entry {entry.name!r}: missing file {path}")
+        actual = hash_circuit_file(path)
+        if entry.sha256 and actual != entry.sha256:
+            raise CorpusError(
+                f"corpus entry {entry.name!r}: {path} changed on disk "
+                f"(hash {actual[:12]}… != recorded {entry.sha256[:12]}…)")
+
+    # ------------------------------------------------------------------
+    def save(self) -> Path:
+        payload = {
+            "format_version": CORPUS_FORMAT_VERSION,
+            "seed": self.seed,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        path = self.root / MANIFEST_NAME
+        # Atomic replace: a kill mid-save must leave the previous
+        # manifest intact, never a torn one.
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=str(self.root),
+            prefix=f".{MANIFEST_NAME}.", delete=False)
+        try:
+            with handle:
+                handle.write(json.dumps(payload, indent=2) + "\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+        return path
+
+    @classmethod
+    def load_or_create(cls, root: Union[str, Path],
+                       seed: Optional[int] = None) -> "CorpusManifest":
+        """Load an existing manifest, or start a fresh one.
+
+        Only a *missing* ``corpus.json`` yields a fresh manifest; a
+        malformed or newer-format one propagates its error — silently
+        replacing it would orphan every previously recorded entry.
+        """
+        root = Path(root)
+        if (root / MANIFEST_NAME).is_file():
+            return cls.load(root)
+        return cls(root=root, seed=seed)
+
+    @classmethod
+    def load(cls, root: Union[str, Path]) -> "CorpusManifest":
+        root = Path(root)
+        path = root / MANIFEST_NAME
+        if not path.is_file():
+            raise CorpusError(
+                f"{root} is not a corpus directory (no {MANIFEST_NAME}); "
+                "create one with `repro corpus build` or `repro circuits "
+                "import`")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise CorpusError(f"malformed {path}: {error}") from None
+        version = int(payload.get("format_version", CORPUS_FORMAT_VERSION))
+        if version > CORPUS_FORMAT_VERSION:
+            raise CorpusError(
+                f"corpus format version {version} is newer than this repro "
+                f"build supports ({CORPUS_FORMAT_VERSION})")
+        seed = payload.get("seed")
+        return cls(
+            root=root,
+            seed=int(seed) if seed is not None else None,
+            entries=[CorpusEntry.from_dict(entry)
+                     for entry in payload.get("entries", [])],
+        )
+
+
+def _unique_name(base: str, taken: set, root: Optional[Path] = None,
+                 file_suffix: str = "") -> str:
+    """A fresh entry name: unused in the manifest *and* on disk.
+
+    The filesystem check matters because a corpus directory may hold
+    hand-placed, not-yet-imported circuit files — generating or
+    importing over one of those would silently destroy it.
+    """
+    name = base
+    counter = 1
+    while (name in taken
+           or (root is not None and (root / f"{name}{file_suffix}").exists())):
+        counter += 1
+        name = f"{base}-{counter}"
+    taken.add(name)
+    return name
+
+
+def _write_circuit(aig: AIG, path: Path, format_key: str) -> None:
+    if format_key == "aiger-ascii":
+        from repro.aig.aiger import write_aiger_string
+        path.write_text(write_aiger_string(aig, binary=False), encoding="ascii")
+    elif format_key == "aiger-binary":
+        from repro.aig.aiger import write_aiger_string
+        path.write_bytes(write_aiger_string(aig, binary=True))  # type: ignore[arg-type]
+    elif format_key == "blif":
+        from repro.aig.blif import write_blif
+        write_blif(aig, path)
+    elif format_key == "bench":
+        from repro.aig.bench import write_bench
+        write_bench(aig, path)
+    else:
+        raise CorpusError(f"unknown corpus file format {format_key!r}")
+
+
+# ----------------------------------------------------------------------
+# Building
+# ----------------------------------------------------------------------
+def build_corpus(
+    root: Union[str, Path],
+    count: int = 12,
+    seed: int = 0,
+    kinds: Sequence[str] = FUZZ_KINDS,
+    formats: Sequence[str] = ("aiger-ascii", "blif", "bench"),
+    num_inputs: Tuple[int, int] = (5, 10),
+    num_gates: Tuple[int, int] = (24, 96),
+    num_outputs: Tuple[int, int] = (2, 6),
+) -> CorpusManifest:
+    """Materialise ``count`` seeded random circuits into a corpus.
+
+    Deterministic in its arguments: the same call always produces the
+    same files byte-for-byte (entry ``i`` uses the derived instance seed
+    from ``SeedSequence((seed, i))``, cycling through ``kinds`` and
+    ``formats``).  The directory may already hold a corpus — new entries
+    are appended under fresh names, so a corpus can be grown
+    incrementally or mixed with imported files.
+    """
+    if count < 1:
+        raise CorpusError("corpus build count must be positive")
+    kinds = tuple(kinds) or FUZZ_KINDS
+    formats = tuple(formats) or ("aiger-ascii",)
+    for kind in kinds:
+        if kind not in FUZZ_KINDS:
+            raise CorpusError(
+                f"unknown generator kind {kind!r}; expected one of {FUZZ_KINDS}")
+    for format_key in formats:
+        if format_key not in FORMAT_SUFFIXES:
+            raise CorpusError(
+                f"unknown circuit format {format_key!r}; expected one of "
+                f"{sorted(FORMAT_SUFFIXES)}")
+
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = CorpusManifest.load_or_create(root, seed=seed)
+    taken = {entry.name for entry in manifest.entries}
+
+    for index in range(count):
+        rng = np.random.default_rng(np.random.SeedSequence((int(seed), index)))
+        instance_seed = int(rng.integers(0, 2 ** 31))
+        kind = kinds[index % len(kinds)]
+        format_key = formats[index % len(formats)]
+        spec = FuzzSpec(
+            kind=kind,
+            seed=instance_seed,
+            num_inputs=int(rng.integers(num_inputs[0], num_inputs[1] + 1)),
+            num_gates=int(rng.integers(num_gates[0], num_gates[1] + 1)),
+            num_outputs=int(rng.integers(num_outputs[0], num_outputs[1] + 1)),
+        )
+        # Writers serialise the cleaned (reachable-only) graph; record
+        # the stats of what actually lands in the file.
+        aig = spec.build().cleanup()
+        name = _unique_name(f"{kind}-{seed:03d}-{index:03d}", taken,
+                            root, FORMAT_SUFFIXES[format_key])
+        filename = f"{name}{FORMAT_SUFFIXES[format_key]}"
+        _write_circuit(aig, root / filename, format_key)
+        manifest.entries.append(CorpusEntry(
+            name=name,
+            file=filename,
+            format=format_key,
+            sha256=hash_circuit_file(root / filename),
+            stats=aig.stats(),
+            source={"kind": kind, "fuzz": spec.to_dict()},
+        ))
+    manifest.save()
+    return manifest
+
+
+def import_circuit(
+    root: Union[str, Path],
+    source_path: Union[str, Path],
+    name: Optional[str] = None,
+) -> CorpusEntry:
+    """Copy an external circuit file into a corpus (validating it parses).
+
+    The file is parsed before anything is copied, so a corpus never
+    accumulates entries that cannot actually be loaded.  Returns the new
+    manifest entry.
+    """
+    source_path = Path(source_path)
+    aig = load_circuit_file(source_path)  # raises CircuitFileError if bad
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = CorpusManifest.load_or_create(root)
+    taken = {entry.name for entry in manifest.entries}
+    file_suffix = source_path.suffix.lower()
+    base_name = slugify(name or source_path.stem)
+    if source_path.resolve().parent == root.resolve():
+        # Importing a file already inside the corpus directory: adopt it
+        # in place rather than treating its own name as a collision.
+        entry_name = base_name
+        if entry_name in taken:
+            entry_name = _unique_name(base_name, taken, root, file_suffix)
+        else:
+            taken.add(entry_name)
+    else:
+        entry_name = _unique_name(base_name, taken, root, file_suffix)
+    filename = f"{entry_name}{file_suffix}"
+    destination = root / filename
+    if source_path.resolve() != destination.resolve():
+        shutil.copyfile(source_path, destination)
+    entry = CorpusEntry(
+        name=entry_name,
+        file=filename,
+        format=file_format_for(destination),
+        sha256=hash_circuit_file(destination),
+        stats=aig.stats(),
+        source={"kind": "imported", "original": str(source_path.resolve())},
+    )
+    manifest.entries.append(entry)
+    manifest.save()
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Expansion into problems
+# ----------------------------------------------------------------------
+def corpus_problems(
+    root: Union[str, Path],
+    names: Optional[Sequence[str]] = None,
+    lut_size: int = 6,
+    sequence_length: int = 20,
+    objective: object = "eq1",
+    verify: bool = True,
+):
+    """Expand a corpus into :class:`repro.api.Problem` instances.
+
+    One problem per entry (or per selected ``names``), each named after
+    its manifest entry so cell ids stay short and human-readable.  With
+    ``verify`` (the default) every entry's file is checked against the
+    recorded content hash first.
+    """
+    # Imported lazily: repro.api imports repro.circuits at module level.
+    from repro.api.problem import Problem
+
+    manifest = CorpusManifest.load(root)
+    if not manifest.entries:
+        raise CorpusError(f"corpus {manifest.root} has no entries")
+    selected = (manifest.entries if names is None
+                else [manifest.entry(name) for name in names])
+    problems = []
+    for entry in selected:
+        if verify:
+            manifest.verify_entry(entry)
+        problems.append(Problem(
+            circuit=manifest.circuit_name(entry),
+            lut_size=lut_size,
+            sequence_length=sequence_length,
+            objective=objective,
+            name=entry.name,
+            # Pin the *manifest's* hash, not a fresh re-read from disk:
+            # the corpus is a statement about exact circuits, and this
+            # closes the verify-then-rehash window (and saves a hash).
+            circuit_hash=entry.sha256 or None,
+        ))
+    return tuple(problems)

@@ -1,0 +1,207 @@
+"""File-backed circuits: any on-disk AIGER/BLIF/bench file as a circuit.
+
+A file circuit is addressed by the name ``file:<path>`` (a bare path
+ending in a recognised suffix also works) anywhere a registered circuit
+name is accepted — :class:`repro.api.Problem`, campaigns, the CLI.
+:func:`repro.circuits.registry.get_circuit_spec` routes such names here,
+where they resolve to a :class:`FileCircuitSpec`: a
+:class:`~repro.circuits.registry.CircuitSpec` whose generator loads the
+file (the width argument is ignored; file circuits have no width knob —
+their resolved width is pinned to 0).
+
+Every spec carries the file's SHA-256 content hash.  The hash travels
+inside :class:`repro.engine.spec.EvaluatorSpec` across the process-pool
+pipe, where workers verify it before building an evaluator, and it keys
+the persistent QoR cache — so cache entries stay valid when the file
+moves and are invalidated the moment its content changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.aig.graph import AIG
+from repro.circuits.registry import CircuitSpec
+
+#: Prefix marking a circuit name as file-backed.
+FILE_PREFIX = "file:"
+
+#: Recognised suffix -> format key.
+CIRCUIT_SUFFIXES = {
+    ".aag": "aiger-ascii",
+    ".aig": "aiger-binary",
+    ".blif": "blif",
+    ".bench": "bench",
+}
+
+
+class CircuitFileError(ValueError):
+    """Raised when a circuit file cannot be resolved, read or verified."""
+
+
+def _loader(format_key: str) -> Callable[[Path], AIG]:
+    # Imported lazily so pulling in repro.circuits does not drag every
+    # parser module along.
+    if format_key in ("aiger-ascii", "aiger-binary"):
+        from repro.aig.aiger import read_aiger
+        return read_aiger
+    if format_key == "blif":
+        from repro.aig.blif import read_blif
+        return read_blif
+    if format_key == "bench":
+        from repro.aig.bench import read_bench
+        return read_bench
+    raise CircuitFileError(f"unknown circuit file format {format_key!r}")
+
+
+def file_format_for(path: Union[str, Path]) -> str:
+    """Format key for a circuit file path, by suffix."""
+    suffix = Path(path).suffix.lower()
+    try:
+        return CIRCUIT_SUFFIXES[suffix]
+    except KeyError:
+        raise CircuitFileError(
+            f"unrecognised circuit file suffix {suffix!r} for {path}; "
+            f"supported: {', '.join(sorted(CIRCUIT_SUFFIXES))}") from None
+
+
+def is_file_circuit_name(name: str) -> bool:
+    """``True`` when ``name`` addresses an on-disk circuit file."""
+    candidate = name.strip()
+    if candidate.startswith(FILE_PREFIX):
+        return True
+    return (Path(candidate).suffix.lower() in CIRCUIT_SUFFIXES
+            and ("/" in candidate or Path(candidate).exists()))
+
+
+def file_circuit_path(name: str) -> Path:
+    """Resolved absolute path of a file-circuit name."""
+    candidate = name.strip()
+    if candidate.startswith(FILE_PREFIX):
+        candidate = candidate[len(FILE_PREFIX):]
+    return Path(candidate).expanduser().resolve()
+
+
+def hash_circuit_file(path: Union[str, Path]) -> str:
+    """SHA-256 hex digest of a circuit file's raw bytes."""
+    try:
+        return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+    except OSError as error:
+        raise CircuitFileError(f"cannot read circuit file {path}: {error}") from None
+
+
+def load_circuit_file(
+    path: Union[str, Path],
+    expected_hash: Optional[str] = None,
+) -> AIG:
+    """Load a circuit file, optionally verifying its content hash.
+
+    A hash mismatch means the file changed since the spec referencing it
+    was built (e.g. between a run and its resume) — silently continuing
+    would mix results from two different circuits, so it is an error.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise CircuitFileError(f"circuit file {path} does not exist")
+    if expected_hash is not None:
+        actual = hash_circuit_file(path)
+        if actual != expected_hash:
+            raise CircuitFileError(
+                f"circuit file {path} changed on disk: content hash "
+                f"{actual[:12]}… does not match the expected "
+                f"{expected_hash[:12]}…")
+    try:
+        return _loader(file_format_for(path))(path)
+    except CircuitFileError:
+        raise
+    except ValueError as error:
+        raise CircuitFileError(f"cannot parse circuit file {path}: {error}") from None
+
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def slugify(stem: str) -> str:
+    """Filename/cell-id-safe slug of an arbitrary circuit name stem."""
+    slug = _UNSAFE.sub("-", stem).strip("-.")
+    return slug or "circuit"
+
+
+def file_slug(stem: str, content_hash: str) -> str:
+    """The canonical cell-id slug of a file circuit: stem + hash prefix.
+
+    Relocation-stable (the path is not part of it) and content-bound.
+    One definition shared by :attr:`FileCircuitSpec.slug` and
+    :attr:`repro.api.Problem.key` so cell ids never diverge.
+    """
+    return f"{slugify(stem)}-{content_hash[:8]}"
+
+
+@dataclass(frozen=True)
+class _FileLoader:
+    """Picklable generator for a file circuit: path + pinned hash."""
+
+    path: str
+    content_hash: str
+
+    def __call__(self, width: int = 0) -> AIG:
+        return load_circuit_file(self.path, expected_hash=self.content_hash)
+
+
+@dataclass(frozen=True)
+class FileCircuitSpec(CircuitSpec):
+    """A :class:`CircuitSpec` backed by an on-disk circuit file."""
+
+    path: str = ""
+    format: str = ""
+    content_hash: str = ""
+
+    @property
+    def file_backed(self) -> bool:
+        return True
+
+    @property
+    def slug(self) -> str:
+        """Relocation-stable short identifier: stem + content-hash prefix.
+
+        Used where the circuit "name" becomes part of a filename or cell
+        id — the absolute path in :attr:`name` is neither safe nor
+        stable for that.
+        """
+        return file_slug(Path(self.path).stem, self.content_hash)
+
+
+# ----------------------------------------------------------------------
+# Spec cache: keyed by (path, mtime_ns, size) so an unchanged file is
+# hashed once, while edits are picked up automatically.
+# ----------------------------------------------------------------------
+_SPEC_CACHE: Dict[Tuple[str, int, int], FileCircuitSpec] = {}
+
+
+def file_circuit_spec(name: str) -> FileCircuitSpec:
+    """Resolve a file-circuit name to its :class:`FileCircuitSpec`."""
+    path = file_circuit_path(name)
+    if not path.is_file():
+        raise CircuitFileError(f"circuit file {path} does not exist")
+    stat = path.stat()
+    key = (str(path), stat.st_mtime_ns, stat.st_size)
+    spec = _SPEC_CACHE.get(key)
+    if spec is None:
+        content_hash = hash_circuit_file(path)
+        spec = FileCircuitSpec(
+            name=f"{FILE_PREFIX}{path}",
+            display_name=path.stem,
+            generator=_FileLoader(str(path), content_hash),
+            default_width=0,
+            paper_width=0,
+            large=False,
+            path=str(path),
+            format=file_format_for(path),
+            content_hash=content_hash,
+        )
+        _SPEC_CACHE[key] = spec
+    return spec

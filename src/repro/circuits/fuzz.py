@@ -1,0 +1,253 @@
+"""Seeded random-AIG generators — the fuzzing side of the circuit corpus.
+
+Three generator *kinds* cover structurally different regions of the
+circuit space, so differential tests and corpus campaigns stress the
+substrate fast paths (bitset cut enumeration, array traversals, the LUT
+mapper) on inputs the ten arithmetic benchmarks never produce:
+
+``layered``
+    Wide, shallow DAGs: gates are assigned to layers and draw fanins
+    mostly from the previous layer — the shape of datapath glue logic.
+``windowed``
+    Deep, narrow chains: each gate draws fanins from a sliding window
+    over the most recent signals with a skew toward the newest, which
+    yields long reconvergent chains (worst case for cut enumeration).
+``arith``
+    Arithmetic-like cones: random compositions of the real building
+    blocks (ripple adders/subtractors, comparator-muxes, XOR folds)
+    over randomly chosen signal slices — carry chains and majority
+    structure like the EPFL suite, but in endless seeded variation.
+
+Everything is deterministic in ``(kind, seed)`` plus the explicit size
+parameters: the same :class:`FuzzSpec` always builds the identical AIG,
+which is what lets a corpus manifest or a failing CI seed reproduce a
+circuit exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.aig.graph import AIG, Literal, lit_not
+from repro.circuits.blocks import (
+    comparator_greater_equal,
+    mux_vector,
+    ripple_borrow_subtractor,
+    ripple_carry_adder,
+)
+
+#: The generator kinds, in a stable order (corpus builds cycle through it).
+FUZZ_KINDS: Tuple[str, ...] = ("layered", "windowed", "arith")
+
+#: Fixed entropy domain separating fuzz streams from other RNG users.
+_FUZZ_DOMAIN = 0x42015
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Deterministic recipe for one random AIG.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FUZZ_KINDS`.
+    seed:
+        Instance seed; every derived random choice flows from it.
+    num_inputs / num_gates / num_outputs:
+        Approximate size targets.  Structural hashing and constant
+        propagation may make the realised AIG slightly smaller.
+    fanin_window:
+        Window size for the ``windowed`` kind.
+    skew:
+        Recency bias exponent for the ``windowed`` kind (larger = deeper).
+    """
+
+    kind: str = "layered"
+    seed: int = 0
+    num_inputs: int = 8
+    num_gates: int = 48
+    num_outputs: int = 4
+    fanin_window: int = 12
+    skew: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FUZZ_KINDS:
+            raise ValueError(
+                f"unknown fuzz kind {self.kind!r}; expected one of {FUZZ_KINDS}")
+        if self.num_inputs < 1 or self.num_gates < 1 or self.num_outputs < 1:
+            raise ValueError("fuzz sizes must be positive")
+
+    # ------------------------------------------------------------------
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence((_FUZZ_DOMAIN, int(self.seed))))
+
+    def name(self) -> str:
+        return f"fuzz-{self.kind}-s{self.seed}"
+
+    def build(self) -> AIG:
+        """Materialise the AIG this spec describes (deterministic)."""
+        builder = _BUILDERS[self.kind]
+        return builder(self)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return dict(asdict(self))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FuzzSpec":
+        known = {f: payload[f] for f in cls.__dataclass_fields__ if f in payload}
+        return cls(**known)  # type: ignore[arg-type]
+
+
+def random_aig(kind: str = "layered", seed: int = 0, **params: object) -> AIG:
+    """Convenience wrapper: ``FuzzSpec(kind, seed, **params).build()``."""
+    return FuzzSpec(kind=kind, seed=seed, **params).build()  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _pick_outputs(aig: AIG, rng: np.random.Generator,
+                  candidates: List[Literal], num_outputs: int) -> None:
+    """Register outputs over the candidate pool, newest signals first.
+
+    The most recently created signals are always covered so the deep
+    part of the graph stays observable (otherwise cleanup would drop
+    exactly the structures the fuzz kinds exist to produce).
+    """
+    pool = [lit for lit in candidates if lit > 1]
+    if not pool:
+        pool = candidates[:]
+    chosen: List[Literal] = []
+    for literal in reversed(pool):
+        if len(chosen) >= num_outputs:
+            break
+        if literal not in chosen:
+            chosen.append(literal)
+    while len(chosen) < num_outputs:
+        chosen.append(pool[int(rng.integers(0, len(pool)))])
+    for literal in chosen:
+        aig.add_po(literal ^ int(rng.integers(0, 2)))
+
+
+def _build_layered(spec: FuzzSpec) -> AIG:
+    rng = spec.rng()
+    aig = AIG(name=spec.name())
+    layers: List[List[Literal]] = [
+        [aig.add_pi(name=f"x{i}") for i in range(spec.num_inputs)]]
+    num_layers = max(2, int(rng.integers(2, max(3, spec.num_gates // 6 + 2))))
+    per_layer = max(1, spec.num_gates // num_layers)
+    remaining = spec.num_gates
+    while remaining > 0:
+        width = min(remaining, per_layer)
+        previous = layers[-1]
+        earlier = [lit for layer in layers[:-1] for lit in layer]
+        current: List[Literal] = []
+        for _ in range(width):
+            a = previous[int(rng.integers(0, len(previous)))]
+            # Mostly local structure, with occasional long skip edges.
+            if earlier and rng.random() < 0.25:
+                b = earlier[int(rng.integers(0, len(earlier)))]
+            else:
+                b = previous[int(rng.integers(0, len(previous)))]
+            a ^= int(rng.integers(0, 2))
+            b ^= int(rng.integers(0, 2))
+            current.append(aig.add_and(a, b))
+        layers.append(current)
+        remaining -= width
+    candidates = [lit for layer in layers for lit in layer]
+    _pick_outputs(aig, rng, candidates, spec.num_outputs)
+    return aig
+
+
+def _build_windowed(spec: FuzzSpec) -> AIG:
+    rng = spec.rng()
+    aig = AIG(name=spec.name())
+    signals: List[Literal] = [aig.add_pi(name=f"x{i}")
+                              for i in range(spec.num_inputs)]
+    window = max(2, spec.fanin_window)
+
+    def pick() -> Literal:
+        # Power-law recency bias: u**skew concentrates near 0 (= newest).
+        span = min(window, len(signals))
+        offset = int(span * rng.random() ** spec.skew)
+        offset = min(offset, span - 1)
+        literal = signals[len(signals) - 1 - offset]
+        return literal ^ int(rng.integers(0, 2))
+
+    for _ in range(spec.num_gates):
+        a = pick()
+        b = pick()
+        # Identical fanin variables collapse under structural hashing
+        # (a & a = a, a & ~a = 0), which would shear off exactly the
+        # deep chains this kind exists to build; redraw a few times.
+        for _ in range(4):
+            if (a >> 1) != (b >> 1):
+                break
+            b = pick()
+        gate = aig.add_and(a, b)
+        if gate > 1:  # constants would poison every downstream pick
+            signals.append(gate)
+    _pick_outputs(aig, rng, signals, spec.num_outputs)
+    return aig
+
+
+def _build_arith(spec: FuzzSpec) -> AIG:
+    rng = spec.rng()
+    aig = AIG(name=spec.name())
+    inputs = [aig.add_pi(name=f"x{i}") for i in range(spec.num_inputs)]
+    # Work over short bit-vectors sliced from the inputs; block outputs
+    # join the pool so cones compose (adder feeding comparator feeding
+    # mux — the carry/majority structure of the arithmetic suite).
+    vector_width = max(2, min(6, spec.num_inputs))
+    pool: List[List[Literal]] = []
+    for start in range(0, spec.num_inputs, vector_width):
+        chunk = inputs[start:start + vector_width]
+        while len(chunk) < vector_width:
+            chunk = chunk + [inputs[int(rng.integers(0, len(inputs)))]]
+        pool.append(chunk)
+
+    def vector() -> List[Literal]:
+        base = pool[int(rng.integers(0, len(pool)))]
+        if rng.random() < 0.3:  # occasional bit-rotated variant
+            shift = int(rng.integers(1, vector_width))
+            base = base[shift:] + base[:shift]
+        return list(base)
+
+    # Bounded attempts, not `while num_ands < target`: a degenerate pool
+    # (e.g. a single input signal) constant-folds every block to existing
+    # literals, and an unbounded loop would never terminate.
+    for _ in range(8 * spec.num_gates + 16):
+        if aig.num_ands >= spec.num_gates:
+            break
+        op = int(rng.integers(0, 4))
+        a, b = vector(), vector()
+        if op == 0:
+            total, carry = ripple_carry_adder(aig, a, b)
+            result = total[:-1] + [carry] if len(total) > 1 else total
+        elif op == 1:
+            difference, no_borrow = ripple_borrow_subtractor(aig, a, b)
+            result = difference[:-1] + [no_borrow] if len(difference) > 1 \
+                else difference
+        elif op == 2:
+            is_ge = comparator_greater_equal(aig, a, b)
+            result = mux_vector(aig, is_ge, a, b)
+        else:
+            result = [aig.add_xor(x, y) for x, y in zip(a, b)]
+            if rng.random() < 0.5:
+                result[0] = lit_not(result[0])
+        pool.append(result)
+    candidates = [lit for vec in pool[len(pool) // 2:] for lit in vec]
+    _pick_outputs(aig, rng, candidates or inputs, spec.num_outputs)
+    return aig
+
+
+_BUILDERS = {
+    "layered": _build_layered,
+    "windowed": _build_windowed,
+    "arith": _build_arith,
+}

@@ -157,9 +157,17 @@ def get_circuit_spec(name: str) -> CircuitSpec:
     Registered names take precedence: the exact (case-sensitive) key is
     tried first, then the lowercase form, then the built-in alias table —
     so a user circuit is always reachable under the name it registered.
+    Names of the form ``file:<path>`` (or bare paths with a recognised
+    circuit-file suffix) resolve to a file-backed spec — see
+    :mod:`repro.circuits.files`.
     """
     key = name.strip()
     if key not in CIRCUITS:
+        # Imported lazily: repro.circuits.files imports this module.
+        from repro.circuits import files
+
+        if files.is_file_circuit_name(key):
+            return files.file_circuit_spec(key)
         key = key.lower()
         if key not in CIRCUITS:
             key = _ALIASES.get(key, key)
@@ -182,9 +190,12 @@ def resolve_width(name: str, width: Optional[int] = None) -> int:
     variable eagerly, so callers (e.g. picklable evaluator specs sent to
     worker processes) can pin the width at creation time.
     """
+    spec = get_circuit_spec(name)
+    if getattr(spec, "file_backed", False):
+        # File circuits have no width knob; 0 is their pinned "width".
+        return 0
     if width is not None:
         return int(width)
-    spec = get_circuit_spec(name)
     return max(2, int(round(spec.default_width * _width_scale())))
 
 

@@ -89,7 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "when given")
     run.add_argument("--name", default="campaign", help="campaign name")
     run.add_argument("--circuits", default="adder,sqrt",
-                     help="comma-separated circuit names")
+                     help="comma-separated circuit names (registered names "
+                          "or file:<path> / *.aag / *.blif / *.bench files)")
+    run.add_argument("--corpus", default=None, metavar="DIR",
+                     help="run over every circuit of a corpus directory "
+                          "(see `repro corpus build`); overrides --circuits")
     run.add_argument("--methods", default="boils,rs",
                      help="comma-separated method keys")
     run.add_argument("--budget", type=int, default=20,
@@ -149,6 +153,51 @@ def _build_parser() -> argparse.ArgumentParser:
                           "round progress until every cell is complete")
     show.add_argument("--interval", type=float, default=2.0,
                       help="poll interval for --follow, in seconds")
+
+    # ------------------------------------------------------------------
+    # Circuit corpus workflow
+    # ------------------------------------------------------------------
+    corpus = sub.add_parser(
+        "corpus", help="build and inspect circuit corpora (manifest-bearing "
+                       "directories of benchmark files)")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_build = corpus_sub.add_parser(
+        "build", help="materialise seeded random circuits into a corpus "
+                      "directory (deterministic for a given seed)")
+    corpus_build.add_argument("--dest", required=True, metavar="DIR")
+    corpus_build.add_argument("--count", type=int, default=12,
+                              help="number of circuits to generate")
+    corpus_build.add_argument("--seed", type=int, default=0,
+                              help="corpus seed; per-circuit seeds derive "
+                                   "from it deterministically")
+    corpus_build.add_argument("--kinds", default="layered,windowed,arith",
+                              help="comma-separated generator kinds")
+    corpus_build.add_argument("--formats", default="aag,blif,bench",
+                              help="comma-separated file formats to cycle "
+                                   "through (aag, aig, blif, bench)")
+    corpus_build.add_argument("--max-gates", type=int, default=96,
+                              help="upper bound on generated AND counts")
+
+    circuits = sub.add_parser(
+        "circuits", help="list, inspect and import circuits (registry and "
+                         "corpus directories)")
+    circuits_sub = circuits.add_subparsers(dest="circuits_command",
+                                           required=True)
+    circuits_list = circuits_sub.add_parser(
+        "list", help="list registered circuits, or a corpus's entries")
+    circuits_list.add_argument("--corpus", default=None, metavar="DIR")
+    circuits_stats = circuits_sub.add_parser(
+        "stats", help="I/O counts, AND nodes and levels of circuits")
+    circuits_stats.add_argument("--circuit", default=None,
+                                help="registered name or circuit file path")
+    circuits_stats.add_argument("--width", type=int, default=None)
+    circuits_stats.add_argument("--corpus", default=None, metavar="DIR",
+                                help="print the stats table of a corpus")
+    circuits_import = circuits_sub.add_parser(
+        "import", help="copy external circuit files into a corpus "
+                       "(validating that they parse)")
+    circuits_import.add_argument("--corpus", required=True, metavar="DIR")
+    circuits_import.add_argument("files", nargs="+", metavar="FILE")
 
     # ------------------------------------------------------------------
     # Registry listings
@@ -283,6 +332,17 @@ def _render_round_event(cell_id: str, event: dict) -> None:
 def _campaign_from_args(args) -> Campaign:
     if args.campaign:
         campaign = Campaign.load(args.campaign)
+    elif getattr(args, "corpus", None):
+        campaign = Campaign.from_corpus(
+            args.corpus,
+            methods=tuple(_parse_csv(args.methods)),
+            seeds=tuple(_parse_seeds(args.seeds)),
+            budget=args.budget,
+            lut_size=args.lut_size,
+            sequence_length=args.sequence_length,
+            objective=parse_objective_argument(args.objective),
+            name=args.name if args.name != "campaign" else None,
+        )
     else:
         objective = parse_objective_argument(args.objective)
         problems = tuple(
@@ -386,6 +446,65 @@ def _follow_store(store: CampaignStore, cells, interval: float) -> None:
         time.sleep(interval)
 
 
+def _circuit_stats_lines(store: CampaignStore, campaign: Campaign):
+    """``(problem.key, stats line)`` pairs for ``repro show``.
+
+    Rebuilding every circuit just to count its nodes would turn an
+    instant inspection command into generator-scale compute, so stats
+    are computed once and memoised in ``circuit_stats.json`` inside the
+    run directory (keyed by problem key, which embeds the content hash
+    for file circuits and circuit+width for generated ones).  Unbuildable
+    circuits — relocated files, missing plugins — degrade to an
+    "unavailable" note; inspection keeps working regardless.
+    """
+    import json
+
+    cache_path = store.root / "circuit_stats.json"
+    try:
+        cached = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        cached = {}
+    dirty = False
+    for problem in campaign.problems:
+        key = problem.key
+        stats = cached.get(key)
+        if not (isinstance(stats, dict)
+                and all(isinstance(stats.get(field), int)
+                        for field in ("pis", "pos", "ands", "levels"))):
+            try:
+                if problem.circuit_hash is not None:
+                    # The run was over the *pinned* file content; stats
+                    # of a since-edited file would silently lie (and the
+                    # cache key embeds the pinned hash, so they would
+                    # stick).  Mirror the resume-time check instead.
+                    from repro.circuits.registry import get_circuit_spec
+
+                    current = getattr(get_circuit_spec(problem.circuit),
+                                      "content_hash", None)
+                    if current is not None and current != problem.circuit_hash:
+                        raise ValueError(
+                            "circuit file changed on disk since this run "
+                            "(content hash mismatch)")
+                stats = get_circuit(problem.circuit, width=problem.width).stats()
+                cached[key] = stats
+                dirty = True
+            except (KeyError, ValueError, OSError) as error:
+                # KeyError covers registry misses (e.g. a plugin circuit
+                # not installed here); ValueError covers missing/changed
+                # circuit files.  Not cached: the circuit may be back on
+                # the next inspection.
+                yield key, f"unavailable ({error})"
+                continue
+        yield key, (f"pis {stats['pis']:>4d}  pos {stats['pos']:>4d}  "
+                    f"ands {stats['ands']:>6d}  levels {stats['levels']:>4d}")
+    if dirty:
+        try:
+            cache_path.write_text(json.dumps(cached, indent=2) + "\n",
+                                  encoding="utf-8")
+        except OSError:
+            pass  # read-only store: stats simply recompute next time
+
+
 def _cmd_show(args) -> int:
     store = CampaignStore(args.store)
     campaign = store.load_campaign()
@@ -400,6 +519,9 @@ def _cmd_show(args) -> int:
                  if status == "ok"}
     print(f"campaign      : {campaign.name}")
     print(f"problems      : {', '.join(p.key for p in campaign.problems)}")
+    print("circuits      :")
+    for key, detail in _circuit_stats_lines(store, campaign):
+        print(f"  {key:32s} {detail}")
     print(f"methods       : {', '.join(campaign.methods)}")
     print(f"seeds         : {', '.join(str(s) for s in campaign.seeds)}")
     print(f"budget        : {campaign.budget}")
@@ -421,6 +543,84 @@ def _cmd_show(args) -> int:
         print()
         _print_records_table(records)
     return 0
+
+
+# ----------------------------------------------------------------------
+# Circuit corpus workflow
+# ----------------------------------------------------------------------
+def _cmd_corpus(args) -> int:
+    from repro.circuits.corpus import FORMAT_SUFFIXES, build_corpus
+
+    if args.corpus_command == "build":
+        # Accept both spellings: the file suffix ("aag") and the
+        # internal format key ("aiger-ascii"), derived from one table.
+        aliases = {suffix.lstrip("."): key
+                   for key, suffix in FORMAT_SUFFIXES.items()}
+        formats = [aliases.get(fmt.lower(), fmt.lower())
+                   for fmt in _parse_csv(args.formats)]
+        max_gates = max(1, args.max_gates)
+        manifest = build_corpus(
+            args.dest,
+            count=args.count,
+            seed=args.seed,
+            kinds=tuple(_parse_csv(args.kinds)),
+            formats=tuple(formats),
+            num_gates=(max(1, min(24, max_gates // 2)), max_gates),
+        )
+        print(f"corpus {manifest.root}: {len(manifest.entries)} circuit(s)")
+        _print_corpus_table(manifest)
+        print(f"run a campaign over it with `repro run --corpus {args.dest}`")
+        return 0
+    raise ValueError(f"unknown corpus command {args.corpus_command!r}")
+
+
+def _print_corpus_table(manifest) -> None:
+    print(f"{'name':24s}{'format':14s}{'pis':>5s}{'pos':>5s}"
+          f"{'ands':>7s}{'levels':>7s}  source")
+    for entry in manifest.entries:
+        stats = entry.stats
+        source = str(entry.source.get("kind", "?"))
+        print(f"{entry.name:24s}{entry.format:14s}"
+              f"{stats.get('pis', 0):>5d}{stats.get('pos', 0):>5d}"
+              f"{stats.get('ands', 0):>7d}{stats.get('levels', 0):>7d}"
+              f"  {source}")
+
+
+def _cmd_circuits(args) -> int:
+    from repro.circuits.corpus import CorpusManifest, import_circuit
+
+    if args.circuits_command == "list":
+        if args.corpus:
+            _print_corpus_table(CorpusManifest.load(args.corpus))
+            return 0
+        return _cmd_list_circuits(args)
+    if args.circuits_command == "stats":
+        if bool(args.circuit) == bool(args.corpus):
+            raise ValueError(
+                "circuits stats needs exactly one of --circuit or --corpus")
+        if args.corpus:
+            manifest = CorpusManifest.load(args.corpus)
+            _print_corpus_table(manifest)
+            total = sum(entry.stats.get("ands", 0) for entry in manifest.entries)
+            print(f"total: {len(manifest.entries)} circuit(s), {total} AND node(s)")
+            return 0
+        aig = get_circuit(args.circuit, width=args.width)
+        stats = aig.stats()
+        print(f"circuit      : {aig.name}")
+        print(f"inputs       : {stats['pis']}")
+        print(f"outputs      : {stats['pos']}")
+        print(f"AND nodes    : {stats['ands']}")
+        print(f"AIG levels   : {stats['levels']}")
+        return 0
+    if args.circuits_command == "import":
+        for source in args.files:
+            entry = import_circuit(args.corpus, source)
+            stats = entry.stats
+            print(f"imported {source} as {entry.name!r} "
+                  f"(pis {stats.get('pis')}, pos {stats.get('pos')}, "
+                  f"ands {stats.get('ands')}, levels {stats.get('levels')})")
+        return 0
+    raise ValueError(f"unknown circuits command {args.circuits_command!r}")
 
 
 # ----------------------------------------------------------------------
@@ -543,6 +743,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "resume": _cmd_resume,
     "show": _cmd_show,
+    "corpus": _cmd_corpus,
+    "circuits": _cmd_circuits,
     "list-circuits": _cmd_list_circuits,
     "list-methods": _cmd_list_methods,
     "list-objectives": _cmd_list_objectives,

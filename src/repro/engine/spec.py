@@ -44,6 +44,14 @@ class EvaluatorSpec:
         :func:`repro.qor.objectives.canonical_spec_string`) — a bare key
         like ``"eq1"`` or sorted-key JSON for parameterised objectives.
         Kept as a string so the spec stays hashable and picklable.
+    circuit_file / circuit_hash:
+        For file-backed circuits (``file:<path>`` names): the resolved
+        absolute path and the SHA-256 content hash of the file at spec
+        creation time.  Workers rebuilding the evaluator verify the hash
+        before trusting the file — a mid-run or run/resume edit of the
+        circuit file fails loudly instead of silently mixing results —
+        and the hash (not the path) keys the persistent QoR cache, so
+        cache entries survive file relocation across machines.
     """
 
     circuit: str
@@ -51,6 +59,8 @@ class EvaluatorSpec:
     lut_size: int = 6
     reference_sequence: Optional[Tuple[str, ...]] = None
     objective: str = DEFAULT_OBJECTIVE_KEY
+    circuit_file: Optional[str] = None
+    circuit_hash: Optional[str] = None
 
     @classmethod
     def for_circuit(
@@ -62,7 +72,8 @@ class EvaluatorSpec:
         objective: Optional[object] = None,
     ) -> "EvaluatorSpec":
         """Build a spec, resolving the effective width immediately."""
-        canonical = get_circuit_spec(circuit).name
+        circuit_spec = get_circuit_spec(circuit)
+        canonical = circuit_spec.name
         return cls(
             circuit=canonical,
             width=resolve_circuit_width(canonical, width),
@@ -71,6 +82,8 @@ class EvaluatorSpec:
                 tuple(reference_sequence) if reference_sequence is not None else None
             ),
             objective=canonical_spec_string(objective),
+            circuit_file=getattr(circuit_spec, "path", None),
+            circuit_hash=getattr(circuit_spec, "content_hash", None),
         )
 
     def build_evaluator(
@@ -79,7 +92,20 @@ class EvaluatorSpec:
         persistent_cache: Optional[object] = None,
     ) -> QoREvaluator:
         """Instantiate the circuit and its evaluator from this spec."""
-        aig = get_circuit(self.circuit, width=self.width)
+        cache_key = None
+        if self.circuit_file is not None:
+            # Load directly from the recorded path, verifying content:
+            # the registry route would re-resolve (and silently accept a
+            # changed file), and the content hash gives a persistent
+            # cache key that is stable across path relocations.
+            from repro.circuits.files import load_circuit_file
+
+            aig = load_circuit_file(self.circuit_file,
+                                    expected_hash=self.circuit_hash)
+            if self.circuit_hash is not None:
+                cache_key = f"sha256:{self.circuit_hash}:lut{self.lut_size}"
+        else:
+            aig = get_circuit(self.circuit, width=self.width)
         return QoREvaluator(
             aig,
             lut_size=self.lut_size,
@@ -87,6 +113,7 @@ class EvaluatorSpec:
             cache=cache,
             persistent_cache=persistent_cache,
             objective=self.objective,
+            cache_key=cache_key,
         )
 
     # ------------------------------------------------------------------
@@ -100,15 +127,21 @@ class EvaluatorSpec:
             "lut_size": self.lut_size,
             "reference_sequence": self.reference_sequence,
             "objective": self.objective,
+            "circuit_file": self.circuit_file,
+            "circuit_hash": self.circuit_hash,
         }
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "EvaluatorSpec":
         reference = payload.get("reference_sequence")
+        circuit_file = payload.get("circuit_file")
+        circuit_hash = payload.get("circuit_hash")
         return cls(
             circuit=str(payload["circuit"]),
             width=int(payload["width"]),  # type: ignore[arg-type]
             lut_size=int(payload.get("lut_size", 6)),  # type: ignore[arg-type]
             reference_sequence=tuple(reference) if reference is not None else None,
             objective=str(payload.get("objective", DEFAULT_OBJECTIVE_KEY)),
+            circuit_file=str(circuit_file) if circuit_file is not None else None,
+            circuit_hash=str(circuit_hash) if circuit_hash is not None else None,
         )

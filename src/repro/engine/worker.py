@@ -61,7 +61,9 @@ def evaluate_sequence(names: Tuple[str, ...]) -> SequenceEvaluation:
 _UNSET = object()  # distinct from None, which is a valid cache_dir
 _GRID_CACHE_DIR: object = _UNSET
 _GRID_CACHE: Optional[PersistentQoRCache] = None
-_GRID_EVALUATORS: Dict[Tuple[str, int, int, Optional[Tuple[str, ...]]], QoREvaluator] = {}
+#: Keyed by (circuit, width, lut_size, reference_sequence, objective,
+#: circuit_hash) — see :func:`_grid_evaluator`.
+_GRID_EVALUATORS: Dict[Tuple, QoREvaluator] = {}
 _GRID_PID: Optional[int] = None
 _ABANDONED_CACHES: list = []  # fork-inherited handles we must never close
 
@@ -105,7 +107,7 @@ def init_grid_worker(cache_dir: Optional[str]) -> None:
 def _grid_evaluator(spec: EvaluatorSpec) -> QoREvaluator:
     """Per-process evaluator for a circuit, built on first use."""
     key = (spec.circuit, spec.width, spec.lut_size, spec.reference_sequence,
-           spec.objective)
+           spec.objective, spec.circuit_hash)
     evaluator = _GRID_EVALUATORS.get(key)
     if evaluator is None:
         evaluator = spec.build_evaluator(cache=True, persistent_cache=_GRID_CACHE)

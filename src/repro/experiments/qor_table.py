@@ -94,10 +94,12 @@ class QoRTable:
 
 
 def _is_known(circuit: str) -> bool:
+    # ValueError covers file-backed circuits whose file is missing or
+    # unreadable at rendering time — fall back to the raw name.
     try:
         get_circuit_spec(circuit)
         return True
-    except KeyError:
+    except (KeyError, ValueError):
         return False
 
 

@@ -110,3 +110,107 @@ class TestErrors:
     def test_truncated_header(self):
         with pytest.raises(AigerError):
             read_aiger_string("aag 3 2\n")
+
+
+class TestMalformedInputs:
+    """Hand-crafted malformed files must raise, never mis-build silently."""
+
+    # A valid 1-AND binary file to mutate: x0 & x1 -> one output.
+    @staticmethod
+    def _binary_base() -> bytes:
+        from repro.aig.graph import AIG
+
+        aig = AIG()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_and(a, b))
+        return write_aiger_string(aig, binary=True)  # type: ignore[return-value]
+
+    def test_truncated_binary_and_section(self):
+        data = self._binary_base()
+        header_end = data.index(b"\n", data.index(b"\n") + 1) + 1
+        with pytest.raises(AigerError, match="binary|truncated|unexpected end"):
+            read_aiger_string(data[:header_end])  # AND bytes missing entirely
+
+    def test_binary_and_section_cut_mid_varint(self):
+        import io as _io
+
+        from repro.aig.aiger import _write_delta
+
+        # Build a legitimate delta stream, then drop its last byte.
+        header = "aig 130 1 0 1 129\n260\n"
+        buf = _io.BytesIO()
+        for i in range(129):
+            lhs = 2 * (2 + i)
+            _write_delta(buf, lhs - 2)
+            _write_delta(buf, 0)
+        payload = header.encode() + buf.getvalue()[:-1]
+        with pytest.raises(AigerError):
+            read_aiger_string(payload)
+
+    def test_binary_and_section_absorbing_symbol_bytes_detected(self):
+        """Missing AND bytes must not be silently parsed from the symbol table."""
+        data = b"aig 2 1 0 1 1\n4\ni0 name_of_input_zero\nc\n"
+        with pytest.raises(AigerError):
+            read_aiger_string(data)
+
+    def test_binary_header_count_mismatch(self):
+        with pytest.raises(AigerError, match="M=9"):
+            read_aiger_string(b"aig 9 1 0 1 1\n4\n\x02\x02")
+
+    def test_duplicate_input_symbol_entry(self):
+        text = "aag 1 1 0 1 0\n2\n2\ni0 first\ni0 second\n"
+        with pytest.raises(AigerError, match="duplicate symbol"):
+            read_aiger_string(text)
+
+    def test_duplicate_output_symbol_entry(self):
+        text = "aag 1 1 0 2 0\n2\n2\n2\no0 first\no0 second\n"
+        with pytest.raises(AigerError, match="duplicate symbol"):
+            read_aiger_string(text)
+
+    def test_duplicate_input_literal(self):
+        with pytest.raises(AigerError, match="duplicate input"):
+            read_aiger_string("aag 3 2 0 1 1\n2\n2\n6\n6 2 2\n")
+
+    def test_duplicate_and_definition(self):
+        with pytest.raises(AigerError, match="duplicate definition"):
+            read_aiger_string("aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n6 2 5\n")
+
+    def test_and_redefining_an_input(self):
+        with pytest.raises(AigerError, match="duplicate"):
+            read_aiger_string("aag 3 2 0 1 1\n2\n4\n2\n4 2 3\n")
+
+    def test_forward_fanin_reference(self):
+        # AND 6 uses variable 4, which is defined *after* it.
+        with pytest.raises(AigerError, match="not defined"):
+            read_aiger_string("aag 4 1 0 1 2\n2\n6\n6 8 2\n8 2 2\n")
+
+    def test_fanin_beyond_max_var(self):
+        with pytest.raises(AigerError, match="beyond the declared maximum"):
+            read_aiger_string("aag 3 2 0 1 1\n2\n4\n6\n6 2 40\n")
+
+    def test_output_beyond_max_var(self):
+        with pytest.raises(AigerError, match="exceeds the declared maximum"):
+            read_aiger_string("aag 3 2 0 1 1\n2\n4\n60\n6 2 4\n")
+
+    def test_truncated_ascii_outputs(self):
+        with pytest.raises(AigerError, match="missing output"):
+            read_aiger_string("aag 3 2 0 2 1\n2\n4\n6\n")
+
+    def test_truncated_ascii_and_section(self):
+        with pytest.raises(AigerError, match="truncated AND"):
+            read_aiger_string("aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n")
+
+    def test_odd_input_literal(self):
+        with pytest.raises(AigerError, match="invalid input literal"):
+            read_aiger_string("aag 2 1 0 1 0\n3\n2\n")
+
+    def test_negative_count_header(self):
+        with pytest.raises(AigerError, match="negative"):
+            read_aiger_string("aag 3 -1 0 1 1\n")
+
+    def test_valid_constant_propagation_still_parses(self):
+        """The hardening must not reject legal AND-of-constant files."""
+        # 4 = x1 & 0 (constant false), output is var 4 complemented.
+        aig = read_aiger_string("aag 2 1 0 1 1\n2\n5\n4 2 0\n")
+        assert simulate(aig, [0]) == [1]
+        assert simulate(aig, [1]) == [1]

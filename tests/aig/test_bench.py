@@ -1,0 +1,126 @@
+"""Tests of the ISCAS ``.bench`` reader / writer."""
+
+import pytest
+
+from repro.aig.bench import (
+    BenchError,
+    read_bench,
+    read_bench_string,
+    write_bench,
+    write_bench_string,
+)
+from repro.aig.graph import AIG
+from repro.aig.simulation import exhaustive_output_tables, functionally_equivalent, simulate
+
+
+class TestRoundTrip:
+    def test_adder_roundtrip(self, small_adder):
+        parsed = read_bench_string(write_bench_string(small_adder))
+        assert functionally_equivalent(small_adder, parsed)
+        assert parsed.num_pis == small_adder.num_pis
+        assert parsed.num_pos == small_adder.num_pos
+
+    def test_sqrt_roundtrip(self, small_sqrt):
+        parsed = read_bench_string(write_bench_string(small_sqrt))
+        assert functionally_equivalent(small_sqrt, parsed)
+
+    def test_file_roundtrip(self, tmp_path, small_multiplier):
+        path = tmp_path / "mult.bench"
+        write_bench(small_multiplier, path)
+        parsed = read_bench(path)
+        assert parsed.name == "mult"
+        assert functionally_equivalent(small_multiplier, parsed)
+
+    def test_constant_and_inverted_outputs(self):
+        aig = AIG(name="edge")
+        a = aig.add_pi("a")
+        aig.add_po(1, name="one")
+        aig.add_po(0, name="zero")
+        aig.add_po(a ^ 1, name="na")
+        parsed = read_bench_string(write_bench_string(aig))
+        assert exhaustive_output_tables(parsed) == exhaustive_output_tables(aig)
+
+
+class TestReader:
+    def test_gate_zoo(self):
+        text = """
+# a small gate zoo
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+t1 = AND(a, b, c)
+t2 = NOR(a, b)
+t3 = XOR(t1, t2, c)
+t4 = NAND(t3, c)
+t5 = XNOR(t4, a)
+t6 = BUFF(t5)
+f = NOT(t6)
+"""
+        aig = read_bench_string(text)
+        for pattern in range(8):
+            bits = [(pattern >> i) & 1 for i in range(3)]
+            a, b, c = bits
+            t1 = a & b & c
+            t2 = int(not (a | b))
+            t3 = t1 ^ t2 ^ c
+            t4 = int(not (t3 & c))
+            t5 = int(not (t4 ^ a))
+            expected = int(not t5)
+            assert simulate(aig, bits) == [expected], bits
+
+    def test_out_of_order_definitions(self):
+        text = ("INPUT(a)\nINPUT(b)\nOUTPUT(f)\n"
+                "f = AND(t, b)\nt = OR(a, b)\n")
+        aig = read_bench_string(text)
+        assert simulate(aig, [1, 1]) == [1]
+        assert simulate(aig, [1, 0]) == [0]
+
+    def test_constant_gates(self):
+        text = ("INPUT(a)\nOUTPUT(f)\nOUTPUT(g)\n"
+                "one = VDD()\nzero = GND()\n"
+                "f = AND(a, one)\ng = OR(a, zero)\n")
+        aig = read_bench_string(text)
+        assert simulate(aig, [1]) == [1, 1]
+        assert simulate(aig, [0]) == [0, 0]
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(f)\nf = and(a, a)\n"
+        aig = read_bench_string(text)
+        assert simulate(aig, [1]) == [1]
+
+
+class TestErrors:
+    def test_dff_rejected(self):
+        with pytest.raises(BenchError, match="sequential"):
+            read_bench_string("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(BenchError, match="unknown gate"):
+            read_bench_string("INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n")
+
+    def test_unparseable_line(self):
+        with pytest.raises(BenchError, match="cannot parse"):
+            read_bench_string("INPUT(a)\nOUTPUT(f)\nf = AND(a\n")
+
+    def test_undefined_signal(self):
+        with pytest.raises(BenchError, match="never defined"):
+            read_bench_string("INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n")
+
+    def test_cycle(self):
+        with pytest.raises(BenchError, match="cycle"):
+            read_bench_string("INPUT(a)\nOUTPUT(f)\n"
+                              "f = AND(a, g)\ng = AND(a, f)\n")
+
+    def test_duplicate_definition(self):
+        with pytest.raises(BenchError, match="more than once"):
+            read_bench_string("INPUT(a)\nOUTPUT(f)\n"
+                              "f = AND(a, a)\nf = OR(a, a)\n")
+
+    def test_not_arity(self):
+        with pytest.raises(BenchError, match="between 1 and 1"):
+            read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NOT(a, b)\n")
+
+    def test_no_outputs(self):
+        with pytest.raises(BenchError, match="OUTPUT"):
+            read_bench_string("INPUT(a)\nf = NOT(a)\n")

@@ -1,0 +1,156 @@
+"""Tests of the BLIF reader / writer."""
+
+import pytest
+
+from repro.aig.blif import BlifError, read_blif, read_blif_string, write_blif, write_blif_string
+from repro.aig.graph import AIG
+from repro.aig.simulation import exhaustive_output_tables, functionally_equivalent, simulate
+
+
+class TestRoundTrip:
+    def test_adder_roundtrip(self, small_adder):
+        parsed = read_blif_string(write_blif_string(small_adder))
+        assert functionally_equivalent(small_adder, parsed)
+        assert parsed.num_pis == small_adder.num_pis
+        assert parsed.num_pos == small_adder.num_pos
+
+    def test_multiplier_roundtrip(self, small_multiplier):
+        parsed = read_blif_string(write_blif_string(small_multiplier))
+        assert functionally_equivalent(small_multiplier, parsed)
+
+    def test_names_roundtrip(self, xor_chain):
+        parsed = read_blif_string(write_blif_string(xor_chain))
+        assert [parsed.node(v).name for v in parsed.pis] == ["a", "b", "c"]
+        assert parsed.po_names == ["y"]
+
+    def test_file_roundtrip(self, tmp_path, small_adder):
+        path = tmp_path / "adder.blif"
+        write_blif(small_adder, path)
+        parsed = read_blif(path)
+        assert parsed.name == small_adder.name  # .model wins over the stem
+        assert functionally_equivalent(small_adder, parsed)
+
+    def test_constant_and_buffer_outputs(self):
+        aig = AIG(name="edge")
+        a = aig.add_pi("a")
+        aig.add_po(1, name="one")
+        aig.add_po(0, name="zero")
+        aig.add_po(a ^ 1, name="na")
+        aig.add_po(a, name="buf")
+        parsed = read_blif_string(write_blif_string(aig))
+        assert exhaustive_output_tables(parsed) == exhaustive_output_tables(aig)
+
+
+class TestReader:
+    def test_sop_cover_semantics(self):
+        text = """
+.model cover
+.inputs a b c
+.outputs f
+.names a b c f
+1-1 1
+01- 1
+.end
+"""
+        aig = read_blif_string(text)
+        for pattern in range(8):
+            bits = [(pattern >> i) & 1 for i in range(3)]
+            a, b, c = bits
+            expected = int((a and c) or ((not a) and b))
+            assert simulate(aig, bits) == [expected], bits
+
+    def test_offset_cover_inverts(self):
+        text = ".model m\n.inputs a\n.outputs f\n.names a f\n1 0\n.end\n"
+        aig = read_blif_string(text)
+        assert simulate(aig, [0]) == [1]
+        assert simulate(aig, [1]) == [0]
+
+    def test_constant_covers(self):
+        text = (".model m\n.inputs a\n.outputs one zero\n"
+                ".names one\n1\n.names zero\n.end\n")
+        aig = read_blif_string(text)
+        assert simulate(aig, [0]) == [1, 0]
+
+    def test_out_of_order_definitions(self):
+        text = """
+.model ooo
+.inputs a b
+.outputs f
+.names t1 t2 f
+11 1
+.names a b t2
+01 1
+.names a b t1
+10 1
+.end
+"""
+        aig = read_blif_string(text)
+        assert simulate(aig, [1, 1]) == [0]
+
+    def test_continuation_lines(self):
+        text = (".model m\n.inputs a \\\nb\n.outputs f\n"
+                ".names a b \\\nf\n11 1\n.end\n")
+        aig = read_blif_string(text)
+        assert aig.num_pis == 2
+        assert simulate(aig, [1, 1]) == [1]
+
+    def test_comment_line_inside_continuation(self):
+        """A comment-only physical line must not terminate a continuation."""
+        text = (".model m\n.inputs a b \\\n# interleaved comment\nc\n"
+                ".outputs f\n.names a b c f\n111 1\n.end\n")
+        aig = read_blif_string(text)
+        assert aig.num_pis == 3
+        assert simulate(aig, [1, 1, 1]) == [1]
+
+    def test_comments_stripped(self):
+        text = ("# leading comment\n.model m # trailing\n.inputs a\n"
+                ".outputs f\n.names a f # buffer\n1 1\n.end\n")
+        aig = read_blif_string(text)
+        assert simulate(aig, [1]) == [1]
+
+
+class TestErrors:
+    def test_latch_rejected(self):
+        with pytest.raises(BlifError, match="latch"):
+            read_blif_string(".model m\n.inputs a\n.outputs f\n"
+                             ".latch a f 0\n.end\n")
+
+    def test_subckt_rejected(self):
+        with pytest.raises(BlifError, match="subckt"):
+            read_blif_string(".model m\n.inputs a\n.outputs f\n"
+                             ".subckt sub x=a y=f\n.end\n")
+
+    def test_undefined_output(self):
+        with pytest.raises(BlifError, match="never defined"):
+            read_blif_string(".model m\n.inputs a\n.outputs nope\n.end\n")
+
+    def test_combinational_cycle(self):
+        text = (".model m\n.inputs a\n.outputs f\n.names f a g\n11 1\n"
+                ".names g a f\n11 1\n.end\n")
+        with pytest.raises(BlifError, match="cycle"):
+            read_blif_string(text)
+
+    def test_duplicate_definition(self):
+        text = (".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n"
+                ".names a f\n0 1\n.end\n")
+        with pytest.raises(BlifError, match="more than once"):
+            read_blif_string(text)
+
+    def test_cover_row_width_mismatch(self):
+        with pytest.raises(BlifError, match="columns"):
+            read_blif_string(".model m\n.inputs a b\n.outputs f\n"
+                             ".names a b f\n1 1\n.end\n")
+
+    def test_cover_row_outside_names(self):
+        with pytest.raises(BlifError, match="outside"):
+            read_blif_string(".model m\n.inputs a\n.outputs f\n11 1\n.end\n")
+
+    def test_mixed_on_off_set(self):
+        text = (".model m\n.inputs a b\n.outputs f\n.names a b f\n"
+                "11 1\n00 0\n.end\n")
+        with pytest.raises(BlifError, match="mixes"):
+            read_blif_string(text)
+
+    def test_no_outputs(self):
+        with pytest.raises(BlifError, match="outputs"):
+            read_blif_string(".model m\n.inputs a\n.end\n")

@@ -397,6 +397,81 @@ class TestCampaignKnobsThreadThrough:
         assert (killed.trajectory_path(cell_id).read_bytes()
                 == full_store.trajectory_path(cell_id).read_bytes())
 
+    def test_file_backed_circuit_kill_resume_under_jobs2(self, tmp_path):
+        """Mid-cell kill+resume on a *file-backed* circuit, ``jobs=2``.
+
+        Pins that the ``EvaluatorSpec`` path+hash transport is
+        resume-safe: the spec workers rebuild the evaluator from crosses
+        the process-pool pipe, survives the kill, and the resumed run is
+        bit-identical to an uninterrupted one.
+        """
+        from repro.aig.aiger import write_aiger
+        from repro.circuits import make_adder
+        from repro.engine.spec import EvaluatorSpec
+
+        circuit_file = tmp_path / "adder4.aag"
+        write_aiger(make_adder(4), circuit_file)
+        problem = Problem(f"file:{circuit_file}", sequence_length=3)
+        campaign = Campaign(
+            problems=(problem,),
+            methods=("rs", "greedy"),
+            seeds=(0,),
+            budget=8,
+            name="file-resume",
+        )
+
+        # The spec round-trips the path and content hash through the
+        # worker payload encoding.
+        spec = problem.evaluator_spec()
+        assert spec.circuit_file == str(circuit_file.resolve())
+        assert spec.circuit_hash is not None
+        assert EvaluatorSpec.from_payload(spec.to_payload()) == spec
+        assert spec.build_evaluator().cache_key == (
+            f"sha256:{spec.circuit_hash}:lut6")
+
+        full_store = CampaignStore(tmp_path / "full")
+        uninterrupted = run_campaign(campaign, full_store, jobs=2)
+        assert all(record.status == "ok" for record in uninterrupted)
+
+        killed = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed, jobs=2, on_event=_killer_at(1))
+        assert killed.completed_cell_ids() == set()
+
+        resumed = resume_campaign(killed, jobs=2)
+        assert _dicts(resumed) == _dicts(uninterrupted)
+        for cell in campaign.cells():
+            assert (killed.trajectory_path(cell.cell_id).read_bytes()
+                    == full_store.trajectory_path(cell.cell_id).read_bytes())
+
+    def test_file_circuit_edited_between_run_and_resume_fails_loudly(
+            self, tmp_path):
+        """A changed circuit file must not silently mix into a resume.
+
+        The manifest pins the file's content hash
+        (:attr:`Problem.circuit_hash`); resuming after the file was
+        edited aborts before dispatching any compute.
+        """
+        from repro.aig.aiger import write_aiger
+        from repro.circuits import make_adder
+
+        circuit_file = tmp_path / "adder4.aag"
+        write_aiger(make_adder(4), circuit_file)
+        campaign = Campaign(
+            problems=(Problem(f"file:{circuit_file}", sequence_length=3),),
+            methods=("rs",),
+            seeds=(0,),
+            budget=6,
+            name="file-edited",
+        )
+        killed = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed, on_event=_killer_at(1))
+
+        write_aiger(make_adder(5), circuit_file)  # edited on disk
+        with pytest.raises(ValueError, match="changed on disk"):
+            resume_campaign(killed)
+
     def test_knobs_round_trip_through_manifest(self, tmp_path):
         campaign = Campaign(
             problems=(Problem("adder", width=4, sequence_length=3),),

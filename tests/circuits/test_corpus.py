@@ -1,0 +1,324 @@
+"""Tests of the corpus subsystem and file-backed circuit specs."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.aig.aiger import write_aiger
+from repro.aig.blif import write_blif
+from repro.api import Campaign, Problem, resume_campaign, run_campaign
+from repro.circuits import make_adder, make_multiplier
+from repro.circuits.corpus import (
+    CorpusError,
+    CorpusManifest,
+    build_corpus,
+    corpus_problems,
+    import_circuit,
+)
+from repro.circuits.files import (
+    CircuitFileError,
+    FileCircuitSpec,
+    file_circuit_spec,
+    is_file_circuit_name,
+    load_circuit_file,
+)
+from repro.circuits.registry import get_circuit, get_circuit_spec, resolve_width
+from repro.engine.spec import EvaluatorSpec
+
+
+class TestFileCircuitSpec:
+    def test_name_forms(self, tmp_path):
+        path = tmp_path / "c.aag"
+        write_aiger(make_adder(3), path)
+        assert is_file_circuit_name(f"file:{path}")
+        assert is_file_circuit_name(str(path))
+        assert not is_file_circuit_name("adder")
+        for name in (f"file:{path}", str(path)):
+            spec = get_circuit_spec(name)
+            assert isinstance(spec, FileCircuitSpec)
+            assert spec.file_backed
+            assert spec.format == "aiger-ascii"
+
+    def test_get_circuit_loads_file(self, tmp_path):
+        path = tmp_path / "mult.blif"
+        write_blif(make_multiplier(3), path)
+        aig = get_circuit(f"file:{path}")
+        assert aig.stats() == make_multiplier(3).cleanup().stats()
+
+    def test_width_is_pinned_to_zero(self, tmp_path):
+        path = tmp_path / "c.aag"
+        write_aiger(make_adder(3), path)
+        assert resolve_width(f"file:{path}") == 0
+        assert resolve_width(f"file:{path}", 16) == 0
+
+    def test_slug_is_relocation_stable(self, tmp_path):
+        path_a = tmp_path / "a" / "circuit.aag"
+        path_b = tmp_path / "b" / "renamed-dir" / "circuit.aag"
+        path_a.parent.mkdir()
+        path_b.parent.mkdir(parents=True)
+        write_aiger(make_adder(3), path_a)
+        shutil.copyfile(path_a, path_b)
+        assert (file_circuit_spec(str(path_a)).slug
+                == file_circuit_spec(str(path_b)).slug)
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(CircuitFileError, match="does not exist"):
+            get_circuit_spec(f"file:{tmp_path}/nope.aag")
+
+    def test_unknown_suffix_errors(self, tmp_path):
+        path = tmp_path / "c.xyz"
+        path.write_text("junk")
+        with pytest.raises(CircuitFileError, match="suffix"):
+            load_circuit_file(path)
+
+    def test_hash_verification(self, tmp_path):
+        path = tmp_path / "c.aag"
+        write_aiger(make_adder(3), path)
+        spec = file_circuit_spec(str(path))
+        load_circuit_file(path, expected_hash=spec.content_hash)  # fine
+        with pytest.raises(CircuitFileError, match="changed on disk"):
+            load_circuit_file(path, expected_hash="0" * 64)
+
+
+class TestEvaluatorSpecTransport:
+    def test_path_and_hash_travel_and_key_is_content_based(self, tmp_path):
+        path = tmp_path / "c.aag"
+        write_aiger(make_adder(3), path)
+        spec = EvaluatorSpec.for_circuit(f"file:{path}")
+        assert spec.width == 0
+        assert spec.circuit_file == str(path.resolve())
+        assert spec.circuit_hash
+        assert EvaluatorSpec.from_payload(spec.to_payload()) == spec
+        evaluator = spec.build_evaluator()
+        assert evaluator.cache_key == f"sha256:{spec.circuit_hash}:lut6"
+
+    def test_cache_key_stable_across_relocation(self, tmp_path):
+        original = tmp_path / "original" / "c.aag"
+        moved = tmp_path / "moved-elsewhere" / "c.aag"
+        original.parent.mkdir()
+        moved.parent.mkdir()
+        write_aiger(make_adder(3), original)
+        shutil.copyfile(original, moved)
+        key_a = EvaluatorSpec.for_circuit(f"file:{original}").build_evaluator().cache_key
+        key_b = EvaluatorSpec.for_circuit(f"file:{moved}").build_evaluator().cache_key
+        assert key_a == key_b
+
+    def test_worker_rejects_changed_file(self, tmp_path):
+        path = tmp_path / "c.aag"
+        write_aiger(make_adder(3), path)
+        spec = EvaluatorSpec.for_circuit(f"file:{path}")
+        write_aiger(make_adder(4), path)
+        with pytest.raises(CircuitFileError, match="changed on disk"):
+            spec.build_evaluator()
+
+
+class TestCorpusBuild:
+    def test_build_is_deterministic(self, tmp_path):
+        first = build_corpus(tmp_path / "a", count=5, seed=11)
+        second = build_corpus(tmp_path / "b", count=5, seed=11)
+        for entry_a, entry_b in zip(first.entries, second.entries):
+            assert entry_a.sha256 == entry_b.sha256
+            assert entry_a.stats == entry_b.stats
+        different = build_corpus(tmp_path / "c", count=5, seed=12)
+        assert [e.sha256 for e in different.entries] != \
+            [e.sha256 for e in first.entries]
+
+    def test_build_mixes_kinds_and_formats(self, tmp_path):
+        manifest = build_corpus(tmp_path / "corpus", count=6, seed=0)
+        kinds = {entry.source["kind"] for entry in manifest.entries}
+        formats = {entry.format for entry in manifest.entries}
+        assert kinds == {"layered", "windowed", "arith"}
+        assert formats == {"aiger-ascii", "blif", "bench"}
+        # Every file parses and matches its recorded stats and hash.
+        for entry in manifest.entries:
+            manifest.verify_entry(entry)
+            aig = load_circuit_file(manifest.entry_path(entry))
+            assert aig.stats() == entry.stats, entry.name
+
+    def test_build_appends_to_existing_corpus(self, tmp_path):
+        build_corpus(tmp_path / "corpus", count=3, seed=0)
+        manifest = build_corpus(tmp_path / "corpus", count=3, seed=1)
+        assert len(manifest.entries) == 6
+        assert len({entry.name for entry in manifest.entries}) == 6
+
+    def test_manifest_round_trip(self, tmp_path):
+        built = build_corpus(tmp_path / "corpus", count=3, seed=5)
+        loaded = CorpusManifest.load(tmp_path / "corpus")
+        assert [e.to_dict() for e in loaded.entries] == \
+            [e.to_dict() for e in built.entries]
+
+    def test_not_a_corpus_errors(self, tmp_path):
+        with pytest.raises(CorpusError, match="not a corpus directory"):
+            CorpusManifest.load(tmp_path)
+
+    def test_corrupt_manifest_is_never_silently_replaced(self, tmp_path):
+        """A torn/malformed corpus.json must fail, not orphan entries."""
+        build_corpus(tmp_path / "corpus", count=3, seed=0)
+        manifest_path = tmp_path / "corpus" / "corpus.json"
+        manifest_path.write_text('{"format_version": 1, "entries": [tor')
+        with pytest.raises(CorpusError, match="malformed"):
+            build_corpus(tmp_path / "corpus", count=1, seed=1)
+        healthy = tmp_path / "healthy.aag"
+        write_aiger(make_adder(3), healthy)
+        with pytest.raises(CorpusError, match="malformed"):
+            import_circuit(tmp_path / "corpus", healthy)
+        # The corrupt file is still there for forensics — untouched.
+        assert manifest_path.read_text().endswith("[tor")
+
+    def test_bad_kind_and_format_rejected(self, tmp_path):
+        with pytest.raises(CorpusError, match="unknown generator kind"):
+            build_corpus(tmp_path / "x", count=1, kinds=("volcanic",))
+        with pytest.raises(CorpusError, match="unknown circuit format"):
+            build_corpus(tmp_path / "x", count=1, formats=("pdf",))
+
+
+class TestImport:
+    def test_import_validates_and_copies(self, tmp_path):
+        source = tmp_path / "ext" / "my adder.aag"
+        source.parent.mkdir()
+        write_aiger(make_adder(3), source)
+        entry = import_circuit(tmp_path / "corpus", source)
+        assert entry.name == "my-adder"  # slugified
+        assert entry.source["kind"] == "imported"
+        manifest = CorpusManifest.load(tmp_path / "corpus")
+        manifest.verify_entry(manifest.entry("my-adder"))
+
+    def test_import_rejects_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.aag"
+        bad.write_text("aag 1 1 0 1\n")
+        with pytest.raises(CircuitFileError):
+            import_circuit(tmp_path / "corpus", bad)
+        assert not (tmp_path / "corpus" / "bad.aag").exists()
+
+    def test_import_never_clobbers_untracked_files(self, tmp_path):
+        """A hand-placed file inside the corpus dir must survive imports."""
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        stray = corpus / "adder.aag"
+        write_aiger(make_adder(5), stray)
+        stray_bytes = stray.read_bytes()
+
+        external = tmp_path / "adder.aag"
+        write_aiger(make_adder(3), external)
+        entry = import_circuit(corpus, external)
+        assert entry.name == "adder-2"  # renamed around the stray file
+        assert stray.read_bytes() == stray_bytes  # untouched
+
+    def test_import_in_place_file_is_adopted_not_renamed(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        resident = corpus / "resident.aag"
+        write_aiger(make_adder(3), resident)
+        entry = import_circuit(corpus, resident)
+        assert entry.name == "resident"
+        assert entry.file == "resident.aag"
+
+    def test_import_dedupes_names(self, tmp_path):
+        a = tmp_path / "a" / "c.aag"
+        b = tmp_path / "b" / "c.aag"
+        a.parent.mkdir()
+        b.parent.mkdir()
+        write_aiger(make_adder(3), a)
+        write_aiger(make_adder(4), b)
+        import_circuit(tmp_path / "corpus", a)
+        entry = import_circuit(tmp_path / "corpus", b)
+        assert entry.name == "c-2"
+
+
+class TestCorpusCampaigns:
+    def test_corpus_problems_and_verification(self, tmp_path):
+        manifest = build_corpus(tmp_path / "corpus", count=4, seed=2)
+        problems = corpus_problems(tmp_path / "corpus", sequence_length=3)
+        assert [p.name for p in problems] == [e.name for e in manifest.entries]
+        # Tampering with a file is caught at expansion time.
+        victim = manifest.entries[0]
+        write_aiger(make_adder(3), manifest.entry_path(victim))
+        with pytest.raises(CorpusError, match="changed on disk"):
+            corpus_problems(tmp_path / "corpus")
+
+    def test_mixed_corpus_campaign_jobs2_kill_resume(self, tmp_path):
+        """The acceptance scenario: mixed generated+imported corpus, a
+        campaign over it under ``jobs=2``, kill + resume bit-identical."""
+        build_corpus(tmp_path / "corpus", count=3, seed=4,
+                     num_gates=(20, 40))
+        external = tmp_path / "epfl-like.bench"
+        from repro.aig.bench import write_bench
+        write_bench(make_multiplier(3), external)
+        import_circuit(tmp_path / "corpus", external)
+
+        campaign = Campaign.from_corpus(
+            tmp_path / "corpus", methods=("rs",), budget=6,
+            sequence_length=3, name="corpus-acceptance")
+        assert len(campaign.problems) == 4
+        uninterrupted = run_campaign(campaign, tmp_path / "full", jobs=2)
+        assert all(record.status == "ok" for record in uninterrupted)
+
+        class _Kill(KeyboardInterrupt):
+            pass
+
+        def killer(cell_id, event):
+            if (event["kind"] == "round_completed"
+                    and event["round_index"] == 1
+                    and cell_id == uninterrupted[0].cell_id):
+                raise _Kill()
+
+        from repro.api import CampaignStore
+        killed = CampaignStore(tmp_path / "killed")
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(campaign, killed, jobs=2, on_event=killer)
+        resumed = resume_campaign(killed, jobs=2)
+        assert [r.to_dict() for r in resumed] == \
+            [r.to_dict() for r in uninterrupted]
+
+    def test_manifest_pins_hash_and_survives_reload(self, tmp_path):
+        build_corpus(tmp_path / "corpus", count=2, seed=9)
+        campaign = Campaign.from_corpus(tmp_path / "corpus", methods=("rs",),
+                                        budget=4, sequence_length=3)
+        resolved = campaign.validate().resolved()
+        for problem in resolved.problems:
+            assert problem.circuit_hash
+        reloaded = Campaign.from_dict(
+            json.loads(json.dumps(resolved.to_dict())))
+        assert [p.circuit_hash for p in reloaded.problems] == \
+            [p.circuit_hash for p in resolved.problems]
+
+    def test_key_and_show_survive_deleted_circuit_file(self, tmp_path, capsys):
+        """Inspecting a store must keep working after its circuit file
+        vanished: the pinned hash makes Problem.key filesystem-free."""
+        from repro.cli import main
+
+        circuit_file = tmp_path / "mine.aag"
+        write_aiger(make_adder(4), circuit_file)
+        problem = Problem(f"file:{circuit_file}", sequence_length=3)
+        campaign = Campaign(problems=(problem,), methods=("rs",), seeds=(0,),
+                            budget=4, name="doomed-file")
+        store = tmp_path / "run"
+        records = run_campaign(campaign, store)
+        assert records[0].status == "ok"
+
+        circuit_file.unlink()
+        assert main(["show", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "unavailable" in out  # stats degrade gracefully
+        assert "1/1 complete" in out
+
+        # An *edited* file must not have its stats presented (or cached)
+        # as if they were the run's circuit.
+        write_aiger(make_adder(6), circuit_file)
+        assert main(["show", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "changed on disk" in out
+        import json as json_module
+        cache = json_module.loads(
+            (store / "circuit_stats.json").read_text()
+            if (store / "circuit_stats.json").exists() else "{}")
+        assert cache == {}  # wrong stats were never cached
+
+    def test_subset_selection(self, tmp_path):
+        manifest = build_corpus(tmp_path / "corpus", count=4, seed=1)
+        names = [manifest.entries[2].name, manifest.entries[0].name]
+        problems = corpus_problems(tmp_path / "corpus", names=names)
+        assert [p.name for p in problems] == names
+        with pytest.raises(CorpusError, match="no entry"):
+            corpus_problems(tmp_path / "corpus", names=["ghost"])

@@ -16,6 +16,23 @@ from repro.bo.space import SequenceSpace
 from repro.circuits import make_adder, make_multiplier, make_square_root
 from repro.qor import QoREvaluator
 
+#: Default base seed of the differential fuzz suite; CI rotates it per
+#: run via ``--fuzz-seed=$GITHUB_RUN_ID``.
+DEFAULT_FUZZ_SEED = 20260730
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--fuzz-seed", type=int, default=DEFAULT_FUZZ_SEED, metavar="SEED",
+        help="base seed of the differential fuzz suite "
+             "(tests/properties/test_fuzz_substrate.py); every failure "
+             "message names the seed that reproduces it")
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed(request) -> int:
+    return int(request.config.getoption("--fuzz-seed"))
+
 
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:

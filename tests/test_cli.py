@@ -233,3 +233,90 @@ class TestTableLutSize:
         main(["table", "--circuits", "adder", "--methods", "rs",
               "--budget", "3", "--sequence-length", "3"])
         assert "legacy shim" in capsys.readouterr().err
+
+
+class TestCorpusCommands:
+    def _build(self, tmp_path, capsys, count=3):
+        dest = str(tmp_path / "corpus")
+        assert main(["corpus", "build", "--dest", dest, "--count", str(count),
+                     "--seed", "2", "--max-gates", "40"]) == 0
+        capsys.readouterr()
+        return dest
+
+    def test_corpus_build_and_list(self, capsys, tmp_path):
+        dest = self._build(tmp_path, capsys)
+        assert main(["circuits", "list", "--corpus", dest]) == 0
+        out = capsys.readouterr().out
+        assert "layered-002-000" in out
+        assert "ands" in out
+
+    def test_circuits_list_without_corpus_lists_registry(self, capsys):
+        assert main(["circuits", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out and "multiplier" in out
+
+    def test_circuits_stats_named_circuit(self, capsys):
+        assert main(["circuits", "stats", "--circuit", "adder",
+                     "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "AND nodes" in out and "AIG levels" in out
+
+    def test_circuits_stats_on_file(self, capsys, tmp_path):
+        from repro.aig.aiger import write_aiger
+        from repro.circuits import make_adder
+
+        path = tmp_path / "c.aag"
+        write_aiger(make_adder(4), path)
+        assert main(["circuits", "stats", "--circuit", str(path)]) == 0
+        assert "inputs       : 8" in capsys.readouterr().out
+
+    def test_circuits_stats_corpus_table(self, capsys, tmp_path):
+        dest = self._build(tmp_path, capsys)
+        assert main(["circuits", "stats", "--corpus", dest]) == 0
+        assert "total: 3 circuit(s)" in capsys.readouterr().out
+
+    def test_circuits_stats_requires_one_target(self, capsys):
+        assert main(["circuits", "stats"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_circuits_import(self, capsys, tmp_path):
+        from repro.aig.bench import write_bench
+        from repro.circuits import make_multiplier
+
+        dest = self._build(tmp_path, capsys)
+        source = tmp_path / "ext.bench"
+        write_bench(make_multiplier(3), source)
+        assert main(["circuits", "import", "--corpus", dest,
+                     str(source)]) == 0
+        assert "imported" in capsys.readouterr().out
+        assert main(["circuits", "list", "--corpus", dest]) == 0
+        assert "ext" in capsys.readouterr().out
+
+    def test_run_over_corpus_and_show_stats(self, capsys, tmp_path):
+        dest = self._build(tmp_path, capsys)
+        store = str(tmp_path / "run")
+        assert main(["run", "--corpus", dest, "--methods", "rs",
+                     "--budget", "3", "--sequence-length", "3",
+                     "--store", store, "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["show", "--store", store]) == 0
+        shown = capsys.readouterr().out
+        assert "3/3 complete" in shown
+        # Circuit stats are surfaced per problem in `repro show`.
+        assert "circuits      :" in shown
+        assert "pis" in shown and "levels" in shown
+
+    def test_run_on_single_file_circuit(self, capsys, tmp_path):
+        from repro.aig.aiger import write_aiger
+        from repro.circuits import make_adder
+
+        path = tmp_path / "mine.aag"
+        write_aiger(make_adder(4), path)
+        assert main(["run", "--circuits", f"file:{path}", "--methods", "rs",
+                     "--budget", "3", "--sequence-length", "3"]) == 0
+        assert "Figure 3 (top)" in capsys.readouterr().out
+
+    def test_run_over_missing_corpus_errors(self, capsys, tmp_path):
+        assert main(["run", "--corpus", str(tmp_path / "ghost"),
+                     "--methods", "rs"]) == 2
+        assert "not a corpus directory" in capsys.readouterr().err
