@@ -32,6 +32,15 @@ from repro.api.campaign import Campaign, CampaignCell, env_int
 from repro.api.problem import Problem, objective_slug
 from repro.api.run import resume_campaign, run_campaign, run_problem
 from repro.api.store import CampaignStore, RunRecord, StoreError
+from repro.engine.faults import (
+    DeadlineExceeded,
+    EngineFaultError,
+    FaultEvent,
+    FaultPlan,
+    PoisonInputError,
+    PoolUnrecoverableError,
+    RetryPolicy,
+)
 from repro.bo.base import (
     BudgetExhausted,
     DriveProgress,
@@ -66,9 +75,16 @@ __all__ = [
     "Campaign",
     "CampaignCell",
     "CampaignStore",
+    "DeadlineExceeded",
     "DriveProgress",
     "EarlyStopped",
+    "EngineFaultError",
+    "FaultEvent",
+    "FaultPlan",
     "IncumbentImproved",
+    "PoisonInputError",
+    "PoolUnrecoverableError",
+    "RetryPolicy",
     "RoundCompleted",
     "RoundStarted",
     "RunEvent",

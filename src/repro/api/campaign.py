@@ -95,6 +95,15 @@ class Campaign:
         Optional per-cell early-stop threshold: a cell ends as soon as
         its best QoR improvement (percent over the reference flow)
         reaches this value.  Deterministic, unlike the wall clock.
+    eval_timeout:
+        Optional per-evaluation deadline in seconds, enforced inside
+        every ``compute()`` (SIGALRM).  An evaluation that blows it is
+        retried per the driver's :class:`~repro.engine.faults.RetryPolicy`
+        before the cell is quarantined.
+    cell_timeout:
+        Optional per-cell-attempt deadline in seconds, enforced by the
+        campaign driver.  A cell that blows it is cancelled (its worker
+        recycled under ``jobs>1``) and retried from its last checkpoint.
     """
 
     problems: Tuple[Problem, ...]
@@ -105,6 +114,8 @@ class Campaign:
     name: str = "campaign"
     wall_clock_budget: Optional[float] = None
     early_stop_improvement: Optional[float] = None
+    eval_timeout: Optional[float] = None
+    cell_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "problems", tuple(
@@ -127,6 +138,10 @@ class Campaign:
             raise ValueError("budget must be at least 1")
         if self.wall_clock_budget is not None and self.wall_clock_budget <= 0:
             raise ValueError("wall_clock_budget must be positive (seconds)")
+        if self.eval_timeout is not None and self.eval_timeout <= 0:
+            raise ValueError("eval_timeout must be positive (seconds)")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (seconds)")
         for method in self.methods:
             OPTIMISERS.get(method)
         for key in self.method_overrides:
@@ -230,6 +245,8 @@ class Campaign:
                                  for key, value in self.method_overrides.items()},
             "wall_clock_budget": self.wall_clock_budget,
             "early_stop_improvement": self.early_stop_improvement,
+            "eval_timeout": self.eval_timeout,
+            "cell_timeout": self.cell_timeout,
         }
 
     @classmethod
@@ -258,6 +275,14 @@ class Campaign:
             early_stop_improvement=(
                 float(payload["early_stop_improvement"])  # type: ignore[arg-type]
                 if payload.get("early_stop_improvement") is not None else None
+            ),
+            eval_timeout=(
+                float(payload["eval_timeout"])  # type: ignore[arg-type]
+                if payload.get("eval_timeout") is not None else None
+            ),
+            cell_timeout=(
+                float(payload["cell_timeout"])  # type: ignore[arg-type]
+                if payload.get("cell_timeout") is not None else None
             ),
         )
 

@@ -19,22 +19,41 @@ its last checkpoint, with the continued trajectory and final record
 bit-identical to an uninterrupted run.  A cell whose optimiser raises
 is recorded as a failed-cell :class:`~repro.api.store.RunRecord` (the
 campaign keeps going); ``resume`` retries failed cells.
+
+The driver is also *fault-tolerant*: transient infrastructure trouble —
+a cell blowing its ``cell_timeout``/``eval_timeout``, a worker process
+dying (``BrokenProcessPool``), an injected fault — is retried with
+backoff per a :class:`~repro.engine.faults.RetryPolicy`, resuming the
+cell from its last checkpoint so the recovered run stays bit-identical.
+The pool itself is rebuilt up to ``max_pool_rebuilds`` times before the
+run aborts with :class:`~repro.engine.faults.PoolUnrecoverableError`,
+and a cell that exhausts ``max_attempts`` is stamped ``quarantined``
+(skipped by resume) while the rest of the campaign finishes.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import queue as queue_module
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.campaign import Campaign, CampaignCell
 from repro.api.problem import Problem
 from repro.api.store import CampaignStore, RunRecord
 from repro.bo.base import OptimisationResult
-from repro.engine import worker
-from repro.engine.engine import EvaluationEngine, resolve_jobs
+from repro.engine import faults, worker
+from repro.engine.engine import EvaluationEngine, _terminate_pool, resolve_jobs
+from repro.engine.faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    PoolUnrecoverableError,
+    RetryPolicy,
+)
 from repro.engine.grid import build_cell_payload
 
 ProgressCallback = Callable[[str], None]
@@ -48,10 +67,16 @@ def _cell_payload(
     campaign: Campaign,
     store: Optional[CampaignStore] = None,
     checkpoint_every: int = 0,
+    attempt: int = 0,
+    fault_plan: Optional[str] = None,
 ) -> Dict[str, object]:
+    spec = cell.problem.evaluator_spec()
+    if campaign.eval_timeout is not None or fault_plan is not None:
+        spec = dataclasses.replace(spec, eval_timeout=campaign.eval_timeout,
+                                   fault_plan=fault_plan)
     return build_cell_payload(
         index=cell.index,
-        spec=cell.problem.evaluator_spec(),
+        spec=spec,
         method_key=cell.method,
         seed=cell.seed,
         budget=campaign.budget,
@@ -62,6 +87,7 @@ def _cell_payload(
         checkpoint_every=checkpoint_every if store is not None else 0,
         wall_clock_budget=campaign.wall_clock_budget,
         early_stop_improvement=campaign.early_stop_improvement,
+        attempt=attempt,
     )
 
 
@@ -118,6 +144,10 @@ def run_campaign(
     progress: Optional[ProgressCallback] = None,
     on_event: Optional[EventCallback] = None,
     checkpoint_every: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[Union[str, FaultPlan]] = None,
+    retry_quarantined: bool = False,
+    sleep: Optional[Callable[[float], None]] = None,
 ) -> List[RunRecord]:
     """Run (or continue) a campaign; returns records in cell order.
 
@@ -149,6 +179,19 @@ def run_campaign(
     checkpoint_every:
         Checkpoint cadence in rounds (store runs only); ``0`` disables
         mid-cell checkpoints (per-round trajectories are still written).
+    retry:
+        Retry policy for transient faults (deadlines, worker crashes).
+        Defaults to :class:`RetryPolicy()`.
+    fault_plan:
+        Deterministic fault-injection schedule (testing/CI only): a
+        :class:`~repro.engine.faults.FaultPlan` or its JSON string,
+        threaded into every cell's evaluator spec.
+    retry_quarantined:
+        Re-run cells previously stamped ``quarantined`` instead of
+        skipping them (the ``resume --retry-quarantined`` path).
+    sleep:
+        Injectable backoff sleeper; tests pass a recorder so assertions
+        never depend on wall-clock sleeps.
     """
     campaign = campaign.validate().resolved()
     campaign_store: Optional[CampaignStore] = None
@@ -156,15 +199,27 @@ def run_campaign(
         campaign_store = store if isinstance(store, CampaignStore) else CampaignStore(store)
         campaign = campaign_store.initialise(campaign)
 
+    policy = retry or RetryPolicy()
+    backoff_sleep = sleep or time.sleep
+    plan_json: Optional[str] = None
+    if fault_plan is not None:
+        plan_json = (fault_plan.to_json() if isinstance(fault_plan, FaultPlan)
+                     else str(fault_plan))
+
     cells = campaign.cells()
-    completed = campaign_store.completed_cell_ids() if campaign_store else set()
+    statuses = campaign_store.cell_statuses() if campaign_store else {}
     records: List[Optional[RunRecord]] = [None] * len(cells)
     pending: List[CampaignCell] = []
     for cell in cells:
-        if cell.cell_id in completed:
+        status = statuses.get(cell.cell_id)
+        if status == "ok":
             records[cell.index] = campaign_store.read_record(cell.cell_id)
             if progress is not None:
                 progress(_progress_message(cell, "cached"))
+        elif status == "quarantined" and not retry_quarantined:
+            records[cell.index] = campaign_store.read_record(cell.cell_id)
+            if progress is not None:
+                progress(_progress_message(cell, "quarantined (skipped)"))
         else:
             pending.append(cell)
 
@@ -191,21 +246,65 @@ def run_campaign(
         if progress is not None:
             progress(_progress_message(cell, f"failed: {error}"))
 
+    def _finish_quarantine(cell: CampaignCell, error: BaseException,
+                           attempts: int) -> None:
+        # The checkpoint is deliberately *kept*: `resume
+        # --retry-quarantined` continues from it bit-identically.
+        record = RunRecord.from_quarantine(cell, campaign.budget, error,
+                                           attempts)
+        records[cell.index] = record
+        if campaign_store is not None:
+            campaign_store.write_record(record)
+        if progress is not None:
+            progress(_progress_message(
+                cell, f"quarantined after {attempts} attempts: {error}"))
+
+    attempts: Dict[str, int] = {}
+
+    def _handle_retryable(cell: CampaignCell, error: BaseException,
+                          requeue: Callable[[CampaignCell], None]) -> None:
+        """Bump a cell's attempt count; requeue or quarantine it."""
+        attempts[cell.cell_id] = attempts.get(cell.cell_id, 0) + 1
+        count = attempts[cell.cell_id]
+        if count >= policy.max_attempts:
+            _finish_quarantine(cell, error, count)
+            return
+        delay = policy.delay_for(count, cell.cell_id)
+        if delay > 0:
+            backoff_sleep(delay)
+        if progress is not None:
+            progress(_progress_message(
+                cell, f"retry {count + 1}/{policy.max_attempts}: {error}"))
+        requeue(cell)
+
     jobs = resolve_jobs(jobs)
-    payloads = [_cell_payload(cell, campaign, campaign_store, checkpoint_every)
-                for cell in pending]
-    if jobs <= 1 or len(payloads) <= 1:
+
+    def _payload_for(cell: CampaignCell) -> Dict[str, object]:
+        return _cell_payload(cell, campaign, campaign_store, checkpoint_every,
+                             attempt=attempts.get(cell.cell_id, 0),
+                             fault_plan=plan_json)
+
+    if jobs <= 1 or len(pending) <= 1:
         worker.init_campaign_worker(cache_dir)
         sink = _guard_sink(on_event)
-        for payload in payloads:
-            cell = cells_by_index[int(payload["index"])]  # type: ignore[arg-type]
+        queue: deque = deque(pending)
+        while queue:
+            cell = queue.popleft()
+            # Built outside the isolation block: a payload that cannot be
+            # built (e.g. a pinned circuit hash no longer matching disk)
+            # is a campaign-level configuration error, not a failed cell.
+            payload = _payload_for(cell)
             try:
-                index, result = worker.run_campaign_cell(payload,
-                                                         event_sink=sink)
+                with faults.deadline(campaign.cell_timeout, scope="cell"):
+                    index, result = worker.run_campaign_cell(
+                        payload, event_sink=sink)
             except _CallbackError as error:
                 raise error.original
             except Exception as error:  # noqa: BLE001 - cell isolation
-                _finish_failure(cell, error)
+                if RetryPolicy.retryable(error):
+                    _handle_retryable(cell, error, queue.append)
+                else:
+                    _finish_failure(cell, error)
             else:
                 _finish(index, result)
     else:
@@ -215,38 +314,11 @@ def run_campaign(
             manager = multiprocessing.Manager()
             event_queue = manager.Queue()
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(payloads)),
-                initializer=worker.init_campaign_worker,
-                initargs=(cache_dir, event_queue),
-            ) as pool:
-                futures = {pool.submit(worker.run_campaign_cell, payload): payload
-                           for payload in payloads}
-                waiting = set(futures)
-                while waiting:
-                    done, waiting = wait(
-                        waiting,
-                        timeout=0.1 if event_queue is not None else None,
-                        return_when=FIRST_COMPLETED,
-                    )
-                    _drain_events(event_queue, on_event)
-                    for future in done:
-                        cell = cells_by_index[
-                            int(futures[future]["index"])]  # type: ignore[arg-type]
-                        try:
-                            index, result = future.result()
-                        except BrokenProcessPool:
-                            # Infrastructure failure (a worker died hard),
-                            # not an optimiser bug: abort instead of
-                            # stamping every pending cell as failed.
-                            raise
-                        except Exception as error:  # noqa: BLE001 - cell isolation
-                            _finish_failure(cell, error)
-                        else:
-                            _finish(index, result)
-                # Workers enqueue all of a cell's events before its future
-                # resolves, so one final drain collects every straggler.
-                _drain_events(event_queue, on_event)
+            _run_parallel(
+                pending, jobs, cache_dir, event_queue,
+                on_event, campaign, policy,
+                _payload_for, _finish, _finish_failure, _handle_retryable,
+            )
         finally:
             if manager is not None:
                 manager.shutdown()
@@ -257,6 +329,158 @@ def run_campaign(
     return records  # type: ignore[return-value]
 
 
+def _run_parallel(
+    pending: List[CampaignCell],
+    jobs: int,
+    cache_dir: Optional[str],
+    event_queue,
+    on_event: Optional[EventCallback],
+    campaign: Campaign,
+    policy: RetryPolicy,
+    payload_for: Callable[[CampaignCell], Dict[str, object]],
+    finish: Callable[[int, OptimisationResult], None],
+    finish_failure: Callable[[CampaignCell, BaseException], None],
+    handle_retryable: Callable[..., None],
+) -> None:
+    """The supervised parallel loop: self-healing pool + deadlines.
+
+    Submission is throttled to ``jobs`` futures in flight so every
+    in-flight future corresponds to a cell actually *running* in a
+    worker.  That is what makes recovery tractable: when the pool breaks
+    or a deadline blows, the suspect set is exactly the in-flight cells
+    — each is retried from its last checkpoint (bit-identical), and only
+    cells implicated repeatedly reach quarantine.
+    """
+    queue: deque = deque(pending)
+    in_flight: Dict[Future, Tuple[CampaignCell, float]] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    crash_rebuilds = 0
+    tick = 0.1 if (event_queue is not None
+                   or campaign.cell_timeout is not None) else None
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(jobs, max(1, len(pending))),
+            initializer=worker.init_campaign_worker,
+            initargs=(cache_dir, event_queue, True),
+        )
+
+    def recycle_pool() -> None:
+        nonlocal pool
+        if pool is not None:
+            _terminate_pool(pool)
+            pool = None
+
+    def crash_recovery(error: BaseException) -> None:
+        """The pool died: settle finished futures, retry the suspects."""
+        nonlocal crash_rebuilds
+        crash_rebuilds += 1
+        if crash_rebuilds > policy.max_pool_rebuilds:
+            recycle_pool()
+            raise PoolUnrecoverableError(
+                f"campaign pool died {crash_rebuilds} times "
+                f"(> {policy.max_pool_rebuilds} rebuilds): {error}"
+            ) from error
+        # Futures that finished before the crash carry real results —
+        # settle them first so their cells are not needlessly re-run.
+        suspects: List[CampaignCell] = []
+        for future, (cell, _) in sorted(in_flight.items(),
+                                        key=lambda kv: kv[1][0].index):
+            if future.done():
+                try:
+                    index, result = future.result()
+                except BrokenProcessPool:
+                    suspects.append(cell)
+                except Exception as cell_error:  # noqa: BLE001
+                    if RetryPolicy.retryable(cell_error):
+                        handle_retryable(cell, cell_error, queue.append)
+                    else:
+                        finish_failure(cell, cell_error)
+                else:
+                    finish(index, result)
+            else:
+                suspects.append(cell)
+        in_flight.clear()
+        recycle_pool()
+        for cell in suspects:
+            handle_retryable(cell, error, queue.append)
+
+    try:
+        while queue or in_flight:
+            while queue and len(in_flight) < jobs:
+                cell = queue.popleft()
+                if pool is None:
+                    pool = make_pool()
+                try:
+                    future = pool.submit(worker.run_campaign_cell,
+                                         payload_for(cell))
+                except BrokenProcessPool as error:
+                    queue.appendleft(cell)
+                    crash_recovery(error)
+                    continue
+                in_flight[future] = (cell, time.monotonic())
+            if not in_flight:
+                continue
+            done, _ = wait(set(in_flight), timeout=tick,
+                           return_when=FIRST_COMPLETED)
+            _drain_events(event_queue, on_event)
+            broken: Optional[BrokenProcessPool] = None
+            for future in sorted(done,
+                                 key=lambda f: in_flight[f][0].index):
+                cell, _ = in_flight.pop(future)
+                try:
+                    index, result = future.result()
+                except BrokenProcessPool as error:
+                    # The cell whose future broke is a crash suspect like
+                    # any other in-flight cell: retry it with an attempt
+                    # bump, or the same injected/systematic crash would
+                    # re-fire on every resubmission.
+                    broken = error
+                    handle_retryable(cell, error, queue.append)
+                except Exception as error:  # noqa: BLE001 - cell isolation
+                    if RetryPolicy.retryable(error):
+                        handle_retryable(cell, error, queue.append)
+                    else:
+                        finish_failure(cell, error)
+                else:
+                    finish(index, result)
+            if broken is not None:
+                crash_recovery(broken)
+                continue
+            if campaign.cell_timeout is not None and in_flight:
+                now = time.monotonic()
+                overdue = {future for future, (_, started) in in_flight.items()
+                           if now - started > campaign.cell_timeout}
+                if overdue:
+                    # A wedged worker: kill the whole pool (executors
+                    # cannot cancel a running task), blame only the
+                    # overdue cells and restart the innocent ones from
+                    # their checkpoints — bit-identical by the resume
+                    # guarantee.  Deadline recycles are bounded by the
+                    # per-cell attempt budget, so they do not count
+                    # against the crash-rebuild budget.
+                    victims = [(future, cell) for future, (cell, _)
+                               in in_flight.items()]
+                    in_flight.clear()
+                    recycle_pool()
+                    for future, cell in sorted(victims,
+                                               key=lambda fc: fc[1].index):
+                        if future in overdue:
+                            handle_retryable(
+                                cell,
+                                DeadlineExceeded("cell",
+                                                 campaign.cell_timeout),
+                                queue.append)
+                        else:
+                            queue.append(cell)
+        # Workers enqueue all of a cell's events before its future
+        # resolves, so one final drain collects every straggler.
+        _drain_events(event_queue, on_event)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
 def resume_campaign(
     store: Union[str, CampaignStore],
     *,
@@ -265,20 +489,27 @@ def resume_campaign(
     progress: Optional[ProgressCallback] = None,
     on_event: Optional[EventCallback] = None,
     checkpoint_every: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[Union[str, FaultPlan]] = None,
+    retry_quarantined: bool = False,
+    sleep: Optional[Callable[[float], None]] = None,
 ) -> List[RunRecord]:
     """Continue the campaign stored in a run directory.
 
     Loads the manifest and runs exactly the cells without a completed
     record: untouched cells start fresh, *partially finished* cells
     (mid-cell checkpoint present) continue from their checkpoint
-    bit-identically, and failed cells are retried.  A directory whose
+    bit-identically, and failed cells are retried.  Quarantined cells
+    are skipped unless ``retry_quarantined`` is set.  A directory whose
     every cell is complete returns immediately with the stored records.
     """
     campaign_store = store if isinstance(store, CampaignStore) else CampaignStore(store)
     campaign = campaign_store.load_campaign()
     return run_campaign(campaign, campaign_store, jobs=jobs,
                         cache_dir=cache_dir, progress=progress,
-                        on_event=on_event, checkpoint_every=checkpoint_every)
+                        on_event=on_event, checkpoint_every=checkpoint_every,
+                        retry=retry, fault_plan=fault_plan,
+                        retry_quarantined=retry_quarantined, sleep=sleep)
 
 
 def run_problem(

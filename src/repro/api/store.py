@@ -99,10 +99,16 @@ class RunRecord:
     result payload (including optimiser-specific :attr:`metadata`) plus
     the cell identity and objective it was produced under.
 
-    :attr:`status` is ``"ok"`` for a completed cell and ``"failed"`` for
-    a cell whose optimiser raised (the error text lives in
-    ``metadata["error"]``); failed records keep the campaign running and
-    are *retried* — not skipped — by ``resume_campaign``.
+    :attr:`status` is ``"ok"`` for a completed cell, ``"failed"`` for a
+    cell whose optimiser raised (the error text lives in
+    ``metadata["error"]``) and ``"quarantined"`` for a cell the driver
+    gave up on after exhausting its retry budget (transient-looking
+    faults — deadline blowouts, worker crashes — that kept recurring).
+    Failed records keep the campaign running and are *retried* — not
+    skipped — by ``resume_campaign``; quarantined records are *skipped*
+    on resume (opt back in with ``retry_quarantined``) and carry the
+    reproducing ``(circuit_hash, sequence, seed)`` in
+    ``metadata["quarantine"]``.
     """
 
     cell_id: str
@@ -128,6 +134,14 @@ class RunRecord:
     @property
     def failed(self) -> bool:
         return self.status == "failed"
+
+    @property
+    def quarantined(self) -> bool:
+        return self.status == "quarantined"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -188,6 +202,37 @@ class RunRecord:
             num_evaluations=0,
             metadata={"error": f"{type(error).__name__}: {error}"},
             status="failed",
+        )
+
+    @classmethod
+    def from_quarantine(
+        cls,
+        cell: CampaignCell,
+        budget: int,
+        error: BaseException,
+        attempts: int,
+    ) -> "RunRecord":
+        """Sentinel record for a cell retired after exhausting retries.
+
+        Besides the error text, the metadata carries the reproducing
+        triple — circuit hash, offending sequence (when a deadline or
+        poison error identified one) and seed — so the input can be
+        replayed in isolation.
+        """
+        record = cls.from_failure(cell, budget, error)
+        sequence = getattr(error, "sequence", None)
+        return dataclasses.replace(
+            record,
+            status="quarantined",
+            metadata={
+                "error": f"{type(error).__name__}: {error}",
+                "attempts": int(attempts),
+                "quarantine": {
+                    "circuit_hash": cell.problem.circuit_hash,
+                    "sequence": list(sequence) if sequence else None,
+                    "seed": cell.seed,
+                },
+            },
         )
 
     def to_result(self) -> OptimisationResult:
@@ -320,7 +365,7 @@ class CampaignStore:
         return self.cells_dir / f"{cell_id}.jsonl"
 
     def _record_status(self, path: Path) -> Optional[str]:
-        """Status of the record at ``path``: ok/failed, ``None`` if torn."""
+        """Status of the record at ``path``, ``None`` if torn/unreadable."""
         try:
             lines = [line for line in
                      path.read_text(encoding="utf-8").splitlines() if line.strip()]
@@ -330,20 +375,30 @@ class CampaignStore:
         except (OSError, ValueError):
             return None
 
+    def record_status(self, cell_id: str) -> Optional[str]:
+        """Status of one cell's final record, ``None`` if absent/torn.
+
+        A torn record (interrupted write, truncated file, invalid JSON)
+        reads as ``None`` — the cell counts as never finished, so resume
+        re-runs it instead of trusting half a record.
+        """
+        return self._record_status(self.cell_path(cell_id))
+
     def cell_statuses(self) -> Dict[str, str]:
         """One-scan status map over every cell the store knows about.
 
-        Values: ``"ok"`` / ``"failed"`` from the final records, plus
-        ``"partial"`` for cells that only have a mid-run checkpoint.
-        Derived sets (:meth:`completed_cell_ids` & co.) are views over
-        this map; callers polling repeatedly (``show --follow``) should
-        call this once per tick instead of stacking the set queries.
+        Values: ``"ok"`` / ``"failed"`` / ``"quarantined"`` from the
+        final records, plus ``"partial"`` for cells that only have a
+        mid-run checkpoint.  Derived sets (:meth:`completed_cell_ids` &
+        co.) are views over this map; callers polling repeatedly
+        (``show --follow``) should call this once per tick instead of
+        stacking the set queries.
         """
         statuses: Dict[str, str] = {}
         if self.cells_dir.is_dir():
             for path in self.cells_dir.glob("*.jsonl"):
                 status = self._record_status(path)
-                if status in ("ok", "failed"):
+                if status in ("ok", "failed", "quarantined"):
                     statuses[path.stem] = status
         if self.checkpoints_dir.is_dir():
             for path in self.checkpoints_dir.glob("*.json"):
@@ -360,6 +415,16 @@ class CampaignStore:
         """Cells whose last attempt raised (see :meth:`RunRecord.from_failure`)."""
         return {cell_id for cell_id, status in self.cell_statuses().items()
                 if status == "failed"}
+
+    def quarantined_cell_ids(self) -> Set[str]:
+        """Cells retired after exhausting their retry budget.
+
+        Skipped by resume (unlike failed cells) until the operator opts
+        back in with ``retry_quarantined``; the reproducing input lives
+        in the record's ``metadata["quarantine"]``.
+        """
+        return {cell_id for cell_id, status in self.cell_statuses().items()
+                if status == "quarantined"}
 
     def partial_cell_ids(self) -> Set[str]:
         """Cells with a mid-run checkpoint but no final record at all.

@@ -38,6 +38,7 @@ from repro.circuits.fuzz import FUZZ_KINDS, FuzzSpec
 from repro.circuits.files import (
     CIRCUIT_SUFFIXES,
     FILE_PREFIX,
+    CircuitFileError,
     file_format_for,
     hash_circuit_file,
     load_circuit_file,
@@ -342,6 +343,52 @@ def import_circuit(
     manifest.entries.append(entry)
     manifest.save()
     return entry
+
+
+# ----------------------------------------------------------------------
+# Batch verification
+# ----------------------------------------------------------------------
+def verify_corpus(
+    root: Union[str, Path],
+    names: Optional[Sequence[str]] = None,
+) -> List[Tuple[CorpusEntry, Optional[str]]]:
+    """Re-check every entry of a corpus manifest against disk.
+
+    For each entry (or each selected ``names``) the file's existence and
+    content hash are verified, the circuit is re-parsed, and its
+    structural stats are compared against the manifest's recorded stats.
+    Returns ``(entry, problem)`` pairs where ``problem`` is ``None`` for
+    a clean entry or a one-line description of the mismatch — no
+    campaign expansion, no evaluator construction, just the integrity
+    sweep behind ``repro corpus verify``.
+    """
+    manifest = CorpusManifest.load(root)
+    if not manifest.entries:
+        raise CorpusError(f"corpus {manifest.root} has no entries")
+    selected = (manifest.entries if names is None
+                else [manifest.entry(name) for name in names])
+    results: List[Tuple[CorpusEntry, Optional[str]]] = []
+    for entry in selected:
+        problem: Optional[str] = None
+        try:
+            manifest.verify_entry(entry)
+            aig = load_circuit_file(manifest.entry_path(entry))
+        except (CorpusError, CircuitFileError) as error:
+            problem = str(error)
+        else:
+            if entry.stats:
+                actual = aig.stats()
+                mismatched = {
+                    key: (recorded, actual.get(key))
+                    for key, recorded in entry.stats.items()
+                    if key in actual and int(actual[key]) != int(recorded)
+                }
+                if mismatched:
+                    problem = (f"stats mismatch: " + ", ".join(
+                        f"{key} {got} != recorded {want}"
+                        for key, (want, got) in sorted(mismatched.items())))
+        results.append((entry, problem))
+    return results
 
 
 # ----------------------------------------------------------------------

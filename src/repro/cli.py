@@ -53,9 +53,12 @@ from repro.api import (
 from repro.bo.space import SequenceSpace
 from repro.circuits import get_circuit, list_circuits
 from repro.engine import (
+    EngineFaultError,
     EvaluationEngine,
     EvaluatorSpec,
+    FaultPlan,
     PersistentQoRCache,
+    RetryPolicy,
     default_cache_dir,
     resolve_jobs,
 )
@@ -72,6 +75,54 @@ from repro.mapping import map_aig
 from repro.qor import QoREvaluator
 from repro.registry import OBJECTIVES
 from repro.synth.operations import sequence_to_string, string_to_sequence
+
+
+def _add_fault_tolerance_arguments(command: argparse.ArgumentParser) -> None:
+    """Deadline/retry/fault-injection flags shared by run and resume."""
+    group = command.add_argument_group("fault tolerance")
+    group.add_argument("--eval-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-evaluation deadline; a blown evaluation is "
+                            "retried, then the cell quarantined")
+    group.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell-attempt deadline; a blown cell is "
+                            "recycled and retried from its checkpoint")
+    group.add_argument("--max-attempts", type=int, default=None, metavar="K",
+                       help="attempts per cell before quarantine (default 3)")
+    group.add_argument("--retry-backoff", type=float, default=None,
+                       metavar="SECONDS",
+                       help="base retry backoff delay (default 0.25, doubled "
+                            "per attempt with deterministic jitter)")
+    group.add_argument("--pool-rebuilds", type=int, default=None, metavar="N",
+                       help="worker-pool rebuilds after crashes before the "
+                            "run aborts as unrecoverable (default 2)")
+    group.add_argument("--fault-plan", default=None, metavar="PLAN",
+                       help="deterministic fault-injection schedule for "
+                            "testing recovery: inline JSON or a file path "
+                            "(default: the REPRO_FAULT_PLAN env var)")
+
+
+def _retry_policy_from_args(args) -> Optional[RetryPolicy]:
+    if (args.max_attempts is None and args.retry_backoff is None
+            and args.pool_rebuilds is None):
+        return None
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_attempts=(args.max_attempts if args.max_attempts is not None
+                      else defaults.max_attempts),
+        backoff_base=(args.retry_backoff if args.retry_backoff is not None
+                      else defaults.backoff_base),
+        max_pool_rebuilds=(args.pool_rebuilds if args.pool_rebuilds is not None
+                           else defaults.max_pool_rebuilds),
+    )
+
+
+def _fault_plan_from_args(args) -> Optional[FaultPlan]:
+    import os
+
+    raw = args.fault_plan or os.environ.get("REPRO_FAULT_PLAN", "").strip()
+    return FaultPlan.from_argument(raw) if raw else None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -134,6 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "reaches this percentage")
     run.add_argument("--no-round-progress", action="store_true",
                      help="suppress the live per-round progress stream")
+    _add_fault_tolerance_arguments(run)
 
     resume = sub.add_parser(
         "resume", help="continue a partial run directory (completed cells "
@@ -145,6 +197,10 @@ def _build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--checkpoint-every", type=int, default=1, metavar="N")
     resume.add_argument("--no-round-progress", action="store_true",
                         help="suppress the live per-round progress stream")
+    _add_fault_tolerance_arguments(resume)
+    resume.add_argument("--retry-quarantined", action="store_true",
+                        help="re-run quarantined cells (skipped by default) "
+                             "from their last checkpoint")
 
     show = sub.add_parser("show", help="inspect a campaign run directory")
     show.add_argument("--store", required=True, metavar="DIR")
@@ -177,6 +233,15 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "through (aag, aig, blif, bench)")
     corpus_build.add_argument("--max-gates", type=int, default=96,
                               help="upper bound on generated AND counts")
+    corpus_verify = corpus_sub.add_parser(
+        "verify", help="re-check every corpus entry against its manifest "
+                       "(file presence, content hash, circuit stats) "
+                       "without expanding a campaign; exits non-zero on "
+                       "any mismatch")
+    corpus_verify.add_argument("--corpus", required=True, metavar="DIR")
+    corpus_verify.add_argument("--names", default=None,
+                               help="comma-separated subset of entry names "
+                                    "(default: every entry)")
 
     circuits = sub.add_parser(
         "circuits", help="list, inspect and import circuits (registry and "
@@ -296,9 +361,11 @@ def _deprecation_note(command: str) -> None:
 
 
 def _print_records_table(records) -> None:
-    """Render the QoR table over completed records; report failed cells."""
+    """Render the QoR table over completed records; report the rest."""
     failed = [record for record in records if record.failed]
-    completed = [record for record in records if not record.failed]
+    quarantined = [record for record in records if record.quarantined]
+    completed = [record for record in records
+                 if not record.failed and not record.quarantined]
     if completed:
         print(render_figure3_table(
             build_qor_table([record.to_result() for record in completed])))
@@ -308,6 +375,19 @@ def _print_records_table(records) -> None:
         for record in failed:
             print(f"  {record.cell_id}: {record.metadata.get('error')}",
                   file=sys.stderr)
+    if quarantined:
+        print(f"warning: {len(quarantined)} cell(s) quarantined after "
+              "repeated faults (resume skips them; re-run with "
+              "`repro resume --retry-quarantined`):", file=sys.stderr)
+        for record in quarantined:
+            print(f"  {record.cell_id}: {record.metadata.get('error')}",
+                  file=sys.stderr)
+
+
+def _records_exit_code(records) -> int:
+    """0 = all ok; 1 = some cells failed/quarantined (campaign finished)."""
+    return 1 if any(record.failed or record.quarantined
+                    for record in records) else 0
 
 
 def _render_round_event(cell_id: str, event: dict) -> None:
@@ -369,7 +449,10 @@ def _campaign_from_args(args) -> Campaign:
 
 def _cmd_run(args) -> int:
     campaign = _campaign_from_args(args)
-    if args.wall_clock_budget is not None or args.early_stop_improvement is not None:
+    if (args.wall_clock_budget is not None
+            or args.early_stop_improvement is not None
+            or args.eval_timeout is not None
+            or args.cell_timeout is not None):
         from dataclasses import replace
 
         campaign = replace(
@@ -380,6 +463,12 @@ def _cmd_run(args) -> int:
             early_stop_improvement=(args.early_stop_improvement
                                     if args.early_stop_improvement is not None
                                     else campaign.early_stop_improvement),
+            eval_timeout=(args.eval_timeout
+                          if args.eval_timeout is not None
+                          else campaign.eval_timeout),
+            cell_timeout=(args.cell_timeout
+                          if args.cell_timeout is not None
+                          else campaign.cell_timeout),
         )
     cells = campaign.cells()
     print(f"campaign {campaign.name!r}: {len(campaign.problems)} problem(s) "
@@ -394,6 +483,8 @@ def _cmd_run(args) -> int:
         progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
         on_event=None if args.no_round_progress else _render_round_event,
         checkpoint_every=args.checkpoint_every,
+        retry=_retry_policy_from_args(args),
+        fault_plan=_fault_plan_from_args(args),
     )
     _print_records_table(records)
     if args.store:
@@ -401,9 +492,10 @@ def _cmd_run(args) -> int:
               f"(continue with `repro resume --store {args.store}`, "
               f"watch with `repro show --store {args.store} --follow`)",
               file=sys.stderr)
-    # Failed cells are isolated, not silenced: the campaign ran to the
-    # end, but the exit code must still tell scripts something broke.
-    return 1 if any(record.failed for record in records) else 0
+    # Failed/quarantined cells are isolated, not silenced: the campaign
+    # ran to the end, but the exit code must still tell scripts
+    # something broke (infrastructure failures exit 2 via main()).
+    return _records_exit_code(records)
 
 
 def _cmd_resume(args) -> int:
@@ -414,9 +506,12 @@ def _cmd_resume(args) -> int:
         progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
         on_event=None if args.no_round_progress else _render_round_event,
         checkpoint_every=args.checkpoint_every,
+        retry=_retry_policy_from_args(args),
+        fault_plan=_fault_plan_from_args(args),
+        retry_quarantined=args.retry_quarantined,
     )
     _print_records_table(records)
-    return 1 if any(record.failed for record in records) else 0
+    return _records_exit_code(records)
 
 
 def _follow_store(store: CampaignStore, cells, interval: float) -> None:
@@ -436,11 +531,12 @@ def _follow_store(store: CampaignStore, cells, interval: float) -> None:
             rounds = store.trajectory_round_count(cell_id)
             if rounds != last_rounds.get(cell_id):
                 last_rounds[cell_id] = rounds
-                status = {"ok": "done", "failed": "failed"}.get(
+                status = {"ok": "done", "failed": "failed",
+                          "quarantined": "quarantined"}.get(
                     statuses.get(cell_id), "running")
                 print(f"    {cell_id}: {rounds} round(s) [{status}]",
                       file=sys.stderr)
-        if all(statuses.get(cell.cell_id) in ("ok", "failed")
+        if all(statuses.get(cell.cell_id) in ("ok", "failed", "quarantined")
                for cell in cells):
             return
         time.sleep(interval)
@@ -529,10 +625,11 @@ def _cmd_show(args) -> int:
     print(f"cells         : {done}/{len(cells)} complete")
     for cell in cells:
         status = {"ok": "done", "failed": "failed",
+                  "quarantined": "quarantined",
                   "partial": "partial"}.get(statuses.get(cell.cell_id),
                                             "pending")
-        line = f"  [{status:7s}] {cell.cell_id}"
-        if status in ("partial", "failed"):
+        line = f"  [{status:11s}] {cell.cell_id}"
+        if status in ("partial", "failed", "quarantined"):
             rounds = store.trajectory_round_count(cell.cell_id)
             if rounds:
                 line += f" ({rounds} round(s) persisted)"
@@ -571,6 +668,22 @@ def _cmd_corpus(args) -> int:
         _print_corpus_table(manifest)
         print(f"run a campaign over it with `repro run --corpus {args.dest}`")
         return 0
+    if args.corpus_command == "verify":
+        from repro.circuits.corpus import verify_corpus
+
+        names = _parse_csv(args.names) if args.names else None
+        results = verify_corpus(args.corpus, names=names)
+        bad = 0
+        for entry, problem in results:
+            if problem is None:
+                print(f"  ok   {entry.name}")
+            else:
+                bad += 1
+                print(f"  FAIL {entry.name}: {problem}")
+        verdict = (f"{len(results) - bad}/{len(results)} entries verified"
+                   + (f", {bad} mismatched" if bad else ""))
+        print(f"corpus {args.corpus}: {verdict}")
+        return 1 if bad else 0
     raise ValueError(f"unknown corpus command {args.corpus_command!r}")
 
 
@@ -761,7 +874,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (KeyError, ValueError, StoreError, OSError) as error:
+    except (KeyError, ValueError, StoreError, OSError,
+            EngineFaultError) as error:
+        # EngineFaultError covers infrastructure failures the driver
+        # could not recover from (e.g. the worker pool dying past its
+        # rebuild budget) — exit 2, distinct from failed/quarantined
+        # cells (exit 1) and success (exit 0).
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -32,14 +32,32 @@ evaluator does the accounting.
 
 from repro.engine.cache import PersistentQoRCache, default_cache_dir
 from repro.engine.engine import EvaluationEngine, resolve_jobs
+from repro.engine.faults import (
+    DeadlineExceeded,
+    EngineFaultError,
+    FaultEvent,
+    FaultPlan,
+    PoisonInputError,
+    PoolUnrecoverableError,
+    RetryPolicy,
+    deadline,
+)
 from repro.engine.grid import build_cell_payload, run_grid
 from repro.engine.spec import EvaluatorSpec, resolve_circuit_width
 
 __all__ = [
+    "DeadlineExceeded",
+    "EngineFaultError",
     "EvaluationEngine",
     "EvaluatorSpec",
+    "FaultEvent",
+    "FaultPlan",
     "PersistentQoRCache",
+    "PoisonInputError",
+    "PoolUnrecoverableError",
+    "RetryPolicy",
     "build_cell_payload",
+    "deadline",
     "default_cache_dir",
     "resolve_circuit_width",
     "resolve_jobs",

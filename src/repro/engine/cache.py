@@ -15,14 +15,26 @@ persistent hit skips the synthesis + mapping computation but still counts
 as a black-box evaluation for the current run (the paper's
 sample-complexity unit is sequences tested *per run*) — see
 :mod:`repro.qor.evaluator` for the accounting rules.
+
+The cache is an optimisation layer, never a correctness layer, so it is
+allowed to *degrade* rather than crash: operational SQLite errors
+(locked database, read-only filesystem, disk full) are retried per the
+:class:`~repro.engine.faults.RetryPolicy` and, if they persist, the
+instance falls back to a process-local in-memory dict with a single
+``RuntimeWarning`` — campaign results are unaffected, only cross-process
+sharing is lost.
 """
 
 from __future__ import annotations
 
 import os
 import sqlite3
+import time
+import warnings
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.faults import RetryPolicy
 
 _SEQUENCE_SEPARATOR = "|"
 
@@ -35,6 +47,9 @@ CREATE TABLE IF NOT EXISTS qor_cache (
     PRIMARY KEY (circuit_key, sequence)
 )
 """
+
+#: SQLite errors treated as transient/operational (retry, then degrade).
+_CACHE_ERRORS = (sqlite3.OperationalError, sqlite3.DatabaseError)
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -52,6 +67,17 @@ class PersistentQoRCache:
         Cache *directory* (the database file ``qor-cache.sqlite`` is
         created inside it) or a path ending in ``.sqlite``/``.db`` used
         verbatim.  Parent directories are created on demand.
+    retry:
+        Retry policy for operational SQLite errors.  After
+        ``retry.max_attempts`` consecutive failures of one operation the
+        cache degrades to memory-only (one warning, results unaffected).
+    sleep:
+        Injectable backoff sleeper (tests pass a recorder; default
+        :func:`time.sleep`).
+    fault_hook:
+        Optional callable invoked with the operation name before every
+        SQLite operation; the fault-injection harness uses it to raise
+        scheduled ``sqlite3.OperationalError`` without a real disk fault.
 
     Notes
     -----
@@ -61,25 +87,89 @@ class PersistentQoRCache:
     Instances are usable as context managers.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        fault_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
         path = Path(path)
         if path.suffix in (".sqlite", ".db"):
             self.path = path
         else:
             self.path = path / "qor-cache.sqlite"
+        self.retry = retry or RetryPolicy()
+        self._sleep = sleep or time.sleep
+        self.fault_hook = fault_hook
+        self._degraded = False
+        self._memory: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._conn: Optional[sqlite3.Connection] = None
+        self.hits = 0
+        self.misses = 0
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         except (FileExistsError, NotADirectoryError) as error:
+            # A mis-pointed path is a configuration bug, not a transient
+            # fault: fail loudly instead of silently degrading.
             raise ValueError(
                 f"cache path {self.path.parent} is not a directory"
             ) from error
-        self._conn = sqlite3.connect(str(self.path), timeout=30.0)
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute(_SCHEMA)
-        self._conn.commit()
-        self.hits = 0
-        self.misses = 0
+
+        def _connect() -> None:
+            self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+
+        self._run_op("connect", _connect, lambda: None)
+
+    # ------------------------------------------------------------------
+    # Degradation machinery
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True once the cache has fallen back to memory-only mode."""
+        return self._degraded
+
+    def _degrade(self, error: BaseException) -> None:
+        self._degraded = True
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except _CACHE_ERRORS:  # pragma: no cover - best-effort close
+                pass
+            self._conn = None
+        warnings.warn(
+            f"persistent QoR cache at {self.path} degraded to memory-only "
+            f"after {self.retry.max_attempts} attempts ({error}); campaign "
+            f"results are unaffected, but this process no longer shares "
+            f"cached evaluations",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _run_op(self, op_name: str, action: Callable[[], object],
+                fallback: Callable[[], object]) -> object:
+        """Run one SQLite operation with retry, degrading on exhaustion."""
+        if self._degraded:
+            return fallback()
+        error: Optional[BaseException] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(op_name)
+                return action()
+            except _CACHE_ERRORS as caught:
+                error = caught
+                if attempt < self.retry.max_attempts:
+                    delay = self.retry.delay_for(attempt, f"cache:{op_name}")
+                    if delay > 0:
+                        self._sleep(delay)
+        self._degrade(error)  # type: ignore[arg-type]
+        return fallback()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -88,24 +178,73 @@ class PersistentQoRCache:
 
     def get(self, circuit_key: str, sequence: Sequence[str]) -> Optional[Tuple[int, int]]:
         """Cached ``(area, delay)`` for a sequence, or ``None`` on a miss."""
-        row = self._conn.execute(
-            "SELECT area, delay FROM qor_cache WHERE circuit_key = ? AND sequence = ?",
-            (circuit_key, self._sequence_key(sequence)),
-        ).fetchone()
-        if row is None:
+        seq_key = self._sequence_key(sequence)
+
+        def _get() -> Optional[Tuple[int, int]]:
+            row = self._conn.execute(
+                "SELECT area, delay FROM qor_cache WHERE circuit_key = ? AND sequence = ?",
+                (circuit_key, seq_key),
+            ).fetchone()
+            return (int(row[0]), int(row[1])) if row is not None else None
+
+        result = self._run_op("get", _get,
+                              lambda: self._memory.get((circuit_key, seq_key)))
+        if result is None:
             self.misses += 1
             return None
         self.hits += 1
-        return int(row[0]), int(row[1])
+        return result  # type: ignore[return-value]
+
+    def get_many(
+        self,
+        circuit_key: str,
+        sequences: Sequence[Sequence[str]],
+    ) -> List[Optional[Tuple[int, int]]]:
+        """Batch :meth:`get`: one result slot per input sequence."""
+        seq_keys = [self._sequence_key(sequence) for sequence in sequences]
+
+        def _get_many() -> List[Optional[Tuple[int, int]]]:
+            found: Dict[str, Tuple[int, int]] = {}
+            # SQLite caps host parameters; chunk conservatively.
+            for start in range(0, len(seq_keys), 500):
+                chunk = seq_keys[start:start + 500]
+                placeholders = ",".join("?" for _ in chunk)
+                rows = self._conn.execute(
+                    f"SELECT sequence, area, delay FROM qor_cache "
+                    f"WHERE circuit_key = ? AND sequence IN ({placeholders})",
+                    [circuit_key, *chunk],
+                ).fetchall()
+                for sequence, area, delay in rows:
+                    found[str(sequence)] = (int(area), int(delay))
+            return [found.get(key) for key in seq_keys]
+
+        def _fallback() -> List[Optional[Tuple[int, int]]]:
+            return [self._memory.get((circuit_key, key)) for key in seq_keys]
+
+        results = self._run_op("get_many", _get_many, _fallback)
+        for result in results:  # type: ignore[union-attr]
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return results  # type: ignore[return-value]
 
     def put(self, circuit_key: str, sequence: Sequence[str], area: int, delay: int) -> None:
         """Insert or refresh one cache entry (idempotent)."""
-        self._conn.execute(
-            "INSERT OR REPLACE INTO qor_cache (circuit_key, sequence, area, delay) "
-            "VALUES (?, ?, ?, ?)",
-            (circuit_key, self._sequence_key(sequence), int(area), int(delay)),
-        )
-        self._conn.commit()
+        seq_key = self._sequence_key(sequence)
+
+        def _put() -> None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO qor_cache (circuit_key, sequence, area, delay) "
+                "VALUES (?, ?, ?, ?)",
+                (circuit_key, seq_key, int(area), int(delay)),
+            )
+            self._conn.commit()
+
+        def _fallback() -> None:
+            self._memory[(circuit_key, seq_key)] = (int(area), int(delay))
+
+        self._run_op("put", _put, _fallback)
 
     def put_many(
         self,
@@ -119,20 +258,33 @@ class PersistentQoRCache:
         ]
         if not rows:
             return
-        self._conn.executemany(
-            "INSERT OR REPLACE INTO qor_cache (circuit_key, sequence, area, delay) "
-            "VALUES (?, ?, ?, ?)",
-            rows,
-        )
-        self._conn.commit()
+
+        def _put_many() -> None:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO qor_cache (circuit_key, sequence, area, delay) "
+                "VALUES (?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.commit()
+
+        def _fallback() -> None:
+            for row_circuit, seq_key, area, delay in rows:
+                self._memory[(row_circuit, seq_key)] = (area, delay)
+
+        self._run_op("put_many", _put_many, _fallback)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        row = self._conn.execute("SELECT COUNT(*) FROM qor_cache").fetchone()
-        return int(row[0])
+        def _count() -> int:
+            row = self._conn.execute("SELECT COUNT(*) FROM qor_cache").fetchone()
+            return int(row[0])
+
+        return self._run_op("len", _count, lambda: len(self._memory))  # type: ignore[return-value]
 
     def close(self) -> None:
-        self._conn.close()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
 
     def __enter__(self) -> "PersistentQoRCache":
         return self

@@ -10,6 +10,15 @@ without touching any evaluator's history, counters or caches.  All
 accounting stays in the parent :class:`repro.qor.QoREvaluator`, which is
 what keeps parallel runs bit-identical to serial ones.
 
+With an ``eval_timeout`` or :class:`~repro.engine.faults.RetryPolicy`
+configured the engine runs *supervised*: each sequence is submitted as
+its own task, a worker that blows its deadline or dies is recycled (the
+pool is rebuilt, in-flight sequences re-submitted), and a sequence that
+keeps failing across ``max_attempts`` is surfaced as
+:class:`~repro.engine.faults.PoisonInputError` instead of hanging or
+aborting the run.  Without those knobs the original chunked
+``pool.map`` fast path is used untouched.
+
 Typical use::
 
     spec = EvaluatorSpec.for_circuit("adder", width=16)
@@ -22,10 +31,19 @@ Typical use::
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple, Union
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine import worker
+from repro.engine.faults import (
+    DeadlineExceeded,
+    PoisonInputError,
+    PoolUnrecoverableError,
+    RetryPolicy,
+)
 from repro.engine.spec import EvaluatorSpec
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 from repro.synth.operations import sequence_to_names
@@ -38,6 +56,25 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = all CPUs)")
     return int(jobs)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes and reap the executor.
+
+    ``ProcessPoolExecutor`` cannot cancel a *running* task, so deadline
+    enforcement has to kill the workers outright; the executor is then
+    broken by construction and only good for shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead process
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken executor teardown
+        pass
 
 
 class EvaluationEngine:
@@ -56,6 +93,14 @@ class EvaluationEngine:
         Optional existing evaluator whose pure :meth:`~QoREvaluator.compute`
         serves the serial path and single-element batches, avoiding a
         redundant circuit rebuild in the parent process.
+    eval_timeout:
+        Per-evaluation deadline in seconds.  Workers enforce it in-task
+        via SIGALRM; the parent additionally enforces a hard deadline of
+        ``2 × eval_timeout + 1`` per task, recycling the pool if a
+        worker is wedged beyond even that.
+    retry:
+        Retry policy for deadline blowouts and worker crashes; defaults
+        to :class:`RetryPolicy()` when ``eval_timeout`` is set.
     """
 
     def __init__(
@@ -63,6 +108,10 @@ class EvaluationEngine:
         spec: Optional[EvaluatorSpec] = None,
         jobs: int = 1,
         evaluator: Optional[QoREvaluator] = None,
+        *,
+        eval_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.spec = spec
         self.jobs = resolve_jobs(jobs)
@@ -70,8 +119,30 @@ class EvaluationEngine:
             raise ValueError("a spec is required for parallel evaluation (jobs > 1)")
         if spec is None and evaluator is None:
             raise ValueError("need a spec or an evaluator to compute with")
+        if eval_timeout is not None and eval_timeout <= 0:
+            raise ValueError("eval_timeout must be positive")
+        if (spec is not None and eval_timeout is not None
+                and spec.eval_timeout is None):
+            # Thread the deadline into the spec so workers enforce it
+            # in-task via SIGALRM; the parent's hard deadline is only
+            # the backstop for wedged workers.
+            import dataclasses
+
+            spec = dataclasses.replace(spec, eval_timeout=eval_timeout)
+            self.spec = spec
+        self.eval_timeout = eval_timeout
+        self.retry = retry if retry is not None else (
+            RetryPolicy() if eval_timeout is not None else None)
+        self._sleep = sleep or time.sleep
         self._local = evaluator
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._epoch = 0
+        self._rebuilds = 0
+
+    @property
+    def _supervised(self) -> bool:
+        return self.retry is not None or self.eval_timeout is not None or (
+            self.spec is not None and self.spec.fault_plan is not None)
 
     # ------------------------------------------------------------------
     def _local_evaluator(self) -> QoREvaluator:
@@ -86,9 +157,16 @@ class EvaluationEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=worker.init_evaluation_worker,
-                initargs=(self.spec.to_payload(),),
+                initargs=(self.spec.to_payload(), self._epoch),
             )
         return self._pool
+
+    def _recycle_pool(self) -> None:
+        """Tear the pool down and advance the epoch for its successor."""
+        if self._pool is not None:
+            _terminate_pool(self._pool)
+            self._pool = None
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     def compute_batch(
@@ -98,7 +176,9 @@ class EvaluationEngine:
 
         Pure compute — no evaluator state is touched.  Batches of one (or
         an engine with ``jobs=1``) stay in-process; larger batches go to
-        the worker pool, which is created lazily on first use.
+        the worker pool, which is created lazily on first use.  With
+        fault-tolerance knobs set, the parallel path runs supervised
+        (per-task deadlines, retry, pool self-healing).
         """
         names_list: List[Tuple[str, ...]] = [
             tuple(sequence_to_names(seq)) for seq in sequences
@@ -108,9 +188,118 @@ class EvaluationEngine:
         if self.jobs <= 1 or len(names_list) == 1:
             local = self._local_evaluator()
             return [local.compute(names) for names in names_list]
-        pool = self._ensure_pool()
-        chunksize = max(1, len(names_list) // (self.jobs * 4))
-        return list(pool.map(worker.evaluate_sequence, names_list, chunksize=chunksize))
+        if not self._supervised:
+            # The original chunked fast path: one map, minimal overhead.
+            pool = self._ensure_pool()
+            chunksize = max(1, len(names_list) // (self.jobs * 4))
+            return list(pool.map(worker.evaluate_sequence, names_list,
+                                 chunksize=chunksize))
+        return self._compute_batch_supervised(names_list)
+
+    def _compute_batch_supervised(
+        self, names_list: List[Tuple[str, ...]]
+    ) -> List[SequenceEvaluation]:
+        """Per-task submission with deadlines, retry and pool recycling.
+
+        Submission is throttled to ``jobs`` futures in flight, so every
+        in-flight task is actually *running* in a worker — which is what
+        lets a pool crash or an overdue deadline be attributed to the
+        small in-flight set rather than the whole batch.
+        """
+        policy = self.retry or RetryPolicy()
+        results: List[Optional[SequenceEvaluation]] = [None] * len(names_list)
+        attempts = [0] * len(names_list)
+        queue = deque(range(len(names_list)))
+        in_flight: Dict[Future, Tuple[int, float]] = {}
+        # The parent-side hard deadline backs up the worker-side SIGALRM:
+        # generous enough to never fire first on a healthy worker.
+        hard_deadline = (2.0 * self.eval_timeout + 1.0
+                         if self.eval_timeout is not None else None)
+
+        def requeue(index: int, error: BaseException, *,
+                    blame: bool = True) -> None:
+            if blame:
+                attempts[index] += 1
+                if attempts[index] >= policy.max_attempts:
+                    raise PoisonInputError(names_list[index], attempts[index],
+                                           error)
+                delay = policy.delay_for(attempts[index],
+                                         "|".join(names_list[index]))
+                if delay > 0:
+                    self._sleep(delay)
+            queue.append(index)
+
+        def crash_recovery(error: BaseException) -> None:
+            self._rebuilds += 1
+            if self._rebuilds > policy.max_pool_rebuilds:
+                raise PoolUnrecoverableError(
+                    f"evaluation pool died {self._rebuilds} times "
+                    f"(> {policy.max_pool_rebuilds} rebuilds): {error}"
+                ) from error
+            # Every in-flight task is a crash suspect; each gets an
+            # attempt bump (poison detection still converges because the
+            # actual poison input keeps crashing every rebuilt pool).
+            suspects = [index for _, (index, _) in
+                        sorted(in_flight.items(), key=lambda kv: kv[1][0])]
+            in_flight.clear()
+            self._recycle_pool()
+            for index in suspects:
+                requeue(index, error)
+
+        while queue or in_flight:
+            while queue and len(in_flight) < self.jobs:
+                index = queue.popleft()
+                try:
+                    future = self._ensure_pool().submit(
+                        worker.evaluate_sequence, names_list[index])
+                except BrokenProcessPool as error:
+                    queue.appendleft(index)
+                    crash_recovery(error)
+                    continue
+                in_flight[future] = (index, time.monotonic())
+            if not in_flight:
+                continue
+            done, _ = wait(set(in_flight),
+                           timeout=0.05 if hard_deadline is not None else None,
+                           return_when=FIRST_COMPLETED)
+            broken: Optional[BrokenProcessPool] = None
+            for future in done:
+                index, _ = in_flight.pop(future)
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as error:
+                    # The task whose future broke is a crash suspect:
+                    # blame it (attempt bump) or a systematic crasher
+                    # would re-fire identically on every resubmission.
+                    broken = error
+                    requeue(index, error)
+                except DeadlineExceeded as error:
+                    requeue(index, error)
+            if broken is not None:
+                crash_recovery(broken)
+                continue
+            if hard_deadline is not None and in_flight:
+                now = time.monotonic()
+                overdue = [(future, index) for future, (index, started)
+                           in in_flight.items() if now - started > hard_deadline]
+                if overdue:
+                    # A wedged worker that even SIGALRM cannot reach:
+                    # kill the pool; only the overdue tasks are blamed,
+                    # the co-flying ones re-run blamelessly.
+                    overdue_set = {future for future, _ in overdue}
+                    innocent = [index for future, (index, _) in
+                                in_flight.items() if future not in overdue_set]
+                    in_flight.clear()
+                    self._recycle_pool()
+                    for index in innocent:
+                        queue.append(index)
+                    for _, index in overdue:
+                        requeue(index, DeadlineExceeded(
+                            "evaluation",
+                            self.eval_timeout or hard_deadline,
+                            names_list[index]))
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -34,6 +34,7 @@ def build_cell_payload(
     checkpoint_every: int = 0,
     wall_clock_budget: Optional[float] = None,
     early_stop_improvement: Optional[float] = None,
+    attempt: int = 0,
 ) -> Dict[str, object]:
     """The one picklable cell-payload schema every grid driver shares.
 
@@ -64,6 +65,8 @@ def build_cell_payload(
         payload["wall_clock_budget"] = float(wall_clock_budget)
     if early_stop_improvement is not None:
         payload["early_stop_improvement"] = float(early_stop_improvement)
+    if attempt:
+        payload["attempt"] = int(attempt)
     return payload
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.circuits.registry import get_circuit, get_circuit_spec, resolve_width
+from repro.engine import faults
 from repro.qor.evaluator import QoREvaluator
 from repro.qor.objectives import DEFAULT_OBJECTIVE_KEY, canonical_spec_string
 
@@ -52,6 +53,14 @@ class EvaluatorSpec:
         circuit file fails loudly instead of silently mixing results —
         and the hash (not the path) keys the persistent QoR cache, so
         cache entries survive file relocation across machines.
+    eval_timeout:
+        Per-evaluation wall-clock deadline in seconds (``None`` = no
+        deadline).  Enforced inside ``compute()`` via a SIGALRM timer
+        in both serial runs and pool workers.
+    fault_plan:
+        Canonical-JSON :class:`~repro.engine.faults.FaultPlan` for
+        deterministic fault injection, or ``None``.  A string (not the
+        object) so the spec stays hashable and cheap to pickle.
     """
 
     circuit: str
@@ -61,6 +70,8 @@ class EvaluatorSpec:
     objective: str = DEFAULT_OBJECTIVE_KEY
     circuit_file: Optional[str] = None
     circuit_hash: Optional[str] = None
+    eval_timeout: Optional[float] = None
+    fault_plan: Optional[str] = None
 
     @classmethod
     def for_circuit(
@@ -106,7 +117,7 @@ class EvaluatorSpec:
                 cache_key = f"sha256:{self.circuit_hash}:lut{self.lut_size}"
         else:
             aig = get_circuit(self.circuit, width=self.width)
-        return QoREvaluator(
+        evaluator = QoREvaluator(
             aig,
             lut_size=self.lut_size,
             reference_sequence=self.reference_sequence,
@@ -115,6 +126,10 @@ class EvaluatorSpec:
             objective=self.objective,
             cache_key=cache_key,
         )
+        guard = faults.build_compute_guard(self.fault_plan, self.eval_timeout)
+        if guard is not None:
+            evaluator.set_compute_guard(guard)
+        return evaluator
 
     # ------------------------------------------------------------------
     # Plain-dict round trip (kept explicit so the payload stays stable
@@ -129,6 +144,8 @@ class EvaluatorSpec:
             "objective": self.objective,
             "circuit_file": self.circuit_file,
             "circuit_hash": self.circuit_hash,
+            "eval_timeout": self.eval_timeout,
+            "fault_plan": self.fault_plan,
         }
 
     @classmethod
@@ -136,6 +153,8 @@ class EvaluatorSpec:
         reference = payload.get("reference_sequence")
         circuit_file = payload.get("circuit_file")
         circuit_hash = payload.get("circuit_hash")
+        eval_timeout = payload.get("eval_timeout")
+        fault_plan = payload.get("fault_plan")
         return cls(
             circuit=str(payload["circuit"]),
             width=int(payload["width"]),  # type: ignore[arg-type]
@@ -144,4 +163,6 @@ class EvaluatorSpec:
             objective=str(payload.get("objective", DEFAULT_OBJECTIVE_KEY)),
             circuit_file=str(circuit_file) if circuit_file is not None else None,
             circuit_hash=str(circuit_hash) if circuit_hash is not None else None,
+            eval_timeout=float(eval_timeout) if eval_timeout is not None else None,  # type: ignore[arg-type]
+            fault_plan=str(fault_plan) if fault_plan is not None else None,
         )

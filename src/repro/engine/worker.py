@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.engine import faults
 from repro.engine.cache import PersistentQoRCache
 from repro.engine.spec import EvaluatorSpec
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
@@ -29,23 +30,38 @@ from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 #: Worker-side event sink signature: ``(cell_id, event_dict)``.
 EventSink = Callable[[str, Dict[str, object]], None]
 
+#: True in processes initialised as pool workers: injected crash events
+#: manifest as a hard ``os._exit`` (→ ``BrokenProcessPool`` upstream)
+#: instead of a raised exception.
+_IN_POOL = False
+
 # ----------------------------------------------------------------------
 # Batch-evaluation workers (EvaluationEngine pool)
 # ----------------------------------------------------------------------
 _BATCH_EVALUATOR: Optional[QoREvaluator] = None
 
 
-def init_evaluation_worker(spec_payload: Dict[str, object]) -> None:
-    """Pool initialiser: rebuild the evaluator once per worker process."""
-    global _BATCH_EVALUATOR
+def init_evaluation_worker(spec_payload: Dict[str, object],
+                           epoch: int = 0) -> None:
+    """Pool initialiser: rebuild the evaluator once per worker process.
+
+    ``epoch`` is the pool generation — it increments every time the
+    engine rebuilds a crashed pool, and doubles as the fault-injection
+    "attempt" key so a scheduled crash fires once per generation rather
+    than forever.
+    """
+    global _BATCH_EVALUATOR, _IN_POOL
     # The parent may have run serial grid cells first, leaving an open
     # cache connection in this module's grid globals; abandon anything
     # inherited across fork before doing work in this process.
     _discard_state_from_other_process()
+    _IN_POOL = True
     spec = EvaluatorSpec.from_payload(spec_payload)
     # cache=False: workers only run the pure compute path; memoisation and
     # accounting live in the parent evaluator.
     _BATCH_EVALUATOR = spec.build_evaluator(cache=False)
+    if spec.fault_plan is not None or spec.eval_timeout is not None:
+        faults.activate("*", int(epoch), hard_crash=True)
 
 
 def evaluate_sequence(names: Tuple[str, ...]) -> SequenceEvaluation:
@@ -107,7 +123,8 @@ def init_grid_worker(cache_dir: Optional[str]) -> None:
 def _grid_evaluator(spec: EvaluatorSpec) -> QoREvaluator:
     """Per-process evaluator for a circuit, built on first use."""
     key = (spec.circuit, spec.width, spec.lut_size, spec.reference_sequence,
-           spec.objective, spec.circuit_hash)
+           spec.objective, spec.circuit_hash, spec.eval_timeout,
+           spec.fault_plan)
     evaluator = _GRID_EVALUATORS.get(key)
     if evaluator is None:
         evaluator = spec.build_evaluator(cache=True, persistent_cache=_GRID_CACHE)
@@ -170,17 +187,20 @@ _EVENT_QUEUE: Optional[object] = None
 
 
 def init_campaign_worker(cache_dir: Optional[str],
-                         event_queue: Optional[object] = None) -> None:
+                         event_queue: Optional[object] = None,
+                         in_pool: bool = False) -> None:
     """Pool initialiser for campaign cells.
 
     ``event_queue`` is a ``multiprocessing.Manager`` queue proxy (or
     ``None`` when the parent did not ask for live events); every cell
     running in this worker streams its round events into it as
-    ``(cell_id, event_dict)`` tuples.
+    ``(cell_id, event_dict)`` tuples.  ``in_pool`` marks this process as
+    a pool worker (injected crashes become hard process exits).
     """
-    global _EVENT_QUEUE
+    global _EVENT_QUEUE, _IN_POOL
     init_grid_worker(cache_dir)
     _EVENT_QUEUE = event_queue
+    _IN_POOL = bool(in_pool)
 
 
 def _queue_event_sink() -> Optional[EventSink]:
@@ -221,22 +241,52 @@ def run_campaign_cell(
     """
     # Imported lazily: repro.api imports this package, so a module-level
     # import back into repro.api would be circular.
-    from repro.api.store import (
-        CampaignStore,
-        evaluation_from_dict,
-        evaluation_to_dict,
-    )
-    from repro.bo.base import RoundCompleted, drive
+    from repro.api.store import CampaignStore
 
     spec, evaluator, optimiser, budget, index = _prepare_cell(payload)
     cell_id = payload.get("cell_id")
     store_root = payload.get("store_root")
     checkpoint_every = int(payload.get("checkpoint_every") or 0)  # type: ignore[arg-type]
+    attempt = int(payload.get("attempt") or 0)  # type: ignore[arg-type]
     store = (CampaignStore(str(store_root))
              if store_root is not None and cell_id is not None else None)
     cell_id = str(cell_id) if cell_id is not None else f"cell-{index}"
     if event_sink is None:
         event_sink = _queue_event_sink()
+
+    # Fault-injection context: scheduled events are keyed by this cell's
+    # (cell_id, attempt); the cache hook makes the shared grid cache see
+    # scheduled transient errors for the duration of this cell only.
+    inject = spec.fault_plan is not None or spec.eval_timeout is not None
+    if inject:
+        faults.activate(cell_id, attempt, hard_crash=_IN_POOL)
+        if _GRID_CACHE is not None:
+            _GRID_CACHE.fault_hook = faults.build_cache_hook(spec.fault_plan)
+    try:
+        return _run_campaign_cell_body(
+            payload, spec, evaluator, optimiser, budget, index,
+            cell_id, store, checkpoint_every, event_sink)
+    finally:
+        if inject:
+            faults.deactivate()
+            if _GRID_CACHE is not None:
+                _GRID_CACHE.fault_hook = None
+
+
+def _run_campaign_cell_body(
+    payload: Dict[str, object],
+    spec: EvaluatorSpec,
+    evaluator: QoREvaluator,
+    optimiser,
+    budget: int,
+    index: int,
+    cell_id: str,
+    store,
+    checkpoint_every: int,
+    event_sink: Optional[EventSink],
+) -> Tuple[int, object]:
+    from repro.api.store import evaluation_from_dict, evaluation_to_dict
+    from repro.bo.base import RoundCompleted, drive
 
     # ------------------------------------------------------------------
     # Resume from the latest checkpoint, if one exists.

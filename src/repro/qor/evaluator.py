@@ -150,6 +150,7 @@ class QoREvaluator:
         self._persistent = persistent_cache
         self._cache_key = cache_key
         self._engine: Optional[object] = None
+        self._compute_guard: Optional[object] = None
         self._num_evaluations = 0
         self._num_computed = 0
         self._num_persistent_hits = 0
@@ -279,6 +280,21 @@ class QoREvaluator:
             qor_improvement=improvement,
         )
 
+    def set_compute_guard(self, guard: Optional[object] = None) -> None:
+        """Install a wrapper around every fresh computation.
+
+        ``guard(names, thunk)`` is called instead of the raw synthesis
+        whenever :meth:`compute` runs; the fault-tolerance layer uses it
+        to enforce per-evaluation deadlines and to inject scheduled
+        faults (see :mod:`repro.engine.faults`).  ``None`` removes it.
+        """
+        self._compute_guard = guard
+
+    def _compute_raw(self, names: Tuple[str, ...]) -> SequenceEvaluation:
+        optimised = apply_sequence(self.aig, names)
+        mapping = self.mapper.map(optimised)
+        return self._make_record(names, mapping.area, mapping.delay)
+
     def compute(self, sequence: Sequence[Union[str, int]]) -> SequenceEvaluation:
         """Synthesise + map a sequence and return its record.
 
@@ -287,9 +303,9 @@ class QoREvaluator:
         the evaluation engine ships to worker processes.
         """
         names = tuple(sequence_to_names(sequence))
-        optimised = apply_sequence(self.aig, names)
-        mapping = self.mapper.map(optimised)
-        return self._make_record(names, mapping.area, mapping.delay)
+        if self._compute_guard is not None:
+            return self._compute_guard(names, lambda: self._compute_raw(names))  # type: ignore[operator]
+        return self._compute_raw(names)
 
     # ------------------------------------------------------------------
     # Recording

@@ -20,6 +20,10 @@ from repro.qor import QoREvaluator
 #: run via ``--fuzz-seed=$GITHUB_RUN_ID``.
 DEFAULT_FUZZ_SEED = 20260730
 
+#: Default base seed of the fault-injection suite; CI rotates it per run
+#: via ``--fault-seed=$GITHUB_RUN_ID``.
+DEFAULT_FAULT_SEED = 20260808
+
 
 def pytest_addoption(parser) -> None:
     parser.addoption(
@@ -27,11 +31,21 @@ def pytest_addoption(parser) -> None:
         help="base seed of the differential fuzz suite "
              "(tests/properties/test_fuzz_substrate.py); every failure "
              "message names the seed that reproduces it")
+    parser.addoption(
+        "--fault-seed", type=int, default=DEFAULT_FAULT_SEED, metavar="SEED",
+        help="base seed of the fault-injection recovery suite "
+             "(tests/api/test_fault_recovery.py); every failure message "
+             "names the seed that reproduces it")
 
 
 @pytest.fixture(scope="session")
 def fuzz_seed(request) -> int:
     return int(request.config.getoption("--fuzz-seed"))
+
+
+@pytest.fixture(scope="session")
+def fault_seed(request) -> int:
+    return int(request.config.getoption("--fault-seed"))
 
 
 @pytest.fixture(scope="session")
