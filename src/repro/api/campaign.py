@@ -287,7 +287,8 @@ class Campaign:
         )
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False,
+                          allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "Campaign":

@@ -40,7 +40,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.campaign import Campaign, CampaignCell
 from repro.api.problem import Problem
@@ -105,6 +105,7 @@ class _CallbackError(Exception):
     parent and their exceptions abort ``run_campaign`` directly.
     """
 
+    # repro: lint-ok[RPL004] parent-side serial-path marker; never crosses a process boundary
     def __init__(self, original: BaseException) -> None:
         super().__init__(str(original))
         self.original = original
@@ -123,7 +124,7 @@ def _guard_sink(on_event: Optional[EventCallback]) -> Optional[EventCallback]:
     return guarded
 
 
-def _drain_events(event_queue, on_event: Optional[EventCallback]) -> None:
+def _drain_events(event_queue: Any, on_event: Optional[EventCallback]) -> None:
     """Forward every queued worker event to the parent callback."""
     if event_queue is None or on_event is None:
         return
@@ -333,7 +334,7 @@ def _run_parallel(
     pending: List[CampaignCell],
     jobs: int,
     cache_dir: Optional[str],
-    event_queue,
+    event_queue: Any,
     on_event: Optional[EventCallback],
     campaign: Campaign,
     policy: RetryPolicy,

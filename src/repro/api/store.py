@@ -349,7 +349,7 @@ class CampaignStore:
             "campaign": resolved.to_dict(),
         }
         self._atomic_write(self.manifest_path,
-                           json.dumps(manifest, indent=2) + "\n")
+                           json.dumps(manifest, indent=2, allow_nan=False) + "\n")
         return resolved
 
     def load_campaign(self) -> Campaign:
@@ -440,7 +440,7 @@ class CampaignStore:
         """Atomically persist one cell's record (complete-or-absent)."""
         self.cells_dir.mkdir(parents=True, exist_ok=True)
         path = self.cell_path(record.cell_id)
-        self._atomic_write(path, json.dumps(record.to_dict()) + "\n")
+        self._atomic_write(path, json.dumps(record.to_dict(), allow_nan=False) + "\n")
         return path
 
     def read_record(self, cell_id: str) -> RunRecord:
@@ -478,7 +478,7 @@ class CampaignStore:
         resume suite compares directly.
         """
         self.trajectories_dir.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(payload, sort_keys=True) + "\n"
+        line = json.dumps(payload, sort_keys=True, allow_nan=False) + "\n"
         with open(self.trajectory_path(cell_id), "a", encoding="utf-8") as handle:
             handle.write(line)
             handle.flush()
@@ -557,7 +557,7 @@ class CampaignStore:
         body = dict(payload)
         body.setdefault("format_version", CHECKPOINT_FORMAT_VERSION)
         body.setdefault("cell_id", cell_id)
-        self._atomic_write(path, json.dumps(body, sort_keys=True) + "\n",
+        self._atomic_write(path, json.dumps(body, sort_keys=True, allow_nan=False) + "\n",
                            durable=False)
         return path
 

@@ -239,6 +239,17 @@ class EarlyStopped(RunEvent):
 EventCallback = Callable[[RunEvent], None]
 
 
+def _wall_clock() -> float:
+    """The single wall-clock source for :func:`drive`.
+
+    Feeds only ``elapsed_seconds`` event timestamps and the
+    ``max_seconds`` budget check — never proposals, records or
+    checkpoints, so results stay bit-identical across machines.
+    """
+    # repro: lint-ok[RPL002] event timestamps and the max_seconds budget; no path into results
+    return time.monotonic()
+
+
 def drive(
     optimiser: "SequenceOptimiser",
     evaluator: QoREvaluator,
@@ -289,7 +300,7 @@ def drive(
     """
     if budget < 1:
         raise ValueError("budget must be at least 1")
-    start = time.monotonic() - start_elapsed
+    start = _wall_clock() - start_elapsed
     rounds = int(start_round)
 
     def _emit(event: RunEvent) -> None:
@@ -309,12 +320,12 @@ def drive(
             round_index=rounds,
             num_evaluations=evaluator.num_evaluations,
             budget=budget,
-            elapsed_seconds=time.monotonic() - start,
+            elapsed_seconds=_wall_clock() - start,
             best=evaluator.best_so_far(),
         )
         if stop_when is not None and stop_when(progress):
             stop_reason = "stop_condition"
-        elif max_seconds is not None and time.monotonic() - start >= max_seconds:
+        elif max_seconds is not None and _wall_clock() - start >= max_seconds:
             stop_reason = "wall_clock"
     while stop_reason is None and evaluator.num_evaluations < budget:
         history_mark = len(evaluator.history)
@@ -327,7 +338,7 @@ def drive(
             round_index=rounds + 1,
             num_evaluations=evaluator.num_evaluations,
             budget=budget,
-            elapsed_seconds=time.monotonic() - start,
+            elapsed_seconds=_wall_clock() - start,
         ))
         rows = np.atleast_2d(rows.astype(int))
         records = optimiser._evaluate_batch(evaluator, rows)
@@ -335,7 +346,7 @@ def drive(
         rounds += 1
         if observing:
             best = evaluator.best_so_far()
-            elapsed = time.monotonic() - start
+            elapsed = _wall_clock() - start
             if best is not None and (best_before is None
                                      or best.qor < best_before.qor):
                 _emit(IncumbentImproved(
@@ -365,14 +376,14 @@ def drive(
             if stop_when is not None and stop_when(progress):
                 stop_reason = "stop_condition"
                 break
-        if max_seconds is not None and time.monotonic() - start >= max_seconds:
+        if max_seconds is not None and _wall_clock() - start >= max_seconds:
             stop_reason = "wall_clock"
             break
     terminal_kwargs = dict(
         round_index=rounds,
         num_evaluations=evaluator.num_evaluations,
         budget=budget,
-        elapsed_seconds=time.monotonic() - start,
+        elapsed_seconds=_wall_clock() - start,
     )
     if stop_reason is None:
         _emit(BudgetExhausted(**terminal_kwargs))

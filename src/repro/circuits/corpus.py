@@ -144,7 +144,7 @@ class CorpusManifest:
             prefix=f".{MANIFEST_NAME}.", delete=False)
         try:
             with handle:
-                handle.write(json.dumps(payload, indent=2) + "\n")
+                handle.write(json.dumps(payload, indent=2, allow_nan=False) + "\n")
             os.replace(handle.name, path)
         except BaseException:
             Path(handle.name).unlink(missing_ok=True)

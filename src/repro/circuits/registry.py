@@ -23,7 +23,6 @@ bundled one is: ``repro.api.Problem``, the CLI, grid campaigns.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -175,12 +174,14 @@ def get_circuit_spec(name: str) -> CircuitSpec:
 
 
 def _width_scale() -> float:
-    """Global width multiplier, controlled by ``REPRO_WIDTH_SCALE``."""
-    raw = os.environ.get("REPRO_WIDTH_SCALE", "1.0")
-    try:
-        return max(0.1, float(raw))
-    except ValueError:
-        return 1.0
+    """Global width multiplier, controlled by ``REPRO_WIDTH_SCALE``.
+
+    Read through :mod:`repro.config` — the sanctioned environment
+    layer — so the registry itself never touches ambient process state.
+    """
+    from repro.config import env_width_scale
+
+    return env_width_scale()
 
 
 def resolve_width(name: str, width: Optional[int] = None) -> int:

@@ -265,6 +265,22 @@ def _build_parser() -> argparse.ArgumentParser:
     circuits_import.add_argument("files", nargs="+", metavar="FILE")
 
     # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant linter (determinism, "
+                     "IPC-safety, cache-key purity; see README "
+                     "'Static analysis')")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="diagnostic output format (default: text)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rule pack (including "
+                           "entry-point plugins) and exit")
+
+    # ------------------------------------------------------------------
     # Registry listings
     # ------------------------------------------------------------------
     sub.add_parser("list-circuits", help="list the registered benchmark circuits")
@@ -595,7 +611,7 @@ def _circuit_stats_lines(store: CampaignStore, campaign: Campaign):
                     f"ands {stats['ands']:>6d}  levels {stats['levels']:>4d}")
     if dirty:
         try:
-            cache_path.write_text(json.dumps(cached, indent=2) + "\n",
+            cache_path.write_text(json.dumps(cached, indent=2, allow_nan=False) + "\n",
                                   encoding="utf-8")
         except OSError:
             pass  # read-only store: stats simply recompute next time
@@ -737,6 +753,39 @@ def _cmd_circuits(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Static analysis
+# ----------------------------------------------------------------------
+def _cmd_lint(args) -> int:
+    from repro.lint import (
+        default_rules,
+        format_diagnostics_json,
+        format_diagnostics_text,
+        lint_paths,
+    )
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name:26s} {rule.rationale}")
+        return 0
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        # Lint the installed package source by default, so `repro lint`
+        # works from any checkout layout.
+        from pathlib import Path
+
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    diagnostics = lint_paths(paths, rules=rules)
+    formatter = (format_diagnostics_json if args.format == "json"
+                 else format_diagnostics_text)
+    print(formatter(diagnostics))
+    return 1 if diagnostics else 0
+
+
+# ----------------------------------------------------------------------
 # Registry listings
 # ----------------------------------------------------------------------
 def _cmd_list_circuits(_args) -> int:
@@ -858,6 +907,7 @@ _COMMANDS = {
     "show": _cmd_show,
     "corpus": _cmd_corpus,
     "circuits": _cmd_circuits,
+    "lint": _cmd_lint,
     "list-circuits": _cmd_list_circuits,
     "list-methods": _cmd_list_methods,
     "list-objectives": _cmd_list_objectives,

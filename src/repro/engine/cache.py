@@ -27,7 +27,6 @@ sharing is lost.
 
 from __future__ import annotations
 
-import os
 import sqlite3
 import time
 import warnings
@@ -53,9 +52,14 @@ _CACHE_ERRORS = (sqlite3.OperationalError, sqlite3.DatabaseError)
 
 
 def default_cache_dir() -> Optional[Path]:
-    """Cache directory from ``REPRO_CACHE_DIR``, or ``None`` when unset."""
-    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
-    return Path(raw) if raw else None
+    """Cache directory from ``REPRO_CACHE_DIR``, or ``None`` when unset.
+
+    Delegates to :mod:`repro.config` — the sanctioned environment
+    layer — so the engine itself never reads ambient process state.
+    """
+    from repro.config import env_cache_dir
+
+    return env_cache_dir()
 
 
 class PersistentQoRCache:
@@ -289,5 +293,5 @@ class PersistentQoRCache:
     def __enter__(self) -> "PersistentQoRCache":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()

@@ -311,5 +311,5 @@ class EvaluationEngine:
     def __enter__(self) -> "EvaluationEngine":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()

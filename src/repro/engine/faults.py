@@ -71,7 +71,7 @@ class DeadlineExceeded(EngineFaultError):
         self.timeout = timeout
         self.sequence = tuple(sequence) if sequence else None
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, Tuple[object, ...]]:
         # Raised inside pool workers and unpickled in the parent, so the
         # constructor arguments (not the formatted message) must travel.
         return (type(self), (self.scope, self.timeout, self.sequence))
@@ -93,7 +93,7 @@ class PoisonInputError(EngineFaultError):
         self.attempts = attempts
         self.cause = cause
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, Tuple[object, ...]]:
         return (type(self), (self.sequence, self.attempts, self.cause))
 
 
@@ -227,7 +227,7 @@ class _DeadlineStack:
         remaining = max(1e-6, float(nearest) - time.monotonic())
         signal.setitimer(signal.ITIMER_REAL, remaining)
 
-    def _on_alarm(self, _signum, _frame) -> None:
+    def _on_alarm(self, _signum: int, _frame: object) -> None:
         now = time.monotonic()
         expired = [e for e in self._entries
                    if not e["fired"] and float(e["deadline"]) <= now]  # type: ignore[arg-type]
@@ -373,7 +373,7 @@ class FaultPlan:
     def to_json(self) -> str:
         return json.dumps(
             {"seed": self.seed, "events": [e.to_dict() for e in self.events]},
-            sort_keys=True)
+            sort_keys=True, allow_nan=False)
 
     @classmethod
     def from_json(cls, raw: str) -> "FaultPlan":

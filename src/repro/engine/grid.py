@@ -13,11 +13,14 @@ repeated grids skip already-computed sequences entirely.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.engine import worker
 from repro.engine.engine import resolve_jobs
 from repro.engine.spec import EvaluatorSpec
+
+if TYPE_CHECKING:  # import cycle: the runner imports this module
+    from repro.experiments.runner import ExperimentConfig
 
 
 def build_cell_payload(
@@ -70,7 +73,7 @@ def build_cell_payload(
     return payload
 
 
-def grid_cell_payloads(config) -> List[Dict[str, object]]:
+def grid_cell_payloads(config: "ExperimentConfig") -> List[Dict[str, object]]:
     """Flatten an :class:`~repro.experiments.runner.ExperimentConfig` grid.
 
     Cells are ordered circuit-major, then method, then seed — the same
@@ -106,7 +109,7 @@ def _progress_message(payload: Dict[str, object], display_names: Dict[str, str])
 
 
 def run_grid(
-    config,
+    config: "ExperimentConfig",
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,

@@ -20,12 +20,17 @@ resumes the interrupted cell from it bit-identically.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.engine import faults
 from repro.engine.cache import PersistentQoRCache
 from repro.engine.spec import EvaluatorSpec
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
+
+if TYPE_CHECKING:  # import cycles: bo/api import this package
+    from repro.api.store import CampaignStore
+    from repro.bo.base import DriveProgress, RunEvent, SequenceOptimiser
+    from repro.bo.space import SequenceSpace
 
 #: Worker-side event sink signature: ``(cell_id, event_dict)``.
 EventSink = Callable[[str, Dict[str, object]], None]
@@ -132,7 +137,9 @@ def _grid_evaluator(spec: EvaluatorSpec) -> QoREvaluator:
     return evaluator
 
 
-def _prepare_cell(payload: Dict[str, object]):
+def _prepare_cell(
+    payload: Dict[str, object],
+) -> Tuple[EvaluatorSpec, QoREvaluator, "SequenceOptimiser", int, int]:
     """Shared per-cell setup: ``(spec, evaluator, optimiser, budget, index)``.
 
     Each cell starts from a clean per-run state (history, counters and
@@ -174,7 +181,7 @@ def run_grid_cell(payload: Dict[str, object]) -> Tuple[int, object]:
     return index, result
 
 
-def _make_space(payload: Dict[str, object]):
+def _make_space(payload: Dict[str, object]) -> "SequenceSpace":
     from repro.bo.space import SequenceSpace
 
     return SequenceSpace(sequence_length=int(payload["sequence_length"]))  # type: ignore[arg-type]
@@ -277,11 +284,11 @@ def _run_campaign_cell_body(
     payload: Dict[str, object],
     spec: EvaluatorSpec,
     evaluator: QoREvaluator,
-    optimiser,
+    optimiser: "SequenceOptimiser",
     budget: int,
     index: int,
     cell_id: str,
-    store,
+    store: "Optional[CampaignStore]",
     checkpoint_every: int,
     event_sink: Optional[EventSink],
 ) -> Tuple[int, object]:
@@ -318,7 +325,7 @@ def _run_campaign_cell_body(
     # ------------------------------------------------------------------
     # Round-granular persistence + streaming
     # ------------------------------------------------------------------
-    def on_event(event) -> None:
+    def on_event(event: "RunEvent") -> None:
         if store is not None and isinstance(event, RoundCompleted):
             store.append_trajectory(cell_id, {
                 "round": event.round_index,
@@ -353,7 +360,7 @@ def _run_campaign_cell_body(
     if threshold is not None:
         floor = float(threshold)  # type: ignore[arg-type]
 
-        def stop_when(progress) -> bool:
+        def stop_when(progress: "DriveProgress") -> bool:
             return (progress.best is not None
                     and progress.best.qor_improvement >= floor)
 

@@ -1,0 +1,57 @@
+"""AST-based invariant linter for the repro codebase (``repro lint``).
+
+Every load-bearing guarantee this reproduction ships — jobs=N
+bit-identical to jobs=1, byte-identical kill+resume, bit-identical fault
+recovery — is protected dynamically by golden tests.  This package
+protects the *invariant classes behind those guarantees* statically, at
+lint time, before any campaign runs:
+
+========  ==========================================================
+RPL001    no unseeded ``random`` / ``np.random`` module-level RNG
+RPL002    no wall-clock reads in result-affecting paths
+RPL003    no ``set`` iteration feeding ordered results
+RPL004    IPC safety: module-level pool callables, pickle-safe
+          worker exceptions
+RPL005    JSON-exact payloads (``allow_nan=False``, arrays through
+          :mod:`repro.serialise`)
+RPL006    no ``os.environ`` reads outside the config/CLI layer
+RPL007    frozen ``_reference`` twins: no imports from the optimised
+          module, signature parity on public functions
+========  ==========================================================
+
+Deliberate exceptions are suppressed inline with a written reason::
+
+    time.monotonic()  # repro: lint-ok[RPL002] event timestamps only
+
+A suppression without a reason, or one that no longer matches a
+violation, is itself reported (RPL000) so the suppression inventory
+stays honest.  Configuration lives under ``[tool.repro.lint]`` in
+``pyproject.toml``; third-party rule packs register through the
+``repro.lint_rules`` entry-point group (see :mod:`repro.registry`).
+"""
+
+from repro.lint.core import (
+    Diagnostic,
+    LintConfig,
+    LintRule,
+    ModuleInfo,
+    Suppression,
+    default_rules,
+    format_diagnostics_json,
+    format_diagnostics_text,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintRule",
+    "ModuleInfo",
+    "Suppression",
+    "default_rules",
+    "format_diagnostics_json",
+    "format_diagnostics_text",
+    "lint_paths",
+    "lint_source",
+]

@@ -245,7 +245,7 @@ def canonical_spec_string(spec: Union[ObjectiveSpec, Objective, None]) -> str:
         spec = json.loads(spec)
     if isinstance(spec, str):
         return spec
-    return json.dumps(spec, sort_keys=True)
+    return json.dumps(spec, sort_keys=True, allow_nan=False)
 
 
 def parse_objective_argument(text: str) -> ObjectiveSpec:

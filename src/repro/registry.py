@@ -21,7 +21,9 @@ QoR objective, the benchmark circuit — resolves through a
 
   and the optimiser becomes available to every ``repro`` campaign and CLI
   invocation without an import statement anywhere.  The groups are
-  ``repro.optimisers``, ``repro.objectives`` and ``repro.circuits``.
+  ``repro.optimisers``, ``repro.objectives``, ``repro.circuits`` and
+  ``repro.lint_rules`` (external invariant-checker packs for
+  ``repro lint``).
 
 Keys are case-sensitive, duplicates are rejected loudly (a silent
 overwrite of ``"boils"`` would corrupt every downstream result table),
@@ -290,3 +292,40 @@ CIRCUITS: Registry[object] = Registry(
     "circuit", entry_point_group="repro.circuits",
     builtin_loader=_load_builtin_circuits,
 )
+
+
+# ----------------------------------------------------------------------
+# Lint rules
+# ----------------------------------------------------------------------
+def _load_builtin_lint_rules() -> None:
+    import repro.lint.rules  # noqa: F401
+
+
+LINT_RULES: Registry[type] = Registry(
+    "lint rule", entry_point_group="repro.lint_rules",
+    builtin_loader=_load_builtin_lint_rules,
+)
+
+
+def register_lint_rule(cls: Optional[type] = None, *, replace: bool = False):
+    """Class decorator registering a :class:`repro.lint.LintRule` subclass.
+
+    The registry key is the rule's stable diagnostic code (``RPL###``
+    for the built-in pack); external packs published under the
+    ``repro.lint_rules`` entry-point group are discovered exactly like
+    optimisers and objectives, so ``repro lint`` picks them up without
+    an import statement anywhere.
+    """
+
+    def _decorate(rule_cls: type) -> type:
+        code = getattr(rule_cls, "code", "")
+        if not code:
+            raise RegistryError(
+                f"lint rule {rule_cls.__name__} must define a non-empty "
+                "code class attribute")
+        LINT_RULES.register(code, rule_cls, replace=replace)
+        return rule_cls
+
+    if cls is None:
+        return _decorate
+    return _decorate(cls)

@@ -1,0 +1,159 @@
+"""Per-rule positive/negative fixture snippets for the lint suite.
+
+Each entry pairs a *bad* snippet that must trigger exactly its rule with
+a *good* snippet that must lint clean, at a virtual package-relative
+path chosen so path-restricted rules (RPL004) and the allowlists
+(RPL002/RPL006) behave as they would inside the real tree.
+
+The meta-test (tests/lint/test_meta.py) reuses the bad snippets to
+prove each rule still bites when its violation is seeded into a virtual
+``repro/...`` module linted under the *shipped* pyproject config.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RuleFixture:
+    code: str
+    bad: str
+    bad_path: str
+    good: str
+    good_path: str
+
+
+def _src(snippet: str) -> str:
+    return textwrap.dedent(snippet).lstrip()
+
+
+RULE_FIXTURES: Tuple[RuleFixture, ...] = (
+    RuleFixture(
+        code="RPL001",
+        bad=_src("""
+            import random
+
+            def shuffle_ops(ops):
+                random.shuffle(ops)
+                return ops
+        """),
+        bad_path="repro/qor/fixture_rpl001.py",
+        good=_src("""
+            import numpy as np
+
+            def draw(rng: np.random.Generator, seed: int) -> float:
+                child = np.random.default_rng(seed)
+                return rng.random() + child.random()
+        """),
+        good_path="repro/qor/fixture_rpl001.py",
+    ),
+    RuleFixture(
+        code="RPL002",
+        bad=_src("""
+            import time
+
+            def stamp_result(record):
+                record["at"] = time.time()
+                return record
+        """),
+        bad_path="repro/qor/fixture_rpl002.py",
+        good=_src("""
+            import time
+
+            def backoff(seconds: float) -> None:
+                time.sleep(seconds)
+        """),
+        good_path="repro/qor/fixture_rpl002.py",
+    ),
+    RuleFixture(
+        code="RPL003",
+        bad=_src("""
+            def ordered(items):
+                seen = {name for name in items}
+                return [name for name in seen]
+        """),
+        bad_path="repro/qor/fixture_rpl003.py",
+        good=_src("""
+            def ordered(items):
+                seen = {name for name in items}
+                return [name for name in sorted(seen)]
+        """),
+        good_path="repro/qor/fixture_rpl003.py",
+    ),
+    RuleFixture(
+        code="RPL004",
+        bad=_src("""
+            class WorkerLostError(Exception):
+                def __init__(self, cell_id, seconds):
+                    super().__init__(f"{cell_id} lost after {seconds}s")
+                    self.cell_id = cell_id
+        """),
+        bad_path="repro/engine/fixture_rpl004.py",
+        good=_src("""
+            class WorkerLostError(Exception):
+                def __init__(self, cell_id, seconds):
+                    super().__init__(f"{cell_id} lost after {seconds}s")
+                    self.cell_id = cell_id
+                    self.seconds = seconds
+
+                def __reduce__(self):
+                    return (WorkerLostError, (self.cell_id, self.seconds))
+        """),
+        good_path="repro/engine/fixture_rpl004.py",
+    ),
+    RuleFixture(
+        code="RPL005",
+        bad=_src("""
+            import json
+
+            def checkpoint_line(payload):
+                return json.dumps(payload, sort_keys=True)
+        """),
+        bad_path="repro/qor/fixture_rpl005.py",
+        good=_src("""
+            import json
+
+            def checkpoint_line(payload):
+                return json.dumps(payload, sort_keys=True, allow_nan=False)
+        """),
+        good_path="repro/qor/fixture_rpl005.py",
+    ),
+    RuleFixture(
+        code="RPL006",
+        bad=_src("""
+            import os
+
+            def width_scale() -> str:
+                return os.environ.get("REPRO_WIDTH_SCALE", "1.0")
+        """),
+        bad_path="repro/qor/fixture_rpl006.py",
+        good=_src("""
+            from repro.config import env_width_scale
+
+            def width_scale() -> float:
+                return env_width_scale()
+        """),
+        good_path="repro/qor/fixture_rpl006.py",
+    ),
+    RuleFixture(
+        code="RPL007",
+        # A frozen reference module with no reference-twins entry.
+        bad=_src("""
+            def mapped_area_reference(aig):
+                return 0
+        """),
+        bad_path="repro/qor/_reference.py",
+        # Importing a shared data type (class) from the declared twin is
+        # the one legal cross-import.
+        good=_src("""
+            from repro.aig.cuts import Cut
+
+            def _helper(cut: Cut) -> int:
+                return len(cut.leaves)
+        """),
+        good_path="repro/aig/_reference.py",
+    ),
+)

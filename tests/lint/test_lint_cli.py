@@ -1,0 +1,80 @@
+"""`repro lint` CLI: exit codes, formats, rule listing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.rules import RULE_PACK
+
+CLEAN = "def double(x):\n    return 2 * x\n"
+DIRTY = "import random\nvalue = random.random()\n"
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean_mod.py"
+    path.write_text(CLEAN, encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty_mod.py"
+    path.write_text(DIRTY, encoding="utf-8")
+    return path
+
+
+def test_exit_zero_and_clean_on_clean_tree(clean_file, capsys):
+    assert main(["lint", str(clean_file)]) == 0
+    assert capsys.readouterr().out.strip() == "clean"
+
+
+def test_exit_one_with_findings(dirty_file, capsys):
+    assert main(["lint", str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL001" in out
+    assert "1 problem(s)" in out
+
+
+def test_json_format(dirty_file, capsys):
+    assert main(["lint", "--format", "json", str(dirty_file)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["counts"] == {"RPL001": 1}
+    (diag,) = payload["diagnostics"]
+    assert diag["code"] == "RPL001"
+    assert diag["path"].endswith("dirty_mod.py")
+
+
+def test_exit_two_on_unusable_input(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "no_such_dir")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_exit_two_on_syntax_error(tmp_path, capsys):
+    bad = tmp_path / "broken_mod.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    assert main(["lint", str(bad)]) == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_list_rules_names_the_whole_pack(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for cls in RULE_PACK:
+        assert cls.code in out
+        assert cls.name in out
+
+
+def test_directory_lint_collects_recursively(tmp_path, capsys):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "a.py").write_text(CLEAN, encoding="utf-8")
+    nested = package / "sub"
+    nested.mkdir()
+    (nested / "b.py").write_text(DIRTY, encoding="utf-8")
+    assert main(["lint", str(package)]) == 1
+    assert "RPL001" in capsys.readouterr().out

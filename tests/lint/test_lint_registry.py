@@ -1,0 +1,54 @@
+"""Lint rules flow through the repro.registry entry-point mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import LintRule, default_rules
+from repro.lint.rules import RULE_PACK
+from repro.registry import LINT_RULES, RegistryError, register_lint_rule
+
+
+def test_builtin_pack_is_registered_by_code():
+    for cls in RULE_PACK:
+        assert LINT_RULES.get(cls.code) is cls
+
+
+def test_entry_point_group_name():
+    assert LINT_RULES.entry_point_group == "repro.lint_rules"
+
+
+def test_register_requires_a_code():
+    class Anonymous(LintRule):
+        code = ""
+
+    with pytest.raises(RegistryError, match="non-empty"):
+        register_lint_rule(Anonymous)
+
+
+def test_duplicate_code_rejected_without_replace():
+    class Imposter(LintRule):
+        code = "RPL001"
+
+    with pytest.raises(RegistryError):
+        register_lint_rule(Imposter)
+    assert LINT_RULES.get("RPL001") is not Imposter
+
+
+def test_registered_rule_is_picked_up_by_default_rules():
+    class LocalRule(LintRule):
+        code = "TST901"
+        name = "test-only"
+        rationale = "registered by the test suite"
+
+        def check(self, module, context):
+            return []
+
+    register_lint_rule(LocalRule)
+    try:
+        codes = [rule.code for rule in default_rules()]
+        assert "TST901" in codes
+        # default_rules instantiates classes and sorts by code.
+        assert codes == sorted(codes)
+    finally:
+        LINT_RULES.unregister("TST901")

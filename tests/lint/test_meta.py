@@ -1,0 +1,113 @@
+"""Meta-tests: the shipped tree lints clean and the pack provably bites.
+
+Three guarantees the acceptance bar asks for, stated as tests:
+
+* ``repro lint src/repro`` is clean — a regression in any rule (or any
+  fresh violation) fails CI;
+* every inline suppression in the tree is load-bearing: deleting it
+  makes the linter complain again (so the suppression inventory can
+  never go stale silently);
+* seeding any rule's negative fixture into a virtual ``repro/...``
+  module makes the lint fail — the rules still bite under the shipped
+  configuration.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, lint_source
+from repro.lint.core import (
+    DEFAULT_ALLOW,
+    DEFAULT_REFERENCE_TWINS,
+    find_pyproject,
+    parse_module,
+)
+
+from rpl_fixtures import RULE_FIXTURES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_ROOT = REPO_ROOT / "src"
+PACKAGE = SRC_ROOT / "repro"
+
+_SUPPRESSION_LINE_RE = re.compile(r"#\s*repro:\s*lint-ok\[.*$")
+
+
+def _shipped_config() -> LintConfig:
+    return LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+
+
+def _tree_suppressions():
+    """Every (file, suppression) pair in the shipped package."""
+    found = []
+    for path in sorted(PACKAGE.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(SRC_ROOT).as_posix()
+        module = parse_module(path.read_text(encoding="utf-8"), rel)
+        for suppression in module.suppressions:
+            found.append((path, rel, suppression))
+    return found
+
+
+def test_shipped_package_lints_clean():
+    assert lint_paths([PACKAGE]) == []
+
+
+def test_tree_has_suppressions_to_exercise():
+    # Guards the next test against vacuity: the tree is expected to
+    # carry at least the bo/base.py RPL002 and api/run.py RPL004 sites.
+    codes = {code for _, _, s in _tree_suppressions() for code in s.codes}
+    assert {"RPL002", "RPL004"} <= codes
+
+
+@pytest.mark.parametrize(
+    "path,rel,suppression",
+    _tree_suppressions(),
+    ids=[f"{rel}:{s.comment_line}" for _, rel, s in _tree_suppressions()],
+)
+def test_every_suppression_is_load_bearing(path, rel, suppression):
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    index = suppression.comment_line - 1
+    stripped = _SUPPRESSION_LINE_RE.sub("", lines[index]).rstrip() + "\n"
+    lines[index] = stripped
+    diagnostics = lint_source("".join(lines), rel,
+                              config=_shipped_config(),
+                              source_root=SRC_ROOT)
+    assert diagnostics, (
+        f"deleting the suppression at {rel}:{suppression.comment_line} "
+        "produced no finding — the comment is stale and must be removed")
+    assert any(d.code in suppression.codes for d in diagnostics)
+
+
+@pytest.mark.parametrize("fixture", RULE_FIXTURES,
+                         ids=[f.code for f in RULE_FIXTURES])
+def test_seeded_violation_fails_under_shipped_config(fixture):
+    diagnostics = lint_source(fixture.bad, fixture.bad_path,
+                              config=_shipped_config(),
+                              source_root=SRC_ROOT)
+    assert fixture.code in {d.code for d in diagnostics}
+
+
+def test_builtin_defaults_match_shipped_pyproject():
+    """Python 3.10 (no tomllib) must lint identically to 3.11+."""
+    tomllib = pytest.importorskip("tomllib")
+    data = tomllib.loads(
+        (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8"))
+    table = data["tool"]["repro"]["lint"]
+    parsed = LintConfig.from_table(table)
+    assert dict(parsed.allow) == DEFAULT_ALLOW
+    assert dict(parsed.reference_twins) == DEFAULT_REFERENCE_TWINS
+
+
+def test_every_declared_twin_exists_and_parses():
+    for reference, twin in DEFAULT_REFERENCE_TWINS.items():
+        assert (SRC_ROOT / reference).is_file(), reference
+        assert (SRC_ROOT / twin).is_file(), twin
+
+
+def test_find_pyproject_resolves_from_package_dir():
+    assert find_pyproject(PACKAGE) == REPO_ROOT / "pyproject.toml"

@@ -1,0 +1,56 @@
+"""Output formats: text lines and the JSON report schema."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    format_diagnostics_json,
+    format_diagnostics_text,
+    lint_source,
+)
+
+BAD = ("import random, time\n"
+       "a = random.random()\n"
+       "b = time.time()\n")
+
+
+def _diagnostics():
+    return lint_source(BAD, "repro/qor/x.py")
+
+
+def test_text_format_lists_findings_then_summary():
+    diagnostics = _diagnostics()
+    text = format_diagnostics_text(diagnostics, checked=1)
+    lines = text.splitlines()
+    assert len(lines) == len(diagnostics) + 1
+    assert lines[0].startswith("repro/qor/x.py:")
+    assert lines[-1] == f"{len(diagnostics)} problem(s) in 1 file(s)"
+
+
+def test_text_format_clean():
+    assert format_diagnostics_text([]) == "clean"
+    assert format_diagnostics_text([], checked=3) == "clean in 3 file(s)"
+
+
+def test_json_schema_and_counts():
+    diagnostics = _diagnostics()
+    payload = json.loads(format_diagnostics_json(diagnostics, checked=1))
+    assert set(payload) == {"version", "checked_files", "counts",
+                            "diagnostics"}
+    assert payload["version"] == 1
+    assert payload["checked_files"] == 1
+    assert payload["counts"] == {"RPL001": 1, "RPL002": 1}
+    for entry, diag in zip(payload["diagnostics"], diagnostics):
+        assert entry == {"path": diag.path, "line": diag.line,
+                         "col": diag.col, "code": diag.code,
+                         "message": diag.message}
+
+
+def test_json_output_is_stable_and_sorted():
+    diagnostics = _diagnostics()
+    assert (format_diagnostics_json(diagnostics)
+            == format_diagnostics_json(diagnostics))
+    # Driver output arrives sorted by (path, line, col, code).
+    keys = [(d.path, d.line, d.col, d.code) for d in diagnostics]
+    assert keys == sorted(keys)

@@ -1,0 +1,187 @@
+"""Per-rule positive/negative behaviour of the built-in RPL pack."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, default_rules, lint_source
+from repro.lint.rules import RULE_PACK
+
+from rpl_fixtures import RULE_FIXTURES
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def _codes(diagnostics):
+    return sorted({diag.code for diag in diagnostics})
+
+
+@pytest.mark.parametrize("fixture", RULE_FIXTURES,
+                         ids=[f.code for f in RULE_FIXTURES])
+def test_bad_fixture_triggers_exactly_its_rule(fixture):
+    diagnostics = lint_source(fixture.bad, fixture.bad_path,
+                              source_root=SRC_ROOT)
+    assert _codes(diagnostics) == [fixture.code]
+
+
+@pytest.mark.parametrize("fixture", RULE_FIXTURES,
+                         ids=[f.code for f in RULE_FIXTURES])
+def test_good_fixture_lints_clean(fixture):
+    diagnostics = lint_source(fixture.good, fixture.good_path,
+                              source_root=SRC_ROOT)
+    assert diagnostics == []
+
+
+def test_default_rules_cover_the_whole_pack():
+    codes = [rule.code for rule in default_rules()]
+    assert codes == sorted(cls.code for cls in RULE_PACK)
+    assert codes == [f"RPL00{i}" for i in range(1, 8)]
+
+
+def test_diagnostics_carry_position_and_stable_code():
+    fixture = RULE_FIXTURES[0]  # RPL001
+    (diag,) = lint_source(fixture.bad, fixture.bad_path)
+    assert diag.path == fixture.bad_path
+    assert diag.line > 0 and diag.col >= 0
+    assert diag.code == "RPL001"
+    assert "Generator" in diag.message
+    assert diag.format().startswith(
+        f"{fixture.bad_path}:{diag.line}:{diag.col}: RPL001 ")
+
+
+# ----------------------------------------------------------------------
+# Rule-specific edges beyond the shared fixture pairs
+# ----------------------------------------------------------------------
+def test_rpl001_flags_legacy_numpy_and_bare_default_rng():
+    source = (
+        "import numpy as np\n"
+        "def f():\n"
+        "    a = np.random.rand(3)\n"
+        "    rng = np.random.default_rng()\n"
+        "    return a, rng\n"
+    )
+    diagnostics = lint_source(source, "repro/qor/x.py")
+    assert [d.code for d in diagnostics] == ["RPL001", "RPL001"]
+
+
+def test_rpl001_allows_seeded_generator_construction():
+    source = (
+        "import numpy as np\n"
+        "def f(seed):\n"
+        "    return np.random.Generator(np.random.PCG64(seed))\n"
+    )
+    assert lint_source(source, "repro/qor/x.py") == []
+
+
+def test_rpl002_allowlisted_paths_are_exempt():
+    source = "import time\n\ndef f():\n    return time.monotonic()\n"
+    assert lint_source(source, "repro/engine/faults.py") == []
+    assert lint_source(source, "repro/qor/x.py") != []
+
+
+def test_rpl003_star_unpack_and_list_call():
+    source = (
+        "def f(items):\n"
+        "    seen = set(items)\n"
+        "    return list(seen), [*seen]\n"
+    )
+    diagnostics = lint_source(source, "repro/qor/x.py")
+    assert [d.code for d in diagnostics] == ["RPL003", "RPL003"]
+
+
+def test_rpl003_non_set_reassignment_disqualifies_name():
+    source = (
+        "def f(items):\n"
+        "    seen = set(items)\n"
+        "    seen = sorted(seen)\n"
+        "    return [x for x in seen]\n"
+    )
+    assert lint_source(source, "repro/qor/x.py") == []
+
+
+def test_rpl004_flags_lambda_submission_and_initializer():
+    source = (
+        "def run(pool):\n"
+        "    pool.submit(lambda: 1)\n"
+        "    make_pool(initializer=lambda: 2)\n"
+    )
+    diagnostics = lint_source(source, "repro/engine/x.py")
+    assert [d.code for d in diagnostics] == ["RPL004", "RPL004"]
+
+
+def test_rpl004_is_scoped_to_engine_and_api():
+    source = "def run(pool):\n    pool.submit(lambda: 1)\n"
+    assert lint_source(source, "repro/qor/x.py") == []
+
+
+def test_rpl004_partial_wrapping_nested_function():
+    source = (
+        "from functools import partial\n"
+        "def run(pool):\n"
+        "    def inner():\n"
+        "        return 1\n"
+        "    pool.submit(partial(inner, 2))\n"
+    )
+    diagnostics = lint_source(source, "repro/engine/x.py")
+    assert [d.code for d in diagnostics] == ["RPL004"]
+
+
+def test_rpl005_payload_function_tolist_and_nonfinite():
+    source = (
+        "import math\n"
+        "def state_dict(self):\n"
+        "    return {'arr': self.arr.tolist(), 'worst': float('inf'),\n"
+        "            'pad': math.inf}\n"
+    )
+    diagnostics = lint_source(source, "repro/qor/x.py")
+    assert [d.code for d in diagnostics] == ["RPL005"] * 3
+
+
+def test_rpl005_allow_nan_true_is_still_a_finding():
+    source = (
+        "import json\n"
+        "def f(p):\n"
+        "    return json.dumps(p, allow_nan=True)\n"
+    )
+    diagnostics = lint_source(source, "repro/qor/x.py")
+    assert [d.code for d in diagnostics] == ["RPL005"]
+
+
+def test_rpl006_getenv_and_environ_flagged_outside_config_layer():
+    source = (
+        "import os\n"
+        "def f():\n"
+        "    return os.getenv('REPRO_CACHE_DIR'), os.environ['HOME']\n"
+    )
+    diagnostics = lint_source(source, "repro/qor/x.py")
+    assert {d.code for d in diagnostics} == {"RPL006"}
+    assert lint_source(source, "repro/config.py") == []
+
+
+def test_rpl007_function_import_from_twin_is_flagged():
+    source = "from repro.aig.cuts import enumerate_cuts\n"
+    diagnostics = lint_source(source, "repro/aig/_reference.py",
+                              source_root=SRC_ROOT)
+    assert [d.code for d in diagnostics] == ["RPL007"]
+
+
+def test_rpl007_signature_drift_is_flagged():
+    # The real twin enumerate_cuts takes (aig, *, k, max_cuts, ...);
+    # a bare (aig) reference signature has drifted.
+    source = "def enumerate_cuts_reference(aig):\n    return []\n"
+    diagnostics = lint_source(source, "repro/aig/_reference.py",
+                              source_root=SRC_ROOT)
+    assert [d.code for d in diagnostics] == ["RPL007"]
+    assert "drifted" in diagnostics[0].message
+
+
+def test_rpl007_select_and_ignore_gate_rules():
+    config = LintConfig(ignore=("RPL007",))
+    source = "def mapped_reference(aig):\n    return 0\n"
+    assert lint_source(source, "repro/qor/_reference.py",
+                       config=config) == []
+    only_rpl001 = LintConfig(select=("RPL001",))
+    assert lint_source(source, "repro/qor/_reference.py",
+                       config=only_rpl001) == []

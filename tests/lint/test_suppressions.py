@@ -1,0 +1,71 @@
+"""The inline suppression protocol: reasons required, staleness flagged."""
+
+from __future__ import annotations
+
+from repro.lint import lint_source
+from repro.lint.core import SUPPRESSION_CODE, parse_module
+
+BAD_RNG = "import random\nvalue = random.random()"
+
+
+def test_trailing_suppression_with_reason_silences_the_finding():
+    source = ("import random\n"
+              "value = random.random()  "
+              "# repro: lint-ok[RPL001] fixture: not result-affecting\n")
+    assert lint_source(source, "repro/qor/x.py") == []
+
+
+def test_own_line_suppression_covers_the_next_line():
+    source = ("import random\n"
+              "# repro: lint-ok[RPL001] fixture: not result-affecting\n"
+              "value = random.random()\n")
+    assert lint_source(source, "repro/qor/x.py") == []
+
+
+def test_suppression_without_reason_is_reported_and_does_not_silence():
+    source = ("import random\n"
+              "value = random.random()  # repro: lint-ok[RPL001]\n")
+    codes = sorted(d.code for d in lint_source(source, "repro/qor/x.py"))
+    assert codes == [SUPPRESSION_CODE, "RPL001"]
+
+
+def test_unused_suppression_is_reported():
+    source = "x = 1  # repro: lint-ok[RPL001] nothing here to suppress\n"
+    (diag,) = lint_source(source, "repro/qor/x.py")
+    assert diag.code == SUPPRESSION_CODE
+    assert "unused" in diag.message
+
+
+def test_suppression_only_covers_its_own_code():
+    source = ("import random\n"
+              "value = random.random()  "
+              "# repro: lint-ok[RPL002] wrong code entirely\n")
+    codes = sorted(d.code for d in lint_source(source, "repro/qor/x.py"))
+    # The finding survives and the mismatched suppression is stale.
+    assert codes == [SUPPRESSION_CODE, "RPL001"]
+
+
+def test_multi_code_suppression():
+    source = ("import random, time\n"
+              "pair = (random.random(), time.time())  "
+              "# repro: lint-ok[RPL001, RPL002] fixture: both deliberate\n")
+    assert lint_source(source, "repro/qor/x.py") == []
+
+
+def test_suppression_comment_inside_string_literal_is_ignored():
+    source = 'DOC = "# repro: lint-ok[RPL001] not a comment"\n'
+    module = parse_module(source, "repro/qor/x.py")
+    assert module.suppressions == []
+    assert lint_source(source, "repro/qor/x.py") == []
+
+
+def test_parse_module_records_comment_and_target_lines():
+    source = ("# repro: lint-ok[RPL003] own-line form\n"
+              "x = 1\n"
+              "y = 2  # repro: lint-ok[RPL005] trailing form\n")
+    module = parse_module(source, "repro/qor/x.py")
+    own, trailing = module.suppressions
+    assert (own.comment_line, own.target_line) == (1, 2)
+    assert (trailing.comment_line, trailing.target_line) == (3, 3)
+    assert own.codes == ("RPL003",)
+    assert trailing.reason == "trailing form"
