@@ -1,26 +1,48 @@
-"""Perf regression gate: compare BENCH_substrate.json to the baseline.
+"""Perf regression gate: compare BENCH_*.json artifacts to baselines.
 
 Usage (CI runs this after the benchmark suite)::
 
     python benchmarks/check_perf_regression.py \
         [--artifact benchmarks/artifacts/BENCH_substrate.json] \
         [--baseline benchmarks/baselines/BENCH_substrate_baseline.json] \
+        [--engine-artifact benchmarks/artifacts/BENCH_engine.json] \
+        [--engine-baseline benchmarks/baselines/BENCH_engine_baseline.json] \
         [--tolerance 0.25]
 
-The committed baseline stores the optimised/reference *speedup ratios*
-of the four hot paths.  Ratios are what stays comparable across
-machines: absolute seconds vary with hardware, but the ratio of two
-measurements taken back-to-back on the same interpreter does not.  The
-gate fails when any path's current speedup falls more than ``tolerance``
-(default 25 %) below its committed baseline, i.e. when an edit has eaten
-a quarter of a hot path's win.
+**Substrate gate.**  The committed baseline stores the
+optimised/reference *speedup ratios* of the four hot paths.  Ratios are
+what stays comparable across machines: absolute seconds vary with
+hardware, but the ratio of two measurements taken back-to-back on the
+same interpreter does not.  The gate fails when any path's current
+speedup falls more than ``tolerance`` (default 25 %) below its committed
+baseline, i.e. when an edit has eaten a quarter of a hot path's win.
 
-To refresh the baseline after an intentional change, run the benchmark
+**Engine gate.**  ``BENCH_engine.json`` records warm-pool
+``sequences_per_second`` across jobs ∈ {1, 2, 4}.  Unlike the substrate
+speedups, the jobs-scaling ratios depend on how many CPUs the measuring
+host actually has — a warm pool physically cannot beat serial on one
+core — so the artifact records ``available_cpus`` and the gate is
+hardware-conditional:
+
+* on ≥ 2 CPUs, jobs=2 must reach 1.5× jobs=1 (the
+  parallelism-inversion acceptance floor); on ≥ 4 CPUs, jobs=4 must
+  hold ≥ 0.95× of jobs=2 (scaling must not collapse);
+* the adaptive (planner-routed) rate must never grossly invert —
+  ≥ ``1 - 2·tolerance`` of serial on *any* hardware, since the planner
+  is free to simply stay serial;
+* ratio-vs-baseline comparison applies only when the artifact and the
+  committed baseline were measured with the same ``available_cpus``
+  (cross-hardware ratio comparison would be meaningless).
+
+To refresh a baseline after an intentional change, run the benchmark
 suite and copy the artifact over the baseline file::
 
-    PYTHONPATH=src python -m pytest benchmarks/test_substrate_performance.py -q
+    PYTHONPATH=src python -m pytest benchmarks/test_substrate_performance.py \
+        benchmarks/test_engine_throughput.py -q
     cp benchmarks/artifacts/BENCH_substrate.json \
        benchmarks/baselines/BENCH_substrate_baseline.json
+    cp benchmarks/artifacts/BENCH_engine.json \
+       benchmarks/baselines/BENCH_engine_baseline.json
 """
 
 from __future__ import annotations
@@ -29,9 +51,17 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import List
 
 DEFAULT_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_substrate.json"
 DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_substrate_baseline.json"
+DEFAULT_ENGINE_ARTIFACT = Path(__file__).parent / "artifacts" / "BENCH_engine.json"
+DEFAULT_ENGINE_BASELINE = (
+    Path(__file__).parent / "baselines" / "BENCH_engine_baseline.json")
+
+#: Hardware-conditional floors for the engine jobs sweep.
+ENGINE_JOBS2_FLOOR = 1.5   # enforced when measured with >= 2 CPUs
+ENGINE_JOBS4_FLOOR = 0.95  # jobs4/jobs2, enforced when >= 4 CPUs
 
 
 def check(artifact_path: Path, baseline_path: Path, tolerance: float) -> int:
@@ -67,13 +97,105 @@ def check(artifact_path: Path, baseline_path: Path, tolerance: float) -> int:
     return 0
 
 
+def check_engine(artifact_path: Path, baseline_path: Path,
+                 tolerance: float) -> int:
+    artifact = json.loads(artifact_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    cpus = int(artifact.get("available_cpus", 1))
+    ratios = artifact.get("ratios", {})
+    jobs = artifact.get("jobs", {})
+    failures: List[str] = []
+
+    print(f"\nengine jobs sweep (measured with {cpus} CPU(s)):")
+    for key, entry in sorted(jobs.items(), key=lambda kv: int(kv[0])):
+        rate = float(entry["sequences_per_second"])
+        print(f"  jobs={key:<2s} {entry['mode']:<10s} {rate:8.1f} seq/s")
+
+    # Hardware-conditional scaling floors (the acceptance criterion).
+    r2 = float(ratios.get("jobs2_vs_jobs1", 0.0))
+    r4 = float(ratios.get("jobs4_vs_jobs2", 0.0))
+    if cpus >= 2:
+        status = "OK" if r2 >= ENGINE_JOBS2_FLOOR else "REGRESSED"
+        print(f"  jobs2/jobs1 {r2:5.2f}x  floor {ENGINE_JOBS2_FLOOR:.2f}x  {status}")
+        if r2 < ENGINE_JOBS2_FLOOR:
+            failures.append(
+                f"engine: jobs=2 warm-pool rate is {r2:.2f}x serial "
+                f"(< {ENGINE_JOBS2_FLOOR}x) on a {cpus}-CPU host")
+    else:
+        print(f"  jobs2/jobs1 {r2:5.2f}x  (floor skipped: single CPU)")
+    if cpus >= 4:
+        status = "OK" if r4 >= ENGINE_JOBS4_FLOOR else "REGRESSED"
+        print(f"  jobs4/jobs2 {r4:5.2f}x  floor {ENGINE_JOBS4_FLOOR:.2f}x  {status}")
+        if r4 < ENGINE_JOBS4_FLOOR:
+            failures.append(
+                f"engine: jobs=4 rate is {r4:.2f}x jobs=2 "
+                f"(< {ENGINE_JOBS4_FLOOR}x) on a {cpus}-CPU host")
+    else:
+        print(f"  jobs4/jobs2 {r4:5.2f}x  (floor skipped: < 4 CPUs)")
+
+    # The adaptive engine must never grossly invert: the planner can
+    # always fall back to serial, so a big adaptive slowdown is a bug
+    # regardless of core count.
+    serial_rate = float(jobs.get("1", {}).get("sequences_per_second", 0.0))
+    inversion_floor = 1.0 - 2.0 * tolerance
+    for key, entry in sorted(jobs.items(), key=lambda kv: int(kv[0])):
+        adaptive = entry.get("adaptive_sequences_per_second")
+        if adaptive is None or serial_rate <= 0:
+            continue
+        ratio = float(adaptive) / serial_rate
+        status = "OK" if ratio >= inversion_floor else "REGRESSED"
+        print(f"  adaptive jobs={key} {ratio:5.2f}x serial  "
+              f"floor {inversion_floor:.2f}x  {status}")
+        if ratio < inversion_floor:
+            failures.append(
+                f"engine: adaptive jobs={key} rate is {ratio:.2f}x serial "
+                f"(< {inversion_floor:.2f}x) — the planner is inverting")
+
+    # Ratio-vs-baseline drift, only on like-for-like hardware.
+    base_cpus = int(baseline.get("available_cpus", 1))
+    if base_cpus == cpus:
+        for name, current in (("jobs2_vs_jobs1", r2), ("jobs4_vs_jobs2", r4)):
+            base = baseline.get("ratios", {}).get(name)
+            if base is None:
+                continue
+            floor = (1.0 - tolerance) * float(base)
+            status = "OK" if current >= floor else "REGRESSED"
+            print(f"  {name} baseline {float(base):5.2f}x  current "
+                  f"{current:5.2f}x  floor {floor:5.2f}x  {status}")
+            if current < floor:
+                failures.append(
+                    f"engine: {name} ratio {current:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {float(base):.2f}x)")
+    else:
+        print(f"  baseline comparison skipped: baseline measured with "
+              f"{base_cpus} CPU(s), artifact with {cpus}")
+
+    if failures:
+        print("\nEngine throughput regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("Engine jobs sweep within tolerance.")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--artifact", type=Path, default=DEFAULT_ARTIFACT)
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--engine-artifact", type=Path,
+                        default=DEFAULT_ENGINE_ARTIFACT)
+    parser.add_argument("--engine-baseline", type=Path,
+                        default=DEFAULT_ENGINE_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.25)
     args = parser.parse_args()
-    return check(args.artifact, args.baseline, args.tolerance)
+    status = check(args.artifact, args.baseline, args.tolerance)
+    if args.engine_baseline.exists():
+        status = check_engine(args.engine_artifact, args.engine_baseline,
+                              args.tolerance) or status
+    else:  # pragma: no cover - pre-baseline bootstrap
+        print("\n(no committed engine baseline; engine gate skipped)")
+    return status
 
 
 if __name__ == "__main__":

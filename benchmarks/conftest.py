@@ -71,18 +71,19 @@ def artifact_dir() -> Path:
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_bench_substrate_artifact():
-    """Start every benchmark session from an empty BENCH_substrate.json.
+    """Start every benchmark session from empty BENCH_*.json artifacts.
 
-    Entries are merged into the artifact by whichever benchmark files run
-    (substrate speedups, engine throughput), so it must be cleared once
+    Entries are merged into the artifacts by whichever benchmark files run
+    (substrate speedups, engine throughput), so they must be cleared once
     per session — regardless of file ordering — to guarantee every entry
     comes from *this* run.  A partial rerun then leaves untested paths
     missing from the artifact, which ``check_perf_regression.py`` reports
     loudly, instead of silently re-validating stale numbers.
     """
-    path = ARTIFACT_DIR / "BENCH_substrate.json"
-    if path.exists():
-        path.unlink()
+    for name in ("BENCH_substrate.json", "BENCH_engine.json"):
+        path = ARTIFACT_DIR / name
+        if path.exists():
+            path.unlink()
     yield
 
 

@@ -432,6 +432,57 @@ class AIG:
         return self.copy_with()
 
     # ------------------------------------------------------------------
+    # Flat-array reconstruction (shared-memory hand-off)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_flat_arrays(
+        cls,
+        name: str,
+        is_and: Sequence[int],
+        fanin0: Sequence[Literal],
+        fanin1: Sequence[Literal],
+        pi_names: Sequence[Optional[str]],
+        pos: Sequence[Literal],
+        po_names: Sequence[Optional[str]],
+    ) -> "AIG":
+        """Rebuild a graph from its flat per-variable arrays.
+
+        The inverse of :meth:`node_arrays` (plus the PI/PO metadata): a
+        graph serialised as ``(is_and, fanin0, fanin1)`` arrays — e.g.
+        published through shared memory by
+        :mod:`repro.engine.shm` — reconstructs bit-identically, including
+        node order, structural-hashing table contents and
+        :func:`repro.qor.evaluator.aig_fingerprint`.  The arrays must
+        come from a well-formed AIG (``add_and``-normalised fanins);
+        no re-hashing or constant propagation is performed, which is
+        what makes this an O(num_vars) copy instead of a rebuild.
+        """
+        if not (len(is_and) == len(fanin0) == len(fanin1)):
+            raise ValueError("flat arrays must have equal length")
+        if len(is_and) == 0 or is_and[0]:
+            raise ValueError("variable 0 must be the constant node")
+        new = cls(name=name)
+        pi_iter = iter(pi_names)
+        for var in range(1, len(is_and)):
+            if is_and[var]:
+                a, b = fanin0[var], fanin1[var]
+                new._nodes.append(AigNode(var=var, kind="and",
+                                          fanin0=a, fanin1=b))
+                new._strash[(a, b)] = var
+            else:
+                new._nodes.append(AigNode(var=var, kind="pi",
+                                          name=next(pi_iter, None)))
+                new._pis.append(var)
+        new._is_and = bytearray(is_and)
+        new._fanin0 = [int(x) for x in fanin0]
+        new._fanin1 = [int(x) for x in fanin1]
+        for po_lit, po_name in zip(pos, po_names):
+            new._check_literal(int(po_lit))
+            new._pos.append(int(po_lit))
+            new._po_names.append(po_name)
+        return new
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _check_literal(self, literal: Literal) -> None:

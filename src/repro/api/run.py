@@ -38,7 +38,7 @@ import multiprocessing
 import queue as queue_module
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -47,7 +47,8 @@ from repro.api.problem import Problem
 from repro.api.store import CampaignStore, RunRecord
 from repro.bo.base import OptimisationResult
 from repro.engine import faults, worker
-from repro.engine.engine import EvaluationEngine, _terminate_pool, resolve_jobs
+from repro.engine.engine import EvaluationEngine, resolve_jobs
+from repro.engine.pool import WarmPool
 from repro.engine.faults import (
     DeadlineExceeded,
     FaultPlan,
@@ -354,23 +355,20 @@ def _run_parallel(
     """
     queue: deque = deque(pending)
     in_flight: Dict[Future, Tuple[CampaignCell, float]] = {}
-    pool: Optional[ProcessPoolExecutor] = None
+    # One warm pool for the whole campaign: workers keep their evaluator
+    # caches and persistent-cache connection across cells, and crash
+    # recovery advances the epoch instead of discarding warm state.
+    warm = WarmPool(
+        max_workers=min(jobs, max(1, len(pending))),
+        initializer=worker.init_campaign_worker,
+        initargs_for=lambda epoch: (cache_dir, event_queue, True),
+    )
     crash_rebuilds = 0
     tick = 0.1 if (event_queue is not None
                    or campaign.cell_timeout is not None) else None
 
-    def make_pool() -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=min(jobs, max(1, len(pending))),
-            initializer=worker.init_campaign_worker,
-            initargs=(cache_dir, event_queue, True),
-        )
-
     def recycle_pool() -> None:
-        nonlocal pool
-        if pool is not None:
-            _terminate_pool(pool)
-            pool = None
+        warm.recycle()
 
     def crash_recovery(error: BaseException) -> None:
         """The pool died: settle finished futures, retry the suspects."""
@@ -410,11 +408,9 @@ def _run_parallel(
         while queue or in_flight:
             while queue and len(in_flight) < jobs:
                 cell = queue.popleft()
-                if pool is None:
-                    pool = make_pool()
                 try:
-                    future = pool.submit(worker.run_campaign_cell,
-                                         payload_for(cell))
+                    future = warm.executor().submit(worker.run_campaign_cell,
+                                                    payload_for(cell))
                 except BrokenProcessPool as error:
                     queue.appendleft(cell)
                     crash_recovery(error)
@@ -478,8 +474,7 @@ def _run_parallel(
         # resolves, so one final drain collects every straggler.
         _drain_events(event_queue, on_event)
     finally:
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+        warm.close(cancel_futures=True)
 
 
 def resume_campaign(

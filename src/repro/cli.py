@@ -842,6 +842,20 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _print_engine_metadata(meta) -> None:
+    """One-line summary of the warm pool + planner routing for --jobs > 1."""
+    pool = meta["pool"]
+    decisions = meta["decisions"]
+    routed = {"serial": 0, "pool": 0}
+    for decision in decisions:
+        routed[decision["mode"]] = routed.get(decision["mode"], 0) + 1
+    print(f"execution         : jobs {meta['jobs']}, warm pool "
+          f"builds {pool['builds']} (epoch {pool['epoch']}, "
+          f"rebuilds {pool['rebuilds']}), planner routed "
+          f"{routed['pool']} batch(es) to the pool, "
+          f"{routed['serial']} serial")
+
+
 def _cmd_optimise(args) -> int:
     _deprecation_note("optimise")
     spec = EvaluatorSpec.for_circuit(
@@ -862,6 +876,9 @@ def _cmd_optimise(args) -> int:
     with EvaluationEngine(spec, jobs=jobs, evaluator=evaluator) as engine:
         evaluator.attach_engine(engine)
         result = optimiser.optimise(evaluator, budget=args.budget)
+        engine_meta = engine.metadata()
+    if jobs > 1:
+        _print_engine_metadata(engine_meta)
     print(f"best sequence     : {sequence_to_string(result.best_sequence)}")
     for op in result.best_sequence:
         print(f"   - {op}")

@@ -8,11 +8,19 @@ in the reproduction.  It has four cooperating pieces:
   process can rebuild the QoR black box.  AIGs themselves never cross a
   process boundary.
 * :mod:`repro.engine.engine` — :class:`EvaluationEngine`, which fans
-  batches of synthesis sequences out to a process pool (serial in-process
-  fallback for ``jobs=1``).  Attach one to a
+  batches of synthesis sequences out to a *warm* process pool (serial
+  in-process fallback for ``jobs=1``).  Attach one to a
   :class:`repro.qor.QoREvaluator` via ``attach_engine`` and every
   ``evaluate_many`` batch is scored in parallel, with results recorded in
   submission order so parallel runs stay bit-identical to serial ones.
+  Three supporting modules carry the parallel fast path:
+  :mod:`repro.engine.pool` (:class:`WarmPool`, the one sanctioned
+  ``ProcessPoolExecutor`` owner, persistent across batches/cells and
+  self-healing by epoch), :mod:`repro.engine.shm` (one-time
+  shared-memory publication of the circuit's flat arrays for O(n)
+  worker start-up), and :mod:`repro.engine.planner`
+  (:class:`ExecutionPlanner`, a measured cost model routing each batch
+  serial vs pool so short batches never pay pool tax).
 * :mod:`repro.engine.cache` — :class:`PersistentQoRCache`, an SQLite
   (WAL) on-disk cache of ``(circuit, sequence) → (area, delay)`` shared
   across processes *and* across runs.  It layers under the evaluator's
@@ -43,6 +51,9 @@ from repro.engine.faults import (
     deadline,
 )
 from repro.engine.grid import build_cell_payload, run_grid
+from repro.engine.planner import ExecutionPlanner, PlanDecision, effective_parallelism
+from repro.engine.pool import WarmPool, terminate_pool
+from repro.engine.shm import SharedAIGHandle
 from repro.engine.spec import EvaluatorSpec, resolve_circuit_width
 
 __all__ = [
@@ -50,16 +61,22 @@ __all__ = [
     "EngineFaultError",
     "EvaluationEngine",
     "EvaluatorSpec",
+    "ExecutionPlanner",
     "FaultEvent",
     "FaultPlan",
     "PersistentQoRCache",
+    "PlanDecision",
     "PoisonInputError",
     "PoolUnrecoverableError",
     "RetryPolicy",
+    "SharedAIGHandle",
+    "WarmPool",
     "build_cell_payload",
     "deadline",
     "default_cache_dir",
+    "effective_parallelism",
     "resolve_circuit_width",
     "resolve_jobs",
     "run_grid",
+    "terminate_pool",
 ]

@@ -1,23 +1,40 @@
 """Parallel batch evaluation of synthesis sequences.
 
-:class:`EvaluationEngine` fans a batch of sequences out to a process pool
-whose workers rebuild the circuit + mapper from a picklable
-:class:`repro.engine.spec.EvaluatorSpec` (AIGs never cross the pipe), and
-falls back to serial in-process computation for ``jobs=1`` — so a single
-code path serves laptops and many-core machines.  The engine is *pure
-compute*: it returns :class:`repro.qor.SequenceEvaluation` records
-without touching any evaluator's history, counters or caches.  All
-accounting stays in the parent :class:`repro.qor.QoREvaluator`, which is
-what keeps parallel runs bit-identical to serial ones.
+:class:`EvaluationEngine` fans a batch of sequences out to a *warm*
+process pool — one :class:`~repro.engine.pool.WarmPool` owned for the
+engine's whole life, whose workers rebuild the circuit + mapper exactly
+once (from a picklable :class:`repro.engine.spec.EvaluatorSpec`) and
+then serve every subsequent batch, round and cell.  Three layers keep
+the parallel path cheap:
+
+* **Warm workers** — the pool outlives batches; worker initialisation
+  attaches the circuit and evaluator once per worker per pool epoch.
+* **Shared-memory AIG hand-off** — the parent publishes the circuit's
+  flat arrays via :mod:`repro.engine.shm` and piggybacks the measured
+  reference/initial stats on the spec, so worker start-up is an
+  O(num_vars) copy instead of a circuit rebuild plus reference flow.
+* **Adaptive execution planner** — per batch, a measured cost model
+  (:mod:`repro.engine.planner`) routes to serial or warm-pool
+  execution, so short batches never pay pool tax; every decision is
+  logged in :meth:`metadata`.
+
+The engine is *pure compute*: it returns
+:class:`repro.qor.SequenceEvaluation` records without touching any
+evaluator's history, counters or caches.  All accounting stays in the
+parent :class:`repro.qor.QoREvaluator`, which is what keeps parallel
+runs bit-identical to serial ones — and why the planner's routing
+choice can never change results.
 
 With an ``eval_timeout`` or :class:`~repro.engine.faults.RetryPolicy`
 configured the engine runs *supervised*: each sequence is submitted as
 its own task, a worker that blows its deadline or dies is recycled (the
-pool is rebuilt, in-flight sequences re-submitted), and a sequence that
-keeps failing across ``max_attempts`` is surfaced as
+warm pool advances an epoch and rebuilds, in-flight sequences
+re-submitted), and a sequence that keeps failing across
+``max_attempts`` is surfaced as
 :class:`~repro.engine.faults.PoisonInputError` instead of hanging or
-aborting the run.  Without those knobs the original chunked
-``pool.map`` fast path is used untouched.
+aborting the run.  Supervised batches always use the pool (per-task
+deadlines need worker isolation), so the planner only routes the
+unsupervised fast path.
 
 Typical use::
 
@@ -30,23 +47,34 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from multiprocessing import shared_memory
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.engine import worker
+from repro.engine import shm, worker
 from repro.engine.faults import (
     DeadlineExceeded,
     PoisonInputError,
     PoolUnrecoverableError,
     RetryPolicy,
 )
+from repro.engine.planner import ExecutionPlanner, PlanDecision
+from repro.engine.pool import WarmPool, terminate_pool
 from repro.engine.spec import EvaluatorSpec
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
 from repro.synth.operations import sequence_to_names
+
+#: Backwards-compatible alias; the implementation moved to
+#: :mod:`repro.engine.pool` alongside :class:`WarmPool`.
+_terminate_pool = terminate_pool
+
+#: How many routing decisions :meth:`EvaluationEngine.metadata` retains.
+_DECISION_LOG_LIMIT = 64
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -56,25 +84,6 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = all CPUs)")
     return int(jobs)
-
-
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Kill a pool's worker processes and reap the executor.
-
-    ``ProcessPoolExecutor`` cannot cancel a *running* task, so deadline
-    enforcement has to kill the workers outright; the executor is then
-    broken by construction and only good for shutdown.
-    """
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except Exception:  # pragma: no cover - already-dead process
-            pass
-    try:
-        pool.shutdown(wait=True, cancel_futures=True)
-    except Exception:  # pragma: no cover - broken executor teardown
-        pass
 
 
 class EvaluationEngine:
@@ -101,6 +110,12 @@ class EvaluationEngine:
     retry:
         Retry policy for deadline blowouts and worker crashes; defaults
         to :class:`RetryPolicy()` when ``eval_timeout`` is set.
+    adaptive:
+        When true (default) the execution planner routes each
+        unsupervised batch to serial or warm-pool execution by predicted
+        cost.  ``False`` restores the legacy behaviour — every
+        multi-element batch at ``jobs > 1`` goes to the pool — which the
+        throughput benchmark uses to measure raw pool speed.
     """
 
     def __init__(
@@ -112,6 +127,7 @@ class EvaluationEngine:
         eval_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        adaptive: bool = True,
     ) -> None:
         self.spec = spec
         self.jobs = resolve_jobs(jobs)
@@ -126,8 +142,6 @@ class EvaluationEngine:
             # Thread the deadline into the spec so workers enforce it
             # in-task via SIGALRM; the parent's hard deadline is only
             # the backstop for wedged workers.
-            import dataclasses
-
             spec = dataclasses.replace(spec, eval_timeout=eval_timeout)
             self.spec = spec
         self.eval_timeout = eval_timeout
@@ -135,8 +149,13 @@ class EvaluationEngine:
             RetryPolicy() if eval_timeout is not None else None)
         self._sleep = sleep or time.sleep
         self._local = evaluator
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._epoch = 0
+        self._adaptive = bool(adaptive)
+        self._planner = ExecutionPlanner(self.jobs)
+        self._decisions: Deque[PlanDecision] = deque(maxlen=_DECISION_LOG_LIMIT)
+        self._warm_pool: Optional[WarmPool] = None
+        self._pool_payload: Optional[Dict[str, object]] = None
+        self._shm_segment: Optional[shared_memory.SharedMemory] = None
+        self._shm_handle: Optional[shm.SharedAIGHandle] = None
         self._rebuilds = 0
 
     @property
@@ -151,22 +170,43 @@ class EvaluationEngine:
             self._local = self.spec.build_evaluator(cache=False)
         return self._local
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
+    def _worker_payload(self) -> Dict[str, object]:
+        """Spec payload for pool workers: shm handle + warm stats attached.
+
+        Built once and reused across pool epochs — a recycled pool's
+        fresh workers re-attach the same shared-memory segment, so crash
+        recovery rebuilds warm state instead of discarding it.
+        """
+        if self._pool_payload is None:
             assert self.spec is not None
-            self._pool = ProcessPoolExecutor(
+            local = self._local_evaluator()
+            if self._shm_segment is None:
+                self._shm_segment, self._shm_handle = shm.publish_aig(local.aig)
+            warm_spec = dataclasses.replace(
+                self.spec,
+                shared_aig=self._shm_handle,
+                reference_stats=(local.reference_area, local.reference_delay),
+                initial_stats=(local.initial_result.area,
+                               local.initial_result.delay),
+            )
+            self._pool_payload = warm_spec.to_payload()
+        return self._pool_payload
+
+    def _warm(self) -> WarmPool:
+        if self._warm_pool is None:
+            self._warm_pool = WarmPool(
                 max_workers=self.jobs,
                 initializer=worker.init_evaluation_worker,
-                initargs=(self.spec.to_payload(), self._epoch),
+                initargs_for=lambda epoch: (self._worker_payload(), epoch),
             )
-        return self._pool
+        return self._warm_pool
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        return self._warm().executor()
 
     def _recycle_pool(self) -> None:
         """Tear the pool down and advance the epoch for its successor."""
-        if self._pool is not None:
-            _terminate_pool(self._pool)
-            self._pool = None
-        self._epoch += 1
+        self._warm().recycle()
 
     # ------------------------------------------------------------------
     def compute_batch(
@@ -175,10 +215,11 @@ class EvaluationEngine:
         """Score a batch of sequences; results are positional.
 
         Pure compute — no evaluator state is touched.  Batches of one (or
-        an engine with ``jobs=1``) stay in-process; larger batches go to
-        the worker pool, which is created lazily on first use.  With
-        fault-tolerance knobs set, the parallel path runs supervised
-        (per-task deadlines, retry, pool self-healing).
+        an engine with ``jobs=1``) stay in-process; larger batches are
+        routed serial/pool by the planner (or forced to the warm pool
+        with ``adaptive=False``).  With fault-tolerance knobs set, the
+        parallel path runs supervised (per-task deadlines, retry, pool
+        self-healing) and skips planning.
         """
         names_list: List[Tuple[str, ...]] = [
             tuple(sequence_to_names(seq)) for seq in sequences
@@ -186,15 +227,56 @@ class EvaluationEngine:
         if not names_list:
             return []
         if self.jobs <= 1 or len(names_list) == 1:
+            if self.jobs > 1 and self._adaptive and not self._supervised:
+                # Single-element batches double as free serial-cost
+                # samples that bootstrap the planner's model.
+                return self._run_serial_batch(names_list)
             local = self._local_evaluator()
             return [local.compute(names) for names in names_list]
-        if not self._supervised:
-            # The original chunked fast path: one map, minimal overhead.
-            pool = self._ensure_pool()
-            chunksize = max(1, len(names_list) // (self.jobs * 4))
-            return list(pool.map(worker.evaluate_sequence, names_list,
-                                 chunksize=chunksize))
-        return self._compute_batch_supervised(names_list)
+        if self._supervised:
+            return self._compute_batch_supervised(names_list)
+        if not self._adaptive:
+            decision = PlanDecision(
+                batch_size=len(names_list),
+                mode="pool",
+                predicted_serial=None,
+                predicted_pool=None,
+                pool_warm=self._warm_pool is not None and self._warm_pool.warm,
+                reason="adaptive planning disabled",
+            )
+        else:
+            decision = self._planner.plan(
+                len(names_list),
+                pool_warm=self._warm_pool is not None and self._warm_pool.warm,
+            )
+        self._decisions.append(decision)
+        if decision.mode == "serial":
+            return self._run_serial_batch(names_list)
+        return self._run_pool_batch(names_list)
+
+    def _run_serial_batch(
+        self, names_list: List[Tuple[str, ...]]
+    ) -> List[SequenceEvaluation]:
+        local = self._local_evaluator()
+        start = time.perf_counter()
+        records = [local.compute(names) for names in names_list]
+        self._planner.observe_serial(len(names_list),
+                                     time.perf_counter() - start)
+        return records
+
+    def _run_pool_batch(
+        self, names_list: List[Tuple[str, ...]]
+    ) -> List[SequenceEvaluation]:
+        # The original chunked fast path: one map, minimal overhead.
+        cold = not (self._warm_pool is not None and self._warm_pool.warm)
+        pool = self._ensure_pool()
+        chunksize = max(1, len(names_list) // (self.jobs * 4))
+        start = time.perf_counter()
+        records = list(pool.map(worker.evaluate_sequence, names_list,
+                                chunksize=chunksize))
+        self._planner.observe_pool(len(names_list),
+                                   time.perf_counter() - start, cold=cold)
+        return records
 
     def _compute_batch_supervised(
         self, names_list: List[Tuple[str, ...]]
@@ -302,11 +384,38 @@ class EvaluationEngine:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    def metadata(self) -> Dict[str, object]:
+        """JSON-safe execution metadata: pool state + planner decisions."""
+        warm_pool = self._warm_pool
+        return {
+            "jobs": self.jobs,
+            "adaptive": self._adaptive,
+            "supervised": self._supervised,
+            "pool": {
+                "warm": warm_pool is not None and warm_pool.warm,
+                "epoch": warm_pool.epoch if warm_pool is not None else 0,
+                "builds": warm_pool.builds if warm_pool is not None else 0,
+                "rebuilds": self._rebuilds,
+            },
+            "shared_aig": (self._shm_handle.to_payload()
+                           if self._shm_handle is not None else None),
+            "planner": self._planner.state(),
+            "decisions": [decision.to_dict() for decision in self._decisions],
+        }
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the worker pool and unlink shared memory (idempotent)."""
+        if self._warm_pool is not None:
+            self._warm_pool.close()
+            self._warm_pool = None
+        if self._shm_segment is not None:
+            # Workers unregistered themselves from the resource tracker
+            # on attach, so this is the one and only unlink.
+            shm.unlink_segment(self._shm_segment)
+            self._shm_segment = None
+            self._shm_handle = None
+            self._pool_payload = None
 
     def __enter__(self) -> "EvaluationEngine":
         return self

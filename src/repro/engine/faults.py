@@ -441,11 +441,18 @@ def activate(cell_id: str, attempt: int, *, hard_crash: bool) -> None:
     raised :class:`InjectedCrash` in serial/in-process runs.  Counters
     for the (cell, attempt) key reset so a retried attempt replays its
     own schedule from ordinal zero.
+
+    Only the active key's counters are ever read, and warm pool workers
+    now outlive many cells, so stale keys from earlier activations are
+    dropped here to keep the maps bounded over a long sweep.
     """
     global _ACTIVE
-    _ACTIVE = (str(cell_id), int(attempt), bool(hard_crash))
-    _EVAL_COUNTS[(str(cell_id), int(attempt))] = 0
-    _CACHE_OP_COUNTS[(str(cell_id), int(attempt))] = 0
+    key = (str(cell_id), int(attempt))
+    _ACTIVE = (key[0], key[1], bool(hard_crash))
+    for counters in (_EVAL_COUNTS, _CACHE_OP_COUNTS):
+        for stale in [k for k in counters if k != key]:
+            del counters[stale]
+        counters[key] = 0
 
 
 def deactivate() -> None:

@@ -12,11 +12,12 @@ repeated grids skip already-computed sequences entirely.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import as_completed
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.engine import worker
 from repro.engine.engine import resolve_jobs
+from repro.engine.pool import WarmPool
 from repro.engine.spec import EvaluatorSpec
 
 if TYPE_CHECKING:  # import cycle: the runner imports this module
@@ -136,11 +137,12 @@ def run_grid(
             index, result = worker.run_grid_cell(payload)
             results[index] = result
     else:
-        with ProcessPoolExecutor(
+        with WarmPool(
             max_workers=min(jobs, len(payloads)),
             initializer=worker.init_grid_worker,
-            initargs=(cache_dir,),
-        ) as pool:
+            initargs_for=lambda epoch: (cache_dir,),
+        ) as warm:
+            pool = warm.executor()
             futures = {pool.submit(worker.run_grid_cell, payload): payload
                        for payload in payloads}
             for future in as_completed(futures):

@@ -1,0 +1,174 @@
+"""Adaptive execution planner: pick serial vs warm-pool per batch.
+
+The engine measures each batch's wall clock (the planner itself never
+reads a clock — determinism lint keeps time out of this module) and
+feeds the observations back here.  The planner keeps exponentially
+weighted per-evaluation costs for both modes plus a pool spin-up
+estimate, and predicts which mode finishes a batch sooner:
+
+    serial:  n * serial_eval
+    pool:    spinup (if cold) + n * dispatch + ceil(n / parallelism) * pool_eval
+
+Short batches and single-core hosts therefore never pay pool tax, while
+large batches on multi-core hosts route to the warm pool once it has
+proven itself.  The mode choice can never affect results — both paths
+are bit-identical by the engine's core invariant — so the planner is
+free to be heuristic.
+
+``jobs=1`` (the existing ``--jobs`` contract) bypasses planning
+entirely, and the engine's ``adaptive=False`` switch forces the legacy
+always-pool behaviour for benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: EWMA smoothing factor for cost observations.
+_ALPHA = 0.3
+
+#: Pessimistic defaults (seconds) before any measurement exists.
+_DEFAULT_SPINUP = 0.35
+_DEFAULT_DISPATCH = 0.0008
+
+
+def effective_parallelism(jobs: int) -> int:
+    """CPUs this process can actually use, capped at ``jobs``."""
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        available = os.cpu_count() or 1
+    return max(1, min(int(jobs), available))
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One per-batch routing decision, logged in engine metadata."""
+
+    batch_size: int
+    mode: str  # "serial" | "pool"
+    predicted_serial: Optional[float]
+    predicted_pool: Optional[float]
+    pool_warm: bool
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "batch_size": int(self.batch_size),
+            "mode": self.mode,
+            "predicted_serial": self.predicted_serial,
+            "predicted_pool": self.predicted_pool,
+            "pool_warm": bool(self.pool_warm),
+            "reason": self.reason,
+        }
+
+
+class ExecutionPlanner:
+    """Cost model choosing serial vs warm-pool execution per batch."""
+
+    def __init__(
+        self,
+        jobs: int,
+        spinup_estimate: float = _DEFAULT_SPINUP,
+        dispatch_overhead: float = _DEFAULT_DISPATCH,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.parallelism = effective_parallelism(self.jobs)
+        self._serial_eval: Optional[float] = None
+        self._pool_eval: Optional[float] = None
+        self._spinup = float(spinup_estimate)
+        self._dispatch = float(dispatch_overhead)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _predict_serial(self, batch_size: int) -> Optional[float]:
+        if self._serial_eval is None:
+            return None
+        return batch_size * self._serial_eval
+
+    def _predict_pool(self, batch_size: int, pool_warm: bool) -> Optional[float]:
+        per_eval = self._pool_eval if self._pool_eval is not None else self._serial_eval
+        if per_eval is None:
+            return None
+        cost = batch_size * self._dispatch
+        cost += math.ceil(batch_size / self.parallelism) * per_eval
+        if not pool_warm:
+            cost += self._spinup
+        return cost
+
+    def plan(self, batch_size: int, pool_warm: bool) -> PlanDecision:
+        """Route one batch.  Ties favour serial (no IPC risk for no gain)."""
+        predicted_serial = self._predict_serial(batch_size)
+        predicted_pool = self._predict_pool(batch_size, pool_warm)
+        if self.jobs <= 1 or batch_size <= 1:
+            mode, reason = "serial", "jobs/batch below parallel threshold"
+        elif predicted_serial is None:
+            # Bootstrap: measure serial cost once before trusting the model.
+            mode, reason = "serial", "bootstrap serial measurement"
+        elif predicted_pool is None or predicted_pool >= predicted_serial:
+            mode, reason = "serial", "predicted serial cost <= pool cost"
+        else:
+            mode, reason = "pool", "predicted pool cost < serial cost"
+        return PlanDecision(
+            batch_size=batch_size,
+            mode=mode,
+            predicted_serial=predicted_serial,
+            predicted_pool=predicted_pool,
+            pool_warm=pool_warm,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Observation (engine-measured wall clock)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ewma(previous: Optional[float], sample: float) -> float:
+        if previous is None:
+            return sample
+        return (1.0 - _ALPHA) * previous + _ALPHA * sample
+
+    def observe_serial(self, batch_size: int, seconds: float) -> None:
+        if batch_size <= 0 or seconds < 0:
+            return
+        self._serial_eval = self._ewma(self._serial_eval, seconds / batch_size)
+
+    def observe_pool(self, batch_size: int, seconds: float, cold: bool) -> None:
+        """Fold one pool batch back into the model.
+
+        Warm batches refine the per-evaluation pool cost (implied by wall
+        clock divided by the number of parallel waves); cold batches
+        additionally refine the spin-up estimate as whatever wall clock
+        the work itself cannot explain.
+        """
+        if batch_size <= 0 or seconds < 0:
+            return
+        waves = math.ceil(batch_size / self.parallelism)
+        if cold:
+            per_eval = self._pool_eval if self._pool_eval is not None else self._serial_eval
+            work = waves * per_eval if per_eval is not None else 0.0
+            self._spinup = self._ewma(self._spinup, max(0.0, seconds - work))
+            return
+        self._pool_eval = self._ewma(
+            self._pool_eval, max(0.0, seconds - batch_size * self._dispatch) / waves
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """JSON-safe snapshot for engine metadata / CLI reporting."""
+        return {
+            "jobs": self.jobs,
+            "parallelism": self.parallelism,
+            "serial_eval_ewma": self._serial_eval,
+            "pool_eval_ewma": self._pool_eval,
+            "spinup_ewma": self._spinup,
+            "dispatch_overhead": self._dispatch,
+        }
+
+
+__all__ = ["ExecutionPlanner", "PlanDecision", "effective_parallelism"]

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.circuits.registry import get_circuit, get_circuit_spec, resolve_width
-from repro.engine import faults
+from repro.engine import faults, shm
 from repro.qor.evaluator import QoREvaluator
 from repro.qor.objectives import DEFAULT_OBJECTIVE_KEY, canonical_spec_string
 
@@ -61,6 +61,17 @@ class EvaluatorSpec:
         Canonical-JSON :class:`~repro.engine.faults.FaultPlan` for
         deterministic fault injection, or ``None``.  A string (not the
         object) so the spec stays hashable and cheap to pickle.
+    shared_aig:
+        Optional :class:`~repro.engine.shm.SharedAIGHandle` naming a
+        shared-memory segment that already holds the circuit's flat
+        arrays.  Workers attach it instead of rebuilding/re-parsing the
+        circuit; a vanished segment degrades to the cold path above.
+    reference_stats / initial_stats:
+        Optional ``(area, delay)`` integer pairs measured by the parent's
+        evaluator.  When present the worker-side evaluator skips the
+        expensive reference-flow and initial mappings — both are
+        deterministic functions of the circuit, so hand-off is
+        bit-identity safe.
     """
 
     circuit: str
@@ -72,6 +83,28 @@ class EvaluatorSpec:
     circuit_hash: Optional[str] = None
     eval_timeout: Optional[float] = None
     fault_plan: Optional[str] = None
+    shared_aig: Optional["shm.SharedAIGHandle"] = None
+    reference_stats: Optional[Tuple[int, int]] = None
+    initial_stats: Optional[Tuple[int, int]] = None
+
+    def identity_key(self) -> Tuple[object, ...]:
+        """Key identifying the evaluator this spec builds.
+
+        Excludes transport-only fields (``shared_aig``,
+        ``reference_stats``/``initial_stats``) that change how the
+        evaluator is *constructed* but never what it computes — worker
+        caches keyed on this survive shm/warm-stat hand-off changes.
+        """
+        return (
+            self.circuit,
+            self.width,
+            self.lut_size,
+            self.reference_sequence,
+            self.objective,
+            self.circuit_hash,
+            self.eval_timeout,
+            self.fault_plan,
+        )
 
     @classmethod
     def for_circuit(
@@ -104,7 +137,24 @@ class EvaluatorSpec:
     ) -> QoREvaluator:
         """Instantiate the circuit and its evaluator from this spec."""
         cache_key = None
-        if self.circuit_file is not None:
+        aig = None
+        reference_stats = self.reference_stats
+        initial_stats = self.initial_stats
+        if self.shared_aig is not None:
+            # Warm hand-off: attach the parent's published flat arrays.
+            # A vanished segment (engine closed, foreign host) falls
+            # through to the cold rebuild below — including dropping the
+            # piggybacked warm stats, which travel only with the shm
+            # fast path to keep the degraded path identical to a spec
+            # that never carried them.
+            aig = shm.attach_aig(self.shared_aig)
+            if aig is None:
+                reference_stats = None
+                initial_stats = None
+        if aig is not None:
+            if self.circuit_hash is not None:
+                cache_key = f"sha256:{self.circuit_hash}:lut{self.lut_size}"
+        elif self.circuit_file is not None:
             # Load directly from the recorded path, verifying content:
             # the registry route would re-resolve (and silently accept a
             # changed file), and the content hash gives a persistent
@@ -125,6 +175,8 @@ class EvaluatorSpec:
             persistent_cache=persistent_cache,
             objective=self.objective,
             cache_key=cache_key,
+            reference_stats=reference_stats,
+            initial_stats=initial_stats,
         )
         guard = faults.build_compute_guard(self.fault_plan, self.eval_timeout)
         if guard is not None:
@@ -146,6 +198,11 @@ class EvaluatorSpec:
             "circuit_hash": self.circuit_hash,
             "eval_timeout": self.eval_timeout,
             "fault_plan": self.fault_plan,
+            "shared_aig": (
+                self.shared_aig.to_payload() if self.shared_aig is not None else None
+            ),
+            "reference_stats": self.reference_stats,
+            "initial_stats": self.initial_stats,
         }
 
     @classmethod
@@ -155,6 +212,9 @@ class EvaluatorSpec:
         circuit_hash = payload.get("circuit_hash")
         eval_timeout = payload.get("eval_timeout")
         fault_plan = payload.get("fault_plan")
+        shared_aig = payload.get("shared_aig")
+        reference_stats = payload.get("reference_stats")
+        initial_stats = payload.get("initial_stats")
         return cls(
             circuit=str(payload["circuit"]),
             width=int(payload["width"]),  # type: ignore[arg-type]
@@ -165,4 +225,19 @@ class EvaluatorSpec:
             circuit_hash=str(circuit_hash) if circuit_hash is not None else None,
             eval_timeout=float(eval_timeout) if eval_timeout is not None else None,  # type: ignore[arg-type]
             fault_plan=str(fault_plan) if fault_plan is not None else None,
+            shared_aig=(
+                shm.SharedAIGHandle.from_payload(shared_aig)  # type: ignore[arg-type]
+                if shared_aig is not None
+                else None
+            ),
+            reference_stats=(
+                (int(reference_stats[0]), int(reference_stats[1]))  # type: ignore[index]
+                if reference_stats is not None
+                else None
+            ),
+            initial_stats=(
+                (int(initial_stats[0]), int(initial_stats[1]))  # type: ignore[index]
+                if initial_stats is not None
+                else None
+            ),
         )

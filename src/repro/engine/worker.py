@@ -20,9 +20,10 @@ resumes the interrupted cell from it bit-identically.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
-from repro.engine import faults
+from repro.engine import faults, shm
 from repro.engine.cache import PersistentQoRCache
 from repro.engine.spec import EvaluatorSpec
 from repro.qor.evaluator import QoREvaluator, SequenceEvaluation
@@ -44,6 +45,7 @@ _IN_POOL = False
 # Batch-evaluation workers (EvaluationEngine pool)
 # ----------------------------------------------------------------------
 _BATCH_EVALUATOR: Optional[QoREvaluator] = None
+_EPOCH = 0
 
 
 def init_evaluation_worker(spec_payload: Dict[str, object],
@@ -55,15 +57,18 @@ def init_evaluation_worker(spec_payload: Dict[str, object],
     "attempt" key so a scheduled crash fires once per generation rather
     than forever.
     """
-    global _BATCH_EVALUATOR, _IN_POOL
+    global _BATCH_EVALUATOR, _IN_POOL, _EPOCH
     # The parent may have run serial grid cells first, leaving an open
     # cache connection in this module's grid globals; abandon anything
     # inherited across fork before doing work in this process.
     _discard_state_from_other_process()
     _IN_POOL = True
+    _EPOCH = int(epoch)
     spec = EvaluatorSpec.from_payload(spec_payload)
     # cache=False: workers only run the pure compute path; memoisation and
-    # accounting live in the parent evaluator.
+    # accounting live in the parent evaluator.  When the spec carries a
+    # shared-memory handle this attaches the parent's published arrays
+    # (warm path); otherwise it rebuilds cold.
     _BATCH_EVALUATOR = spec.build_evaluator(cache=False)
     if spec.fault_plan is not None or spec.eval_timeout is not None:
         faults.activate("*", int(epoch), hard_crash=True)
@@ -76,15 +81,72 @@ def evaluate_sequence(names: Tuple[str, ...]) -> SequenceEvaluation:
     return _BATCH_EVALUATOR.compute(names)
 
 
+def worker_diagnostics() -> Dict[str, object]:
+    """Introspection task for tests and the CLI: one worker's warm state."""
+    return {
+        "pid": os.getpid(),
+        "epoch": _EPOCH,
+        "in_pool": _IN_POOL,
+        "batch_evaluator_ready": _BATCH_EVALUATOR is not None,
+        "grid_evaluators": len(_GRID_EVALUATORS),
+        "grid_evictions": _GRID_EVALUATORS.evictions,
+        "shm_attaches": shm.attach_count(),
+        "shm_fallbacks": shm.fallback_count(),
+    }
+
+
 # ----------------------------------------------------------------------
 # Grid-cell workers (parallel experiment runner)
 # ----------------------------------------------------------------------
 _UNSET = object()  # distinct from None, which is a valid cache_dir
 _GRID_CACHE_DIR: object = _UNSET
 _GRID_CACHE: Optional[PersistentQoRCache] = None
-#: Keyed by (circuit, width, lut_size, reference_sequence, objective,
-#: circuit_hash) — see :func:`_grid_evaluator`.
-_GRID_EVALUATORS: Dict[Tuple, QoREvaluator] = {}
+
+#: Default bound for the per-worker evaluator cache.  Warm pool workers
+#: now live for a whole sweep, so an unbounded circuit-keyed cache would
+#: grow with corpus size; eight evaluators comfortably covers a round's
+#: working set while capping memory.
+DEFAULT_EVALUATOR_CACHE_LIMIT = 8
+
+
+class _EvaluatorLRU:
+    """Bounded evaluator cache keyed by ``EvaluatorSpec.identity_key()``.
+
+    Eviction only drops the worker's warm copy — a re-built evaluator is
+    bit-identical (deterministic construction) and keeps sharing the
+    process-wide persistent cache handle, so the bound can never change
+    results, only re-pay construction cost.
+    """
+
+    def __init__(self, limit: int = DEFAULT_EVALUATOR_CACHE_LIMIT) -> None:
+        self.limit = int(limit)
+        self._items: "OrderedDict[Tuple[object, ...], QoREvaluator]" = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: Tuple[object, ...]) -> Optional[QoREvaluator]:
+        evaluator = self._items.get(key)
+        if evaluator is not None:
+            self._items.move_to_end(key)
+        return evaluator
+
+    def put(self, key: Tuple[object, ...], evaluator: QoREvaluator) -> None:
+        self._items[key] = evaluator
+        self._items.move_to_end(key)
+        while len(self._items) > self.limit > 0:
+            # Evicted evaluators are just dropped, never closed: the
+            # persistent cache handle they reference is process-wide
+            # (_GRID_CACHE) and stays open for their survivors.
+            self._items.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+_GRID_EVALUATORS = _EvaluatorLRU()
 _GRID_PID: Optional[int] = None
 _ABANDONED_CACHES: list = []  # fork-inherited handles we must never close
 
@@ -106,13 +168,22 @@ def _discard_state_from_other_process() -> None:
         _GRID_CACHE = None
         _GRID_CACHE_DIR = _UNSET
         _GRID_EVALUATORS.clear()
+        shm.reset_counters()
         _GRID_PID = os.getpid()
 
 
-def init_grid_worker(cache_dir: Optional[str]) -> None:
-    """Pool initialiser for grid cells; also used by the serial fallback."""
+def init_grid_worker(cache_dir: Optional[str],
+                     cache_limit: Optional[int] = None) -> None:
+    """Pool initialiser for grid cells; also used by the serial fallback.
+
+    ``cache_limit`` overrides the per-worker evaluator LRU bound
+    (``None`` keeps the current bound) — tests use ``1`` to exercise
+    eviction, long corpus sweeps may raise it.
+    """
     global _GRID_CACHE_DIR, _GRID_CACHE
     _discard_state_from_other_process()
+    if cache_limit is not None:
+        _GRID_EVALUATORS.limit = int(cache_limit)
     if cache_dir != _GRID_CACHE_DIR:
         if _GRID_CACHE is not None:
             _GRID_CACHE.close()
@@ -126,14 +197,16 @@ def init_grid_worker(cache_dir: Optional[str]) -> None:
 
 
 def _grid_evaluator(spec: EvaluatorSpec) -> QoREvaluator:
-    """Per-process evaluator for a circuit, built on first use."""
-    key = (spec.circuit, spec.width, spec.lut_size, spec.reference_sequence,
-           spec.objective, spec.circuit_hash, spec.eval_timeout,
-           spec.fault_plan)
+    """Per-process evaluator for a circuit, built on first use.
+
+    Cached in a bounded LRU keyed by the spec's identity — an eviction
+    re-pays construction on next use but cannot change results.
+    """
+    key = spec.identity_key()
     evaluator = _GRID_EVALUATORS.get(key)
     if evaluator is None:
         evaluator = spec.build_evaluator(cache=True, persistent_cache=_GRID_CACHE)
-        _GRID_EVALUATORS[key] = evaluator
+        _GRID_EVALUATORS.put(key, evaluator)
     return evaluator
 
 
@@ -195,7 +268,8 @@ _EVENT_QUEUE: Optional[object] = None
 
 def init_campaign_worker(cache_dir: Optional[str],
                          event_queue: Optional[object] = None,
-                         in_pool: bool = False) -> None:
+                         in_pool: bool = False,
+                         cache_limit: Optional[int] = None) -> None:
     """Pool initialiser for campaign cells.
 
     ``event_queue`` is a ``multiprocessing.Manager`` queue proxy (or
@@ -203,9 +277,10 @@ def init_campaign_worker(cache_dir: Optional[str],
     running in this worker streams its round events into it as
     ``(cell_id, event_dict)`` tuples.  ``in_pool`` marks this process as
     a pool worker (injected crashes become hard process exits).
+    ``cache_limit`` threads through to :func:`init_grid_worker`.
     """
     global _EVENT_QUEUE, _IN_POOL
-    init_grid_worker(cache_dir)
+    init_grid_worker(cache_dir, cache_limit=cache_limit)
     _EVENT_QUEUE = event_queue
     _IN_POOL = bool(in_pool)
 

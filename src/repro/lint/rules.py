@@ -706,8 +706,49 @@ class ReferenceTwinRule(LintRule):
                             f"{twin_path}")
 
 
+# ----------------------------------------------------------------------
+# RPL008 — warm pools only: no per-call executor construction
+# ----------------------------------------------------------------------
+_POOL_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+
+@register_lint_rule
+class WarmPoolRule(LintRule):
+    code = "RPL008"
+    name = "warm-pool-only"
+    rationale = ("Per-call ProcessPoolExecutor construction in the "
+                 "engine/api hot paths re-pays process spin-up, spec "
+                 "pickling and circuit rebuild on every batch — the "
+                 "parallelism-inversion bug class.  Pools must come from "
+                 "the engine-owned repro.engine.pool.WarmPool accessor "
+                 "(the allowlisted construction site).")
+    paths = ("repro/engine/", "repro/api/")
+
+    def check(self, module: ModuleInfo,
+              context: LintContext) -> Iterable[Diagnostic]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = (aliases.get(node.func.id)
+                      if isinstance(node.func, ast.Name)
+                      else resolve_dotted(node.func, aliases))
+            if dotted in _POOL_CONSTRUCTORS:
+                yield self.diagnostic(
+                    module, node,
+                    f"direct {dotted.rsplit('.', 1)[-1]} construction in an "
+                    "engine/api hot path; obtain the pool from the "
+                    "engine-owned WarmPool (repro.engine.pool) so workers "
+                    "stay warm across batches")
+
+
 #: Stable listing used by the README rule table and the CLI.
 RULE_PACK: Tuple[type, ...] = (
     UnseededRngRule, WallClockRule, SetIterationRule, IpcSafetyRule,
-    JsonExactRule, EnvironReadRule, ReferenceTwinRule,
+    JsonExactRule, EnvironReadRule, ReferenceTwinRule, WarmPoolRule,
 )

@@ -126,6 +126,14 @@ class QoREvaluator:
         scalar the optimisers minimise — an
         :class:`repro.qor.objectives.Objective` or its spec.  Defaults to
         the paper's Equation 1.
+    reference_stats / initial_stats:
+        Optional pre-measured ``(area, delay)`` pairs for the reference
+        flow and the unoptimised circuit.  When provided, the
+        corresponding mapping is skipped — warm pool workers receive the
+        parent evaluator's measurements through the spec so each worker
+        avoids re-running the reference synthesis flow.  Both mappings
+        are deterministic functions of the circuit, so the hand-off
+        cannot change any computed QoR value.
     """
 
     def __init__(
@@ -137,6 +145,8 @@ class QoREvaluator:
         persistent_cache: Optional[object] = None,
         cache_key: Optional[str] = None,
         objective: Optional[object] = None,
+        reference_stats: Optional[Tuple[int, int]] = None,
+        initial_stats: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.aig = aig
         self.lut_size = lut_size
@@ -162,21 +172,33 @@ class QoREvaluator:
         self.history: List[SequenceEvaluation] = []
 
         # Reference area/delay (denominators of Equation 1).
-        reference_aig = apply_sequence(aig, self.reference_sequence)
-        reference_mapping = self.mapper.map(reference_aig)
-        self.reference_area = max(1, reference_mapping.area)
-        self.reference_delay = max(1, reference_mapping.delay)
+        if reference_stats is not None:
+            self.reference_area = max(1, int(reference_stats[0]))
+            self.reference_delay = max(1, int(reference_stats[1]))
+        else:
+            reference_aig = apply_sequence(aig, self.reference_sequence)
+            reference_mapping = self.mapper.map(reference_aig)
+            self.reference_area = max(1, reference_mapping.area)
+            self.reference_delay = max(1, reference_mapping.delay)
         # QoR of the reference itself (2.0 by construction for Equation 1);
         # the paper's "% improvement over resyn2" is measured against it.
         self.reference_qor = self.objective.reference_value()
 
         # Mapping of the unoptimised circuit, for Pareto plots ("init").
-        initial_mapping = self.mapper.map(aig)
-        self.initial_result = QoRResult(
-            area=initial_mapping.area,
-            delay=initial_mapping.delay,
-            qor=self._qor(initial_mapping),
-        )
+        if initial_stats is not None:
+            initial_area, initial_delay = int(initial_stats[0]), int(initial_stats[1])
+            self.initial_result = QoRResult(
+                area=initial_area,
+                delay=initial_delay,
+                qor=self._qor_value(initial_area, initial_delay),
+            )
+        else:
+            initial_mapping = self.mapper.map(aig)
+            self.initial_result = QoRResult(
+                area=initial_mapping.area,
+                delay=initial_mapping.delay,
+                qor=self._qor(initial_mapping),
+            )
 
     # ------------------------------------------------------------------
     @property

@@ -156,4 +156,22 @@ RULE_FIXTURES: Tuple[RuleFixture, ...] = (
         """),
         good_path="repro/aig/_reference.py",
     ),
+    RuleFixture(
+        code="RPL008",
+        bad=_src("""
+            from concurrent.futures import ProcessPoolExecutor
+
+            def score_batch(tasks):
+                with ProcessPoolExecutor(max_workers=2) as pool:
+                    return list(pool.map(len, tasks))
+        """),
+        bad_path="repro/engine/fixture_rpl008.py",
+        good=_src("""
+            from repro.engine.pool import WarmPool
+
+            def score_batch(pool: WarmPool, tasks):
+                return list(pool.executor().map(len, tasks))
+        """),
+        good_path="repro/engine/fixture_rpl008.py",
+    ),
 )

@@ -37,7 +37,7 @@ def test_good_fixture_lints_clean(fixture):
 def test_default_rules_cover_the_whole_pack():
     codes = [rule.code for rule in default_rules()]
     assert codes == sorted(cls.code for cls in RULE_PACK)
-    assert codes == [f"RPL00{i}" for i in range(1, 8)]
+    assert codes == [f"RPL00{i}" for i in range(1, 9)]
 
 
 def test_diagnostics_carry_position_and_stable_code():
@@ -175,6 +175,42 @@ def test_rpl007_signature_drift_is_flagged():
                               source_root=SRC_ROOT)
     assert [d.code for d in diagnostics] == ["RPL007"]
     assert "drifted" in diagnostics[0].message
+
+
+def test_rpl008_aliased_and_dotted_construction_flagged():
+    source = (
+        "import concurrent.futures as cf\n"
+        "from concurrent.futures import ProcessPoolExecutor as PPE\n"
+        "import multiprocessing\n"
+        "def run(tasks):\n"
+        "    a = cf.ProcessPoolExecutor(max_workers=2)\n"
+        "    b = PPE()\n"
+        "    c = multiprocessing.Pool(2)\n"
+        "    return a, b, c\n"
+    )
+    diagnostics = lint_source(source, "repro/engine/x.py")
+    assert [d.code for d in diagnostics] == ["RPL008"] * 3
+
+
+def test_rpl008_scoped_to_engine_api_and_allowlists_warm_pool():
+    source = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def run():\n"
+        "    return ProcessPoolExecutor(max_workers=2)\n"
+    )
+    # Outside the engine/api hot paths the rule does not apply.
+    assert lint_source(source, "repro/experiments/x.py") == []
+    # WarmPool's own module is the sanctioned construction site.
+    assert lint_source(source, "repro/engine/pool.py") == []
+    assert lint_source(source, "repro/engine/x.py") != []
+
+
+def test_rpl008_local_name_shadowing_does_not_resolve():
+    source = (
+        "def run(ProcessPoolExecutor, tasks):\n"
+        "    return ProcessPoolExecutor(tasks)\n"
+    )
+    assert lint_source(source, "repro/engine/x.py") == []
 
 
 def test_rpl007_select_and_ignore_gate_rules():
