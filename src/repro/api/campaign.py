@@ -328,6 +328,7 @@ class Campaign:
         lut_size: int = 6,
         sequence_length: int = 20,
         objective: object = "eq1",
+        backend: object = "native",
         name: Optional[str] = None,
         **kwargs: object,
     ) -> "Campaign":
@@ -349,6 +350,7 @@ class Campaign:
             lut_size=lut_size,
             sequence_length=sequence_length,
             objective=objective,
+            backend=backend,
         )
         return cls(
             problems=problems,

@@ -23,6 +23,12 @@ from typing import Dict, Optional, Tuple
 from repro.bo.space import SequenceSpace
 from repro.circuits.registry import get_circuit_spec, resolve_width
 from repro.engine.spec import EvaluatorSpec
+from repro.qor.backends import (
+    DEFAULT_BACKEND_KEY,
+    SynthesisBackend,
+    backend_slug,
+    resolve_backend,
+)
 from repro.qor.evaluator import QoREvaluator
 from repro.qor.objectives import Objective, canonical_spec_string, resolve_objective
 
@@ -75,6 +81,12 @@ class Problem:
         persist it, and :meth:`evaluator_spec` verifies the file still
         matches — so a resume after the file was edited fails loudly
         instead of silently mixing two circuits in one trajectory.
+    backend:
+        Synthesis backend spec (``"native"`` default, ``"abc"``,
+        ``{"backend": "replay", "tape": ...}`` or any registered key) —
+        the substrate that measures ``sequence -> (area, delay)``.
+        Part of the problem identity: non-default backends appear in
+        :attr:`key` and get their own persistent-cache namespace.
     """
 
     circuit: str
@@ -85,6 +97,7 @@ class Problem:
     reference_sequence: Optional[Tuple[str, ...]] = None
     name: Optional[str] = field(default=None)
     circuit_hash: Optional[str] = None
+    backend: object = DEFAULT_BACKEND_KEY
 
     def __post_init__(self) -> None:
         if self.reference_sequence is not None:
@@ -96,6 +109,7 @@ class Problem:
         """Resolve every registry reference; raises early on unknowns."""
         get_circuit_spec(self.circuit)
         resolve_objective(self.objective)
+        resolve_backend(self.backend)
         if self.sequence_length < 1:
             raise ValueError("sequence_length must be positive")
         if self.lut_size < 2:
@@ -152,6 +166,11 @@ class Problem:
         slug = objective_slug(self.objective)
         if slug != "eq1":
             parts.append(slug)
+        bslug = backend_slug(self.backend)
+        if bslug != DEFAULT_BACKEND_KEY:
+            # Native problems keep their historical keys: stores, cell
+            # ids and run directories from pre-backend runs stay valid.
+            parts.append(bslug)
         return "-".join(parts)
 
     # ------------------------------------------------------------------
@@ -174,6 +193,7 @@ class Problem:
             lut_size=self.lut_size,
             reference_sequence=self.reference_sequence,
             objective=self.objective,
+            backend=self.backend,
         )
         if (self.circuit_hash is not None and spec.circuit_hash is not None
                 and spec.circuit_hash != self.circuit_hash):
@@ -199,10 +219,13 @@ class Problem:
     # JSON round trip
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        # Objective instances serialise as their spec; str/dict specs pass
-        # through verbatim so to_dict/from_dict round-trips stay equal.
+        # Objective/backend instances serialise as their specs; str/dict
+        # specs pass through verbatim so to_dict/from_dict round-trips
+        # stay equal.
         objective = (self.objective.spec()
                      if isinstance(self.objective, Objective) else self.objective)
+        backend = (self.backend.spec()
+                   if isinstance(self.backend, SynthesisBackend) else self.backend)
         return {
             "circuit": self.circuit,
             "width": self.width,
@@ -215,6 +238,7 @@ class Problem:
             ),
             "name": self.name,
             "circuit_hash": self.circuit_hash,
+            "backend": backend,
         }
 
     @classmethod
@@ -230,4 +254,5 @@ class Problem:
             reference_sequence=tuple(reference) if reference is not None else None,
             name=payload.get("name") or None,  # type: ignore[arg-type]
             circuit_hash=payload.get("circuit_hash") or None,  # type: ignore[arg-type]
+            backend=payload.get("backend", DEFAULT_BACKEND_KEY),
         )

@@ -401,6 +401,7 @@ def corpus_problems(
     sequence_length: int = 20,
     objective: object = "eq1",
     verify: bool = True,
+    backend: object = "native",
 ):
     """Expand a corpus into :class:`repro.api.Problem` instances.
 
@@ -431,5 +432,6 @@ def corpus_problems(
             # the corpus is a statement about exact circuits, and this
             # closes the verify-then-rehash window (and saves a hash).
             circuit_hash=entry.sha256 or None,
+            backend=backend,
         ))
     return tuple(problems)

@@ -12,7 +12,11 @@ The primary workflow is campaign-based (built on :mod:`repro.api`):
   QoR table over the completed cells; ``--follow`` tails a directory
   that another process is still writing,
 * ``list-circuits`` / ``list-methods`` / ``list-objectives`` — what the
-  registries currently offer (including entry-point plugins).
+  registries currently offer (including entry-point plugins),
+* ``backends list`` — the registered synthesis backends and their
+  availability on this host; ``run``/``evaluate``/``optimise`` select
+  one with ``--backend`` (``native``, ``abc``, ``replay:TAPE``,
+  ``record:TAPE`` or inline JSON).
 
 Legacy single-shot subcommands (``stats``, ``evaluate``, ``optimise``,
 ``table``) are kept as thin shims over the same machinery.
@@ -52,6 +56,7 @@ from repro.api import (
 )
 from repro.bo.space import SequenceSpace
 from repro.circuits import get_circuit, list_circuits
+from repro.qor.backends import BackendError, parse_backend_argument
 from repro.engine import (
     EngineFaultError,
     EvaluationEngine,
@@ -160,6 +165,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--objective", default="eq1",
                      help="QoR objective: a registered key (eq1, area, "
                           "delay), weighted:W_AREA,W_DELAY, or inline JSON")
+    run.add_argument("--backend", default="native",
+                     help="synthesis backend: a registered key (native, "
+                          "abc), replay:TAPE / record:TAPE, or inline "
+                          "JSON (see `repro backends list`)")
     run.add_argument("--store", default=None, metavar="DIR",
                      help="run directory for checkpoint/restart; omit for "
                           "an in-memory run")
@@ -287,6 +296,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-methods", help="list the registered optimisation methods")
     sub.add_parser("list-objectives", help="list the registered QoR objectives")
 
+    backends = sub.add_parser(
+        "backends", help="synthesis backends (see `repro backends list`)")
+    backends_sub = backends.add_subparsers(dest="backends_command",
+                                           required=True)
+    backends_sub.add_parser(
+        "list", help="list the registered synthesis backends and their "
+                     "availability on this host")
+
     # ------------------------------------------------------------------
     # Legacy single-shot shims
     # ------------------------------------------------------------------
@@ -300,6 +317,9 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--width", type=int, default=None)
     evaluate.add_argument("--lut-size", type=int, default=6)
     evaluate.add_argument("--objective", default="eq1")
+    evaluate.add_argument("--backend", default="native",
+                          help="synthesis backend key, replay:TAPE / "
+                               "record:TAPE, or inline JSON")
     evaluate.add_argument(
         "--sequence", required=True,
         help="mnemonic string (RwRfBl...) or comma-separated operation names")
@@ -315,6 +335,9 @@ def _build_parser() -> argparse.ArgumentParser:
     optimise.add_argument("--seed", type=int, default=0)
     optimise.add_argument("--lut-size", type=int, default=6)
     optimise.add_argument("--objective", default="eq1")
+    optimise.add_argument("--backend", default="native",
+                          help="synthesis backend key, replay:TAPE / "
+                               "record:TAPE, or inline JSON")
     optimise.add_argument("--jobs", type=int, default=1,
                           help="worker processes for batch evaluation "
                                "(1 = serial, 0 = all CPUs)")
@@ -437,10 +460,13 @@ def _campaign_from_args(args) -> Campaign:
             lut_size=args.lut_size,
             sequence_length=args.sequence_length,
             objective=parse_objective_argument(args.objective),
+            backend=parse_backend_argument(
+                getattr(args, "backend", "native")),
             name=args.name if args.name != "campaign" else None,
         )
     else:
         objective = parse_objective_argument(args.objective)
+        backend = parse_backend_argument(getattr(args, "backend", "native"))
         problems = tuple(
             Problem(
                 circuit=circuit,
@@ -448,6 +474,7 @@ def _campaign_from_args(args) -> Campaign:
                 lut_size=args.lut_size,
                 sequence_length=args.sequence_length,
                 objective=objective,
+                backend=backend,
             )
             for circuit in _parse_csv(args.circuits)
         )
@@ -810,6 +837,35 @@ def _cmd_list_objectives(_args) -> int:
     return 0
 
 
+def _cmd_backends(args) -> int:
+    # Only `backends list` exists today; argparse enforces the subcommand.
+    assert args.backends_command == "list"
+    from repro.registry import BACKENDS
+    from repro.qor.backends import SynthesisBackend
+
+    for key in sorted(BACKENDS.keys()):
+        factory = BACKENDS.get(key)
+        try:
+            backend = factory()
+        except TypeError:
+            # Parameterised backends (e.g. replay needs a tape path)
+            # cannot be probed without configuration.
+            print(f"{key:12s}requires parameters "
+                  f"(pass inline JSON or a KEY:ARG shorthand)")
+            continue
+        if not isinstance(backend, SynthesisBackend):
+            print(f"{key:12s}invalid factory ({backend!r})")
+            continue
+        if backend.available():
+            status = "available"
+        else:
+            note = backend.availability_note()
+            status = f"unavailable ({note})" if note else "unavailable"
+        namespace = backend.cache_namespace or "(native, unsuffixed)"
+        print(f"{key:12s}{status}; cache namespace {namespace}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Legacy single-shot shims
 # ----------------------------------------------------------------------
@@ -831,7 +887,8 @@ def _cmd_evaluate(args) -> int:
     sequence = _parse_sequence(args.sequence)
     aig = get_circuit(args.circuit, width=args.width)
     evaluator = QoREvaluator(aig, lut_size=args.lut_size,
-                             objective=parse_objective_argument(args.objective))
+                             objective=parse_objective_argument(args.objective),
+                             backend=parse_backend_argument(args.backend))
     record = evaluator.evaluate(sequence)
     print(f"sequence          : {sequence_to_string(record.sequence)} "
           f"({', '.join(record.sequence)})")
@@ -860,7 +917,8 @@ def _cmd_optimise(args) -> int:
     _deprecation_note("optimise")
     spec = EvaluatorSpec.for_circuit(
         args.circuit, width=args.width, lut_size=args.lut_size,
-        objective=parse_objective_argument(args.objective))
+        objective=parse_objective_argument(args.objective),
+        backend=parse_backend_argument(args.backend))
     cache_dir = _resolve_cache_dir(args.cache_dir)
     cache = PersistentQoRCache(cache_dir) if cache_dir else None
     evaluator = spec.build_evaluator(persistent_cache=cache)
@@ -928,6 +986,7 @@ _COMMANDS = {
     "list-circuits": _cmd_list_circuits,
     "list-methods": _cmd_list_methods,
     "list-objectives": _cmd_list_objectives,
+    "backends": _cmd_backends,
     "stats": _cmd_stats,
     "evaluate": _cmd_evaluate,
     "optimise": _cmd_optimise,
@@ -942,11 +1001,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except (KeyError, ValueError, StoreError, OSError,
-            EngineFaultError) as error:
+            EngineFaultError, BackendError) as error:
         # EngineFaultError covers infrastructure failures the driver
         # could not recover from (e.g. the worker pool dying past its
-        # rebuild budget) — exit 2, distinct from failed/quarantined
-        # cells (exit 1) and success (exit 0).
+        # rebuild budget); BackendError covers synthesis-backend
+        # failures (missing tape entries, absent abc binary) — exit 2,
+        # distinct from failed/quarantined cells (exit 1) and success
+        # (exit 0).
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.circuits.registry import get_circuit, get_circuit_spec, resolve_width
 from repro.engine import faults, shm
+from repro.qor.backends import DEFAULT_BACKEND_KEY, canonical_backend_spec
 from repro.qor.evaluator import QoREvaluator
 from repro.qor.objectives import DEFAULT_OBJECTIVE_KEY, canonical_spec_string
 
@@ -45,6 +46,12 @@ class EvaluatorSpec:
         :func:`repro.qor.objectives.canonical_spec_string`) — a bare key
         like ``"eq1"`` or sorted-key JSON for parameterised objectives.
         Kept as a string so the spec stays hashable and picklable.
+    backend:
+        Canonical string spec of the synthesis backend (see
+        :func:`repro.qor.backends.canonical_backend_spec`) — a bare key
+        like ``"native"`` or sorted-key JSON for parameterised backends.
+        Part of the evaluator's identity: two specs differing only in
+        backend build evaluators that may measure different numbers.
     circuit_file / circuit_hash:
         For file-backed circuits (``file:<path>`` names): the resolved
         absolute path and the SHA-256 content hash of the file at spec
@@ -79,6 +86,7 @@ class EvaluatorSpec:
     lut_size: int = 6
     reference_sequence: Optional[Tuple[str, ...]] = None
     objective: str = DEFAULT_OBJECTIVE_KEY
+    backend: str = DEFAULT_BACKEND_KEY
     circuit_file: Optional[str] = None
     circuit_hash: Optional[str] = None
     eval_timeout: Optional[float] = None
@@ -101,6 +109,7 @@ class EvaluatorSpec:
             self.lut_size,
             self.reference_sequence,
             self.objective,
+            self.backend,
             self.circuit_hash,
             self.eval_timeout,
             self.fault_plan,
@@ -114,6 +123,7 @@ class EvaluatorSpec:
         lut_size: int = 6,
         reference_sequence: Optional[Tuple[str, ...]] = None,
         objective: Optional[object] = None,
+        backend: Optional[object] = None,
     ) -> "EvaluatorSpec":
         """Build a spec, resolving the effective width immediately."""
         circuit_spec = get_circuit_spec(circuit)
@@ -126,6 +136,7 @@ class EvaluatorSpec:
                 tuple(reference_sequence) if reference_sequence is not None else None
             ),
             objective=canonical_spec_string(objective),
+            backend=canonical_backend_spec(backend),
             circuit_file=getattr(circuit_spec, "path", None),
             circuit_hash=getattr(circuit_spec, "content_hash", None),
         )
@@ -177,6 +188,7 @@ class EvaluatorSpec:
             cache_key=cache_key,
             reference_stats=reference_stats,
             initial_stats=initial_stats,
+            backend=self.backend,
         )
         guard = faults.build_compute_guard(self.fault_plan, self.eval_timeout)
         if guard is not None:
@@ -194,6 +206,7 @@ class EvaluatorSpec:
             "lut_size": self.lut_size,
             "reference_sequence": self.reference_sequence,
             "objective": self.objective,
+            "backend": self.backend,
             "circuit_file": self.circuit_file,
             "circuit_hash": self.circuit_hash,
             "eval_timeout": self.eval_timeout,
@@ -221,6 +234,7 @@ class EvaluatorSpec:
             lut_size=int(payload.get("lut_size", 6)),  # type: ignore[arg-type]
             reference_sequence=tuple(reference) if reference is not None else None,
             objective=str(payload.get("objective", DEFAULT_OBJECTIVE_KEY)),
+            backend=str(payload.get("backend", DEFAULT_BACKEND_KEY)),
             circuit_file=str(circuit_file) if circuit_file is not None else None,
             circuit_hash=str(circuit_hash) if circuit_hash is not None else None,
             eval_timeout=float(eval_timeout) if eval_timeout is not None else None,  # type: ignore[arg-type]

@@ -1,5 +1,13 @@
 """Quality-of-results evaluation (Equation 1 of the paper, pluggable)."""
 
+from repro.qor.backends import (
+    BackendError,
+    ExternalABCBackend,
+    NativeBackend,
+    ReplayBackend,
+    SynthesisBackend,
+    resolve_backend,
+)
 from repro.qor.evaluator import QoREvaluator, QoRResult, SequenceEvaluation
 from repro.qor.objectives import (
     AreaObjective,
@@ -22,4 +30,10 @@ __all__ = [
     "WeightedObjective",
     "resolve_objective",
     "parse_objective_argument",
+    "SynthesisBackend",
+    "BackendError",
+    "NativeBackend",
+    "ReplayBackend",
+    "ExternalABCBackend",
+    "resolve_backend",
 ]

@@ -1,0 +1,53 @@
+"""Pluggable synthesis backends for the QoR evaluator.
+
+See :mod:`repro.qor.backends.base` for the protocol and the module map:
+
+- :mod:`~repro.qor.backends.native` — the in-repo python substrate
+  (default, bit-identical to the pre-backend evaluator)
+- :mod:`~repro.qor.backends.replay` — recorded measurement tapes
+- :mod:`~repro.qor.backends.external` — external ``abc`` subprocess
+  adapter
+- :mod:`~repro.qor.backends.differential` — cross-backend validation
+
+Importing this package registers the built-ins in
+:data:`repro.registry.BACKENDS` (the registry's builtin loader does so
+lazily on first lookup).
+"""
+
+from repro.qor.backends.base import (
+    DEFAULT_BACKEND_KEY,
+    BackendError,
+    BackendSpec,
+    BackendUnavailable,
+    SynthesisBackend,
+    aig_fingerprint,
+    backend_slug,
+    canonical_backend_spec,
+    parse_backend_argument,
+    resolve_backend,
+)
+from repro.qor.backends.differential import Mismatch, assert_equivalent, cross_check
+from repro.qor.backends.external import ExternalABCBackend
+from repro.qor.backends.native import NativeBackend
+from repro.qor.backends.replay import TAPE_FORMAT, ReplayBackend, TapeMismatch
+
+__all__ = [
+    "DEFAULT_BACKEND_KEY",
+    "TAPE_FORMAT",
+    "BackendError",
+    "BackendSpec",
+    "BackendUnavailable",
+    "ExternalABCBackend",
+    "Mismatch",
+    "NativeBackend",
+    "ReplayBackend",
+    "SynthesisBackend",
+    "TapeMismatch",
+    "aig_fingerprint",
+    "assert_equivalent",
+    "backend_slug",
+    "canonical_backend_spec",
+    "cross_check",
+    "parse_backend_argument",
+    "resolve_backend",
+]

@@ -1,0 +1,81 @@
+"""Differential validation: cross-check two backends on the same circuits.
+
+The fuzz harness's differential mode (``tests/properties``) uses this
+module to compare measurement substrates: native vs recorded tapes in
+hermetic CI, native vs an external ``abc`` binary when one is installed
+(the external-oracle extension of the PR 5 internal-reference fuzzing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.aig.graph import AIG
+from repro.qor.backends.base import BackendError, SynthesisBackend
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement between two backends on one measurement."""
+
+    circuit: str
+    sequence: Tuple[str, ...]
+    lut_size: int
+    reference: Tuple[int, int]
+    candidate: Tuple[int, int]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.circuit} lut{self.lut_size} {list(self.sequence)}: "
+            f"reference (area, delay) = {self.reference}, "
+            f"candidate = {self.candidate}"
+        )
+
+
+def cross_check(
+    reference: SynthesisBackend,
+    candidate: SynthesisBackend,
+    aig: AIG,
+    sequences: Sequence[Sequence[str]],
+    lut_size: int = 6,
+) -> List[Mismatch]:
+    """Measure every sequence on both backends; return the disagreements.
+
+    Raises nothing on mismatches — callers decide whether a non-empty
+    report is fatal (:func:`assert_equivalent`) or just logged (the
+    native-vs-real-ABC comparison is *expected* to disagree on some
+    circuits; the interesting signal is how much).
+    """
+    mismatches: List[Mismatch] = []
+    for sequence in sequences:
+        names = tuple(sequence)
+        expected = reference.measure(aig, names, lut_size)
+        actual = candidate.measure(aig, names, lut_size)
+        if tuple(expected) != tuple(actual):
+            mismatches.append(Mismatch(
+                circuit=aig.name,
+                sequence=names,
+                lut_size=lut_size,
+                reference=(int(expected[0]), int(expected[1])),
+                candidate=(int(actual[0]), int(actual[1])),
+            ))
+    return mismatches
+
+
+def assert_equivalent(
+    reference: SynthesisBackend,
+    candidate: SynthesisBackend,
+    aig: AIG,
+    sequences: Sequence[Sequence[str]],
+    lut_size: int = 6,
+) -> None:
+    """Raise :class:`BackendError` listing every mismatch (if any)."""
+    mismatches = cross_check(reference, candidate, aig, sequences, lut_size)
+    if mismatches:
+        rendered = "\n  ".join(str(m) for m in mismatches)
+        raise BackendError(
+            f"backends {reference.backend_spec!r} and "
+            f"{candidate.backend_spec!r} disagree on {len(mismatches)} of "
+            f"{len(sequences)} measurements:\n  {rendered}"
+        )

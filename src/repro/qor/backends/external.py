@@ -1,0 +1,192 @@
+"""The external-ABC backend: a subprocess adapter around a real ``abc``.
+
+When an ABC binary is installed this backend measures sequences with
+the real tool instead of the python substrate: the circuit is written
+to a temporary BLIF file, ABC runs ``read → strash → <sequence> →
+if -K <lut_size> → print_stats``, and the LUT count (``nd``) and level
+count (``lev``) are parsed from the stats line.  Operation names in the
+search alphabet are ABC-style command names already (``"rewrite -z"``),
+so sequences pass through verbatim.
+
+Every invocation is guarded by the fault-tolerance machinery from the
+engine layer: a wall-clock deadline per call (both a ``subprocess``
+timeout and the SIGALRM :func:`repro.engine.faults.deadline`, so a
+wedged binary cannot hang a worker), and bounded retry with the
+deterministic backoff of :class:`repro.engine.faults.RetryPolicy` for
+transient launch failures.  Parse failures and non-zero exits are *not*
+retried — ABC is deterministic, so re-running reproduces them.
+
+Measurements from real ABC are not gate-identical to the python
+substrate, so this backend gets its own persistent-cache namespace
+(``…:lutN:abc``) and is the external oracle of the differential fuzz
+mode (:mod:`repro.qor.backends.differential`).
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess  # noqa: S404 - the whole point of this adapter
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.aig.graph import AIG
+from repro.qor.backends.base import (
+    BackendError,
+    BackendUnavailable,
+    SynthesisBackend,
+)
+from repro.registry import register_backend
+
+_STATS_ND = re.compile(r"\bnd\s*=\s*(\d+)")
+_STATS_LEV = re.compile(r"\blev\s*=\s*(\d+)")
+
+#: Per-call wall-clock deadline (seconds) when none is configured.
+DEFAULT_ABC_TIMEOUT = 60.0
+
+
+@register_backend("abc")
+class ExternalABCBackend(SynthesisBackend):
+    """Measure with an external ``abc`` binary (when installed).
+
+    Parameters
+    ----------
+    binary:
+        Name or path of the ABC executable (resolved via ``PATH``).
+    timeout:
+        Per-invocation wall-clock deadline in seconds.
+    attempts:
+        Total tries per measurement for *transient* failures (launch
+        errors, timeouts); deterministic failures are never retried.
+    """
+
+    key = "abc"
+
+    def __init__(
+        self,
+        binary: str = "abc",
+        timeout: float = DEFAULT_ABC_TIMEOUT,
+        attempts: int = 2,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive (seconds)")
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.binary = str(binary)
+        self.timeout = float(timeout)
+        self.attempts = int(attempts)
+
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, object]:
+        params: Dict[str, object] = {}
+        if self.binary != "abc":
+            params["binary"] = self.binary
+        if self.timeout != DEFAULT_ABC_TIMEOUT:
+            params["timeout"] = self.timeout
+        if self.attempts != 2:
+            params["attempts"] = self.attempts
+        return params
+
+    @property
+    def cache_namespace(self) -> str:
+        # All ABC configurations share one namespace: binary path,
+        # timeout and retry budget are transport, not measurement
+        # semantics (ABC itself is deterministic for these commands).
+        return "abc"
+
+    def resolved_binary(self) -> Optional[str]:
+        return shutil.which(self.binary)
+
+    def available(self) -> bool:
+        return self.resolved_binary() is not None
+
+    def availability_note(self) -> str:
+        if self.available():
+            return ""
+        return f"external binary {self.binary!r} not found on PATH"
+
+    # ------------------------------------------------------------------
+    def _script(self, circuit_path: Path, sequence: Sequence[str],
+                lut_size: int) -> str:
+        commands = [f"read_blif {circuit_path}", "strash"]
+        commands.extend(sequence)
+        commands.append(f"if -K {int(lut_size)}")
+        commands.append("print_stats")
+        return "; ".join(commands)
+
+    def _run_once(self, script: str) -> str:
+        executable = self.resolved_binary()
+        if executable is None:
+            raise BackendUnavailable(
+                f"abc backend: {self.availability_note()}; install ABC or "
+                "select a different --backend"
+            )
+        # Both guards on purpose: the subprocess timeout kills the child,
+        # the SIGALRM deadline (engine layer) bounds this caller even if
+        # process reaping itself wedges.  faults imports lazily to keep
+        # qor importable without the engine package initialised.
+        from repro.engine.faults import deadline
+
+        with deadline(self.timeout * 1.5, scope="abc-backend"):
+            completed = subprocess.run(  # noqa: S603 - fixed argv, no shell
+                [executable, "-c", script],
+                capture_output=True,
+                text=True,
+                timeout=self.timeout,
+                check=False,
+            )
+        if completed.returncode != 0:
+            raise BackendError(
+                f"abc backend: {executable} exited with code "
+                f"{completed.returncode} for script {script!r}: "
+                f"{(completed.stderr or completed.stdout).strip()[:500]}"
+            )
+        return completed.stdout
+
+    def _invoke(self, script: str) -> str:
+        from repro.engine.faults import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=self.attempts)
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return self._run_once(script)
+            except (subprocess.TimeoutExpired, OSError) as error:
+                # Transient: a wedged or slow-to-launch child may succeed
+                # on a clean retry.  Deterministic failures (BackendError
+                # from a non-zero exit, parse errors) propagate at once.
+                last_error = error
+                if attempt < self.attempts:
+                    time.sleep(policy.delay_for(attempt, key=script))
+        raise BackendError(
+            f"abc backend: {self.attempts} attempt(s) failed for script "
+            f"{script!r}; last error: {last_error!r}"
+        )
+
+    @staticmethod
+    def _parse_stats(output: str, script: str) -> Tuple[int, int]:
+        # print_stats emits one line per network; the mapped network's is
+        # the last (and only) one after `if`.
+        area_matches = _STATS_ND.findall(output)
+        level_matches = _STATS_LEV.findall(output)
+        if not area_matches or not level_matches:
+            raise BackendError(
+                f"abc backend: could not parse 'nd =' / 'lev =' from "
+                f"print_stats output for script {script!r}: {output[-500:]!r}"
+            )
+        return int(area_matches[-1]), int(level_matches[-1])
+
+    def measure(
+        self, aig: AIG, sequence: Sequence[str], lut_size: int
+    ) -> Tuple[int, int]:
+        from repro.aig.blif import write_blif
+
+        names = tuple(sequence)
+        with tempfile.TemporaryDirectory(prefix="repro-abc-") as tmp_dir:
+            circuit_path = Path(tmp_dir) / "circuit.blif"
+            write_blif(aig, circuit_path)
+            script = self._script(circuit_path, names, lut_size)
+            output = self._invoke(script)
+        return self._parse_stats(output, script)

@@ -1,0 +1,55 @@
+"""The native backend: the in-repo python synthesis substrate.
+
+This is the default backend and the reference implementation of the
+measurement contract: apply the sequence with
+:func:`repro.synth.operations.apply_sequence`, map the result with
+:class:`repro.mapping.lut_mapper.LutMapper`, and report the mapping's
+LUT count and level count.  It is bit-identical to the pre-backend
+:class:`~repro.qor.evaluator.QoREvaluator` paths it replaced — golden
+trajectories and persistent-cache contents are unchanged — and its
+:attr:`cache_namespace` is the empty string, so existing cache keys
+stay valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.aig.graph import AIG
+from repro.mapping.lut_mapper import LutMapper
+from repro.qor.backends.base import SynthesisBackend
+from repro.registry import register_backend
+from repro.synth.operations import apply_sequence
+
+
+@register_backend("native")
+class NativeBackend(SynthesisBackend):
+    """Measure with the in-repo python substrate (default)."""
+
+    key = "native"
+
+    def __init__(self) -> None:
+        # One mapper per LUT size, reused across measurements: mapper
+        # construction is cheap but not free, and a backend instance
+        # lives as long as its evaluator.
+        self._mappers: Dict[int, LutMapper] = {}
+
+    def _mapper(self, lut_size: int) -> LutMapper:
+        mapper = self._mappers.get(lut_size)
+        if mapper is None:
+            mapper = LutMapper(lut_size=lut_size)
+            self._mappers[lut_size] = mapper
+        return mapper
+
+    def measure(
+        self, aig: AIG, sequence: Sequence[str], lut_size: int
+    ) -> Tuple[int, int]:
+        optimised = apply_sequence(aig, tuple(sequence))
+        mapping = self._mapper(lut_size).map(optimised)
+        return int(mapping.area), int(mapping.delay)
+
+    @property
+    def cache_namespace(self) -> str:
+        # The native namespace is the unsuffixed one: every persistent
+        # cache written before backends existed was measured natively.
+        return ""

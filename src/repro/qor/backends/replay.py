@@ -1,0 +1,232 @@
+"""The replay backend: recorded measurement tapes for hermetic runs.
+
+A *tape* is a JSON file of ``(circuit, lut_size, sequence) -> (area,
+delay)`` measurements.  In ``record`` mode the backend delegates every
+measurement to a source backend (native by default) and appends the
+result to the tape; in ``replay`` mode (the default) it answers
+*exclusively* from the tape and aborts loudly on anything unrecorded —
+a replayed run can never silently fall back to fresh synthesis, which
+is exactly what makes it a hermetic CI substrate and a differential
+oracle (see :mod:`repro.qor.backends.differential`).
+
+Circuits are keyed by structural fingerprint
+(:func:`~repro.qor.backends.base.aig_fingerprint`), not by name: a tape
+recorded from circuit A refuses to answer for circuit B even when both
+are called ``"adder"``.
+
+Recording is meant for serial runs (tests, ``--jobs 1`` campaigns):
+each recording backend instance owns its tape file, and parallel
+workers recording to one path would race.  Replaying is safe at any
+parallelism — the tape is read-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.aig.graph import AIG
+from repro.qor.backends.base import (
+    BackendError,
+    SynthesisBackend,
+    aig_fingerprint,
+    canonical_backend_spec,
+    resolve_backend,
+)
+from repro.registry import register_backend
+
+#: Tape schema tag; bumped on incompatible layout changes.
+TAPE_FORMAT = "repro-measurement-tape-v1"
+
+_SEQUENCE_JOIN = "|"  # same joiner the persistent QoR cache uses
+
+
+class TapeMismatch(BackendError):
+    """The tape does not cover the requested circuit or sequence."""
+
+
+def _sequence_key(sequence: Sequence[str]) -> str:
+    return _SEQUENCE_JOIN.join(sequence)
+
+
+@register_backend("replay")
+class ReplayBackend(SynthesisBackend):
+    """Record measurements to a JSON tape, or replay them hermetically.
+
+    Parameters
+    ----------
+    tape:
+        Path of the tape file.  Must exist in ``replay`` mode; created
+        (parents included) on the first recorded measurement in
+        ``record`` mode.
+    mode:
+        ``"replay"`` (default) answers only from the tape; ``"record"``
+        measures through ``source`` and appends to the tape.
+    source:
+        Backend spec measurements are recorded from (``record`` mode
+        only); defaults to ``native``.
+    """
+
+    key = "replay"
+
+    def __init__(
+        self,
+        tape: Union[str, "os.PathLike[str]"],
+        mode: str = "replay",
+        source: object = None,
+    ) -> None:
+        if mode not in ("replay", "record"):
+            raise ValueError(
+                f"replay backend mode must be 'replay' or 'record', got {mode!r}"
+            )
+        self.tape = str(tape)
+        self.mode = mode
+        self._source_spec = canonical_backend_spec(
+            source if source is not None else "native"
+        )
+        self._source: Optional[SynthesisBackend] = None
+        self._data: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, object]:
+        params: Dict[str, object] = {"tape": self.tape}
+        if self.mode != "replay":
+            params["mode"] = self.mode
+        if self._source_spec != "native":
+            params["source"] = self._source_spec
+        return params
+
+    @property
+    def cache_namespace(self) -> str:
+        # One namespace for all tapes: the tape *path* is transport, not
+        # measurement semantics, and recorded pairs must never leak into
+        # the native namespace (the tape's source backend may not be
+        # native).
+        return "replay"
+
+    # ------------------------------------------------------------------
+    # Tape IO
+    # ------------------------------------------------------------------
+    def _empty_tape(self) -> Dict[str, object]:
+        return {
+            "format": TAPE_FORMAT,
+            "source": self._source_spec,
+            "circuits": {},
+        }
+
+    def _load(self) -> Dict[str, object]:
+        if self._data is not None:
+            return self._data
+        path = Path(self.tape)
+        if not path.exists():
+            if self.mode == "record":
+                self._data = self._empty_tape()
+                return self._data
+            raise BackendError(
+                f"replay backend: tape {self.tape!r} does not exist; record "
+                "one first (mode='record' or the CLI's --backend record:TAPE)"
+            )
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise BackendError(
+                f"replay backend: tape {self.tape!r} is unreadable: {error}"
+            ) from error
+        if not isinstance(data, dict) or data.get("format") != TAPE_FORMAT:
+            raise BackendError(
+                f"replay backend: tape {self.tape!r} is not a "
+                f"{TAPE_FORMAT!r} file"
+            )
+        self._data = data
+        return data
+
+    def save(self) -> Path:
+        """Write the tape atomically (tmp file + rename) and return its path."""
+        data = self._load()
+        path = Path(self.tape)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=2, sort_keys=True,
+                          allow_nan=False)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def _circuits(self) -> Dict[str, Dict[str, object]]:
+        circuits = self._load().setdefault("circuits", {})
+        assert isinstance(circuits, dict)
+        return circuits
+
+    @staticmethod
+    def _circuit_key(aig: AIG, lut_size: int) -> str:
+        return f"{aig_fingerprint(aig)}:lut{int(lut_size)}"
+
+    def measure(
+        self, aig: AIG, sequence: Sequence[str], lut_size: int
+    ) -> Tuple[int, int]:
+        names = tuple(sequence)
+        if self.mode == "record":
+            return self._record(aig, names, lut_size)
+        return self._replay(aig, names, lut_size)
+
+    def _record(
+        self, aig: AIG, names: Tuple[str, ...], lut_size: int
+    ) -> Tuple[int, int]:
+        if self._source is None:
+            self._source = resolve_backend(self._source_spec)
+        area, delay = self._source.measure(aig, names, lut_size)
+        circuits = self._circuits()
+        entry = circuits.setdefault(
+            self._circuit_key(aig, lut_size),
+            {"circuit": aig.name, "lut_size": int(lut_size), "entries": {}},
+        )
+        entries = entry.setdefault("entries", {})
+        assert isinstance(entries, dict)
+        entries[_sequence_key(names)] = [int(area), int(delay)]
+        self.save()
+        return int(area), int(delay)
+
+    def _replay(
+        self, aig: AIG, names: Tuple[str, ...], lut_size: int
+    ) -> Tuple[int, int]:
+        circuits = self._circuits()
+        circuit_key = self._circuit_key(aig, lut_size)
+        entry = circuits.get(circuit_key)
+        if entry is None:
+            recorded = sorted(
+                f"{value.get('circuit', '?')} ({key.split(':')[0][:12]}…)"
+                for key, value in circuits.items()
+                if isinstance(value, dict)
+            )
+            raise TapeMismatch(
+                f"tape {self.tape!r} was not recorded for circuit "
+                f"{aig.name!r} at lut{lut_size} (fingerprint "
+                f"{circuit_key.split(':')[0][:12]}…); it covers: "
+                f"{recorded or ['nothing']}"
+            )
+        entries = entry.get("entries", {})
+        assert isinstance(entries, dict)
+        pair = entries.get(_sequence_key(names))
+        if pair is None:
+            raise TapeMismatch(
+                f"tape {self.tape!r} has no measurement for sequence "
+                f"{list(names)!r} on circuit {aig.name!r} at lut{lut_size} "
+                f"({len(entries)} recorded sequences); replay never falls "
+                "back to fresh synthesis — re-record the tape"
+            )
+        area, delay = pair  # type: ignore[misc]
+        return int(area), int(delay)

@@ -44,32 +44,60 @@ serial runs are indistinguishable.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.graph import AIG
 from repro.mapping.lut_mapper import LutMapper, MappingResult
+from repro.qor.backends.base import (
+    SynthesisBackend,
+    aig_fingerprint,
+    resolve_backend,
+)
 from repro.qor.objectives import Objective, canonical_spec_string, resolve_objective
 from repro.synth.flows import RESYN2_SEQUENCE
-from repro.synth.operations import apply_sequence, sequence_to_names
+from repro.synth.operations import sequence_to_names
+
+# aig_fingerprint's canonical home moved to repro.qor.backends.base (the
+# replay backend needs it without importing this module); the name stays
+# re-exported here for existing callers.
 
 
-def aig_fingerprint(aig: AIG) -> str:
-    """Stable structural hash of an AIG (used as a persistent-cache key).
+def _validated_stats(
+    pair: Sequence[object], label: str, floor: int
+) -> Tuple[int, int]:
+    """Validate a transported ``(area, delay)`` hand-off pair.
 
-    Two structurally identical AIGs — e.g. the same generated benchmark
-    circuit built in two different processes — hash to the same value.
+    Both transported stat pairs (``reference_stats``, ``initial_stats``)
+    must be length-2, integer-valued and non-negative; the reference
+    pair is additionally clamped to ≥ 1 (``floor=1``) because it forms
+    the denominators of Equation 1.  Malformed hand-offs raise
+    :class:`ValueError` loudly instead of computing garbage QoR.
     """
-    digest = hashlib.sha256()
-    digest.update(aig.name.encode("utf-8"))
-    for node in aig.nodes():
-        digest.update(
-            f"{node.var}:{node.kind}:{node.fanin0}:{node.fanin1}".encode("utf-8")
-        )
-    for po in aig.pos:
-        digest.update(f"po:{po}".encode("utf-8"))
-    return digest.hexdigest()
+    try:
+        raw_area, raw_delay = pair
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{label} must be an (area, delay) pair, got {pair!r}"
+        ) from None
+    values: List[int] = []
+    for field_name, raw in (("area", raw_area), ("delay", raw_delay)):
+        try:
+            value = int(raw)  # type: ignore[call-overload]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{label} {field_name} must be an integer, got {raw!r}"
+            ) from None
+        if value != raw:
+            raise ValueError(
+                f"{label} {field_name} must be integer-valued, got {raw!r}"
+            )
+        if value < 0:
+            raise ValueError(
+                f"{label} {field_name} must be non-negative, got {value}"
+            )
+        values.append(max(floor, value))
+    return values[0], values[1]
 
 
 @dataclass(frozen=True)
@@ -133,7 +161,16 @@ class QoREvaluator:
         parent evaluator's measurements through the spec so each worker
         avoids re-running the reference synthesis flow.  Both mappings
         are deterministic functions of the circuit, so the hand-off
-        cannot change any computed QoR value.
+        cannot change any computed QoR value.  Both pairs are validated
+        (non-negative integers; the reference clamped ≥ 1) and malformed
+        hand-offs raise :class:`ValueError`.
+    backend:
+        The synthesis substrate measuring ``sequence -> (area, delay)``
+        — a :class:`repro.qor.backends.SynthesisBackend` or its spec
+        (``"native"``, ``"abc"``, ``{"backend": "replay", "tape": ...}``).
+        Defaults to the native python substrate, bit-identical to the
+        pre-backend evaluator.  Non-native backends get their own
+        persistent-cache namespace (see :attr:`cache_key`).
     """
 
     def __init__(
@@ -147,10 +184,12 @@ class QoREvaluator:
         objective: Optional[object] = None,
         reference_stats: Optional[Tuple[int, int]] = None,
         initial_stats: Optional[Tuple[int, int]] = None,
+        backend: Optional[object] = None,
     ) -> None:
         self.aig = aig
         self.lut_size = lut_size
         self.objective: Objective = resolve_objective(objective)
+        self.backend: SynthesisBackend = resolve_backend(backend)
         self.mapper = LutMapper(lut_size=lut_size)
         self.reference_sequence = tuple(
             reference_sequence if reference_sequence is not None else RESYN2_SEQUENCE
@@ -173,32 +212,29 @@ class QoREvaluator:
 
         # Reference area/delay (denominators of Equation 1).
         if reference_stats is not None:
-            self.reference_area = max(1, int(reference_stats[0]))
-            self.reference_delay = max(1, int(reference_stats[1]))
+            self.reference_area, self.reference_delay = _validated_stats(
+                reference_stats, "reference_stats", floor=1)
         else:
-            reference_aig = apply_sequence(aig, self.reference_sequence)
-            reference_mapping = self.mapper.map(reference_aig)
-            self.reference_area = max(1, reference_mapping.area)
-            self.reference_delay = max(1, reference_mapping.delay)
+            reference_area, reference_delay = self.backend.measure(
+                aig, self.reference_sequence, lut_size)
+            self.reference_area = max(1, int(reference_area))
+            self.reference_delay = max(1, int(reference_delay))
         # QoR of the reference itself (2.0 by construction for Equation 1);
         # the paper's "% improvement over resyn2" is measured against it.
         self.reference_qor = self.objective.reference_value()
 
         # Mapping of the unoptimised circuit, for Pareto plots ("init").
         if initial_stats is not None:
-            initial_area, initial_delay = int(initial_stats[0]), int(initial_stats[1])
-            self.initial_result = QoRResult(
-                area=initial_area,
-                delay=initial_delay,
-                qor=self._qor_value(initial_area, initial_delay),
-            )
+            initial_area, initial_delay = _validated_stats(
+                initial_stats, "initial_stats", floor=0)
         else:
-            initial_mapping = self.mapper.map(aig)
-            self.initial_result = QoRResult(
-                area=initial_mapping.area,
-                delay=initial_mapping.delay,
-                qor=self._qor(initial_mapping),
-            )
+            initial_area, initial_delay = self.backend.measure(
+                aig, (), lut_size)
+        self.initial_result = QoRResult(
+            area=int(initial_area),
+            delay=int(initial_delay),
+            qor=self._qor_value(int(initial_area), int(initial_delay)),
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -222,20 +258,33 @@ class QoREvaluator:
 
     @property
     def cache_key(self) -> str:
-        """Persistent-cache key for this circuit + LUT size.
+        """Persistent-cache key for this circuit + LUT size (+ backend).
 
         Objective-independent on purpose: the cache stores raw
         ``(area, delay)`` pairs, so runs under different objectives share
-        every cached synthesis + mapping computation.
+        every cached synthesis + mapping computation.  It is *not*
+        backend-independent: different substrates can measure different
+        pairs for the same sequence, so every non-native backend appends
+        its :attr:`~repro.qor.backends.SynthesisBackend.cache_namespace`
+        tag.  The native namespace is the historical unsuffixed key, so
+        existing caches stay valid.
         """
         if self._cache_key is None:
             self._cache_key = f"{aig_fingerprint(self.aig)}:lut{self.lut_size}"
+        namespace = self.backend.cache_namespace
+        if namespace:
+            return f"{self._cache_key}:{namespace}"
         return self._cache_key
 
     @property
     def objective_spec(self) -> str:
         """Canonical string spec of this evaluator's objective."""
         return canonical_spec_string(self.objective)
+
+    @property
+    def backend_spec(self) -> str:
+        """Canonical string spec of this evaluator's synthesis backend."""
+        return self.backend.backend_spec
 
     # ------------------------------------------------------------------
     # Deferred persistent writes
@@ -249,15 +298,31 @@ class QoREvaluator:
         uses this to commit once per cell rather than once per
         evaluation, which removes SQLite writer contention at high
         ``--jobs``.  Turning deferral off flushes any buffered rows.
+
+        With no persistent cache attached this is a no-op: buffering
+        rows that could never be committed would make
+        :meth:`flush_persistent_writes` report silently-dropped rows as
+        written.
         """
         if self._defer_persistent and not defer:
             self.flush_persistent_writes()
-        self._defer_persistent = bool(defer)
+        self._defer_persistent = bool(defer) and self._persistent is not None
 
     def flush_persistent_writes(self) -> int:
-        """Commit buffered rows in one transaction; returns the row count."""
+        """Commit buffered rows in one transaction; returns the row count.
+
+        The count is the number of rows actually handed to the
+        persistent cache: with no cache attached nothing was (or could
+        have been) buffered, and the return value is 0.
+        """
+        if self._persistent is None:
+            # Defensive: deferral is refused without a cache, so the
+            # buffer is empty — but never report unwritten rows.
+            self._pending_writes = []
+            self._pending_index = {}
+            return 0
         count = len(self._pending_writes)
-        if count and self._persistent is not None:
+        if count:
             self._persistent.put_many(self.cache_key, self._pending_writes)
         self._pending_writes = []
         self._pending_index = {}
@@ -313,9 +378,8 @@ class QoREvaluator:
         self._compute_guard = guard
 
     def _compute_raw(self, names: Tuple[str, ...]) -> SequenceEvaluation:
-        optimised = apply_sequence(self.aig, names)
-        mapping = self.mapper.map(optimised)
-        return self._make_record(names, mapping.area, mapping.delay)
+        area, delay = self.backend.measure(self.aig, names, self.lut_size)
+        return self._make_record(names, int(area), int(delay))
 
     def compute(self, sequence: Sequence[Union[str, int]]) -> SequenceEvaluation:
         """Synthesise + map a sequence and return its record.

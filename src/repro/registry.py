@@ -21,7 +21,8 @@ QoR objective, the benchmark circuit — resolves through a
 
   and the optimiser becomes available to every ``repro`` campaign and CLI
   invocation without an import statement anywhere.  The groups are
-  ``repro.optimisers``, ``repro.objectives``, ``repro.circuits`` and
+  ``repro.optimisers``, ``repro.objectives``, ``repro.circuits``,
+  ``repro.backends`` (synthesis backends for the QoR evaluator) and
   ``repro.lint_rules`` (external invariant-checker packs for
   ``repro lint``).
 
@@ -292,6 +293,30 @@ CIRCUITS: Registry[object] = Registry(
     "circuit", entry_point_group="repro.circuits",
     builtin_loader=_load_builtin_circuits,
 )
+
+
+# ----------------------------------------------------------------------
+# Synthesis backends
+# ----------------------------------------------------------------------
+def _load_builtin_backends() -> None:
+    import repro.qor.backends  # noqa: F401
+
+
+BACKENDS: Registry[Callable[..., object]] = Registry(
+    "backend", entry_point_group="repro.backends",
+    builtin_loader=_load_builtin_backends,
+)
+
+
+def register_backend(key: str, factory=None, *, replace: bool = False):
+    """Register a synthesis-backend factory ``(**params) -> SynthesisBackend``.
+
+    Built-ins (``native``, ``replay``, ``abc``) live in
+    :mod:`repro.qor.backends`; external adapters publish under the
+    ``repro.backends`` entry-point group and become addressable from
+    campaigns and ``repro run --backend`` without an import statement.
+    """
+    return BACKENDS.register(key, factory, replace=replace)
 
 
 # ----------------------------------------------------------------------

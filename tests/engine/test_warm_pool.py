@@ -174,6 +174,36 @@ class TestWarmSpecHandoff:
             initial_stats=(5, 6))
         assert EvaluatorSpec.from_payload(warm_spec.to_payload()) == warm_spec
 
+    def test_warm_and_cold_cache_keys_identical(self, spec):
+        """Warm attach, cold build and shm-fallback share one cache key.
+
+        Registry circuits have no ``circuit_hash``, so the persistent
+        cache keys on the structural fingerprint of the rebuilt AIG; the
+        shm encode/decode must preserve everything the fingerprint sees
+        (including the name) or warm workers would silently write to a
+        different namespace than cold ones.
+        """
+        cold = spec.build_evaluator(cache=False)
+        segment, handle = shm.publish_aig(cold.aig)
+        try:
+            warm_spec = dataclasses.replace(
+                spec,
+                shared_aig=handle,
+                reference_stats=(cold.reference_area, cold.reference_delay),
+                initial_stats=(cold.initial_result.area,
+                               cold.initial_result.delay),
+            )
+            warm = warm_spec.build_evaluator(cache=False)
+            assert warm.cache_key == cold.cache_key
+        finally:
+            shm.unlink_segment(segment)
+        # Segment gone: the fallback branch rebuilds from the registry
+        # and must land on the very same key.
+        fallen = warm_spec.build_evaluator(cache=False)
+        assert fallen.cache_key == cold.cache_key
+        assert fallen.cache_key == (
+            f"{aig_fingerprint(cold.aig)}:lut{cold.lut_size}")
+
 
 # ---------------------------------------------------------------------------
 # Adaptive execution planner

@@ -1,0 +1,139 @@
+"""Differential backend validation over the fuzz corpus.
+
+The differential extension of the fuzz harness (PR 5) for the backend
+layer: on ≥50 seeded random circuits, measurements recorded to a replay
+tape must replay bit-identically against the native substrate
+(:func:`repro.qor.backends.differential.cross_check`), and a tampered
+tape must be caught.  When a real ``abc`` binary is installed the same
+sweep cross-checks native against the external oracle; without one the
+external job is skipped with a notice (CI prints it).
+
+The base seed rotates in CI (``--fuzz-seed=$GITHUB_RUN_ID``); every
+failure message carries the recipe that reproduces it locally.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.aig.graph import AIG
+from repro.circuits.fuzz import FUZZ_KINDS, FuzzSpec
+from repro.qor.backends import (
+    BackendError,
+    ExternalABCBackend,
+    NativeBackend,
+    ReplayBackend,
+    assert_equivalent,
+    cross_check,
+)
+from repro.synth.operations import list_operations
+
+#: Number of seeded random circuits the differential sweep covers
+#: (the acceptance floor is 50).
+NUM_CASES = 60
+
+#: Sequences measured per circuit (distinct short op sequences).
+SEQUENCES_PER_CASE = 3
+
+_AIG_CACHE: Dict[Tuple[int, int], Tuple[AIG, FuzzSpec]] = {}
+
+
+def _case(fuzz_seed: int, index: int) -> Tuple[AIG, FuzzSpec, str]:
+    key = (fuzz_seed, index)
+    if key not in _AIG_CACHE:
+        rng = np.random.default_rng(
+            np.random.SeedSequence((fuzz_seed, 0xD1FF, index)))
+        spec = FuzzSpec(
+            kind=FUZZ_KINDS[index % len(FUZZ_KINDS)],
+            seed=int(rng.integers(0, 2 ** 31)),
+            num_inputs=int(rng.integers(3, 9)),
+            num_gates=int(rng.integers(10, 50)),
+            num_outputs=int(rng.integers(1, 5)),
+            fanin_window=int(rng.integers(4, 16)),
+        )
+        _AIG_CACHE[key] = (spec.build(), spec)
+    aig, spec = _AIG_CACHE[key]
+    blame = (f"case {index}: {spec!r} (reproduce with "
+             f"--fuzz-seed={fuzz_seed})")
+    return aig, spec, blame
+
+
+def _sequences(fuzz_seed: int, index: int) -> List[Tuple[str, ...]]:
+    """Short seeded op sequences, the empty sequence always included."""
+    operations = list_operations()
+    rng = np.random.default_rng(
+        np.random.SeedSequence((fuzz_seed, 0x5E0, index)))
+    sequences: List[Tuple[str, ...]] = [()]
+    for _ in range(SEQUENCES_PER_CASE - 1):
+        length = int(rng.integers(1, 4))
+        sequences.append(tuple(
+            operations[int(i)].name
+            for i in rng.integers(0, len(operations), size=length)))
+    return sequences
+
+
+@pytest.mark.parametrize("index", range(NUM_CASES))
+def test_native_vs_replay_differential(fuzz_seed, index, tmp_path):
+    """Record on native, replay hermetically: zero mismatches allowed."""
+    aig, _spec, blame = _case(fuzz_seed, index)
+    sequences = _sequences(fuzz_seed, index)
+    tape = tmp_path / "tape.json"
+
+    recorder = ReplayBackend(tape=str(tape), mode="record")
+    for sequence in sequences:
+        recorder.measure(aig, sequence, 6)
+
+    mismatches = cross_check(
+        NativeBackend(), ReplayBackend(tape=str(tape)), aig, sequences)
+    assert not mismatches, (
+        f"{blame}: replay disagrees with native: "
+        + "; ".join(str(m) for m in mismatches))
+
+
+def test_tampered_tape_is_caught(fuzz_seed, tmp_path):
+    """The differential mode must actually detect a corrupted tape."""
+    aig, _spec, blame = _case(fuzz_seed, 0)
+    sequences = _sequences(fuzz_seed, 0)
+    tape = tmp_path / "tape.json"
+    recorder = ReplayBackend(tape=str(tape), mode="record")
+    for sequence in sequences:
+        recorder.measure(aig, sequence, 6)
+
+    payload = json.loads(tape.read_text())
+    for circuit in payload["circuits"].values():
+        for entry in circuit["entries"].values():
+            entry[0] += 1  # off-by-one area on every recorded row
+    tape.write_text(json.dumps(payload))
+
+    mismatches = cross_check(
+        NativeBackend(), ReplayBackend(tape=str(tape)), aig, sequences)
+    assert len(mismatches) == len(sequences), blame
+    with pytest.raises(BackendError, match="disagree"):
+        assert_equivalent(
+            NativeBackend(), ReplayBackend(tape=str(tape)), aig, sequences)
+
+
+@pytest.mark.skipif(shutil.which("abc") is None,
+                    reason="external 'abc' binary not installed; "
+                           "native-vs-ABC differential sweep skipped")
+@pytest.mark.parametrize("index", range(0, NUM_CASES, 10))
+def test_native_vs_external_abc_smoke(fuzz_seed, index):
+    """With a real ABC installed, the external adapter must measure.
+
+    Native and real ABC are *expected* to disagree on absolute numbers
+    (different rewrite engines); the differential signal here is that
+    the adapter parses real stats into sane positive pairs for every
+    sequence, and the report machinery carries any disagreement.
+    """
+    aig, _spec, blame = _case(fuzz_seed, index)
+    sequences = _sequences(fuzz_seed, index)
+    backend = ExternalABCBackend()
+    for sequence in sequences:
+        area, delay = backend.measure(aig, sequence, 6)
+        assert area >= 0 and delay >= 0, blame
+    cross_check(NativeBackend(), backend, aig, sequences)  # must not raise
